@@ -1,0 +1,157 @@
+// Command hmmm-gen generates a synthetic soccer-video corpus, builds the
+// HMMM over it, and persists both to disk.
+//
+// Usage:
+//
+//	hmmm-gen [flags]
+//
+//	-seed      uint   corpus seed (default 1)
+//	-videos    int    number of videos (default: paper scale, 54)
+//	-shots     int    total shots (default 11567)
+//	-annotated int    annotated event shots (default 506)
+//	-corpus    string corpus output path (default corpus.gob)
+//	-model     string model output path (default model.gob)
+//	-json      string optional path for a JSON model export
+//	-dump-media string write sample PPM frames + WAV clips per event class
+//	-ground-truth string write the annotation ground truth as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/videodb/hmmm/internal/dataset"
+	"github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/media"
+	"github.com/videodb/hmmm/internal/store"
+	"github.com/videodb/hmmm/internal/synthaudio"
+	"github.com/videodb/hmmm/internal/synthvideo"
+	"github.com/videodb/hmmm/internal/videomodel"
+	"github.com/videodb/hmmm/internal/xrand"
+)
+
+// dumpMedia renders one sample shot per event class (plus ordinary play)
+// and writes its middle frame as PPM and its audio as WAV, so the
+// synthetic substrate can be inspected with ordinary viewers.
+func dumpMedia(dir string, seed uint64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	rng := xrand.New(seed)
+	renderer := synthvideo.NewRenderer(96, 64, 250) // higher-res for viewing
+	classes := append([]videomodel.Event{videomodel.EventNone}, videomodel.AllEvents()...)
+	for _, class := range classes {
+		shotRng := rng.Fork(uint64(class))
+		frames := renderer.RenderShot(shotRng.Fork(1), class, 3000)
+		clip := synthaudio.Synthesize(shotRng.Fork(2), class, 3000)
+
+		ppm, err := os.Create(filepath.Join(dir, class.String()+".ppm"))
+		if err != nil {
+			return err
+		}
+		if err := media.WritePPM(ppm, frames[len(frames)/2]); err != nil {
+			ppm.Close()
+			return err
+		}
+		if err := ppm.Close(); err != nil {
+			return err
+		}
+
+		wav, err := os.Create(filepath.Join(dir, class.String()+".wav"))
+		if err != nil {
+			return err
+		}
+		if err := media.WriteWAV(wav, clip); err != nil {
+			wav.Close()
+			return err
+		}
+		if err := wav.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hmmm-gen: ")
+
+	var (
+		seed       = flag.Uint64("seed", 1, "corpus generation seed")
+		videos     = flag.Int("videos", 54, "number of videos")
+		shots      = flag.Int("shots", 11567, "total shots across all videos")
+		annotated  = flag.Int("annotated", 506, "annotated event shots")
+		corpusPath = flag.String("corpus", "corpus.gob", "corpus output path")
+		modelPath  = flag.String("model", "model.gob", "model output path")
+		jsonPath   = flag.String("json", "", "optional JSON model export path")
+		mediaDir   = flag.String("dump-media", "", "write one sample PPM frame + WAV clip per event class to this directory")
+		truthCSV   = flag.String("ground-truth", "", "write the annotation ground truth as CSV to this path")
+	)
+	flag.Parse()
+
+	cfg := dataset.Config{
+		Seed: *seed, Videos: *videos, Shots: *shots, Annotated: *annotated, Fast: true,
+	}
+	start := time.Now()
+	corpus, err := dataset.Build(cfg)
+	if err != nil {
+		log.Fatalf("building corpus: %v", err)
+	}
+	st := corpus.Archive.Stats()
+	fmt.Printf("corpus: %d videos, %d shots, %d annotated events (%.1fs)\n",
+		st.Videos, st.Shots, st.Annotated, time.Since(start).Seconds())
+
+	start = time.Now()
+	model, err := hmmm.Build(corpus.Archive, corpus.Features, hmmm.BuildOptions{LearnP12: true})
+	if err != nil {
+		log.Fatalf("building model: %v", err)
+	}
+	fmt.Printf("model: %d states, %d videos, %d concepts, K=%d (%.2fs)\n",
+		model.NumStates(), model.NumVideos(), model.NumConcepts(), model.K(), time.Since(start).Seconds())
+
+	if err := store.SaveCorpus(*corpusPath, corpus); err != nil {
+		log.Fatalf("saving corpus: %v", err)
+	}
+	if err := store.SaveModel(*modelPath, model); err != nil {
+		log.Fatalf("saving model: %v", err)
+	}
+	fmt.Printf("wrote %s and %s\n", *corpusPath, *modelPath)
+
+	if *truthCSV != "" {
+		f, err := os.Create(*truthCSV)
+		if err != nil {
+			log.Fatalf("creating ground-truth CSV: %v", err)
+		}
+		if err := corpus.WriteGroundTruthCSV(f); err != nil {
+			f.Close()
+			log.Fatalf("writing ground-truth CSV: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("closing ground-truth CSV: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *truthCSV)
+	}
+
+	if *mediaDir != "" {
+		if err := dumpMedia(*mediaDir, *seed); err != nil {
+			log.Fatalf("dumping media: %v", err)
+		}
+		fmt.Printf("wrote sample media to %s\n", *mediaDir)
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			log.Fatalf("creating JSON export: %v", err)
+		}
+		defer f.Close()
+		if err := store.ExportModelJSON(f, model); err != nil {
+			log.Fatalf("exporting JSON: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}

@@ -1,0 +1,292 @@
+// Command hmmmctl is the CLI client for an hmmmd retrieval server: the
+// scriptable stand-in for the paper's Figure-5 query interface.
+//
+// Usage:
+//
+//	hmmmctl [-server URL] <command> [args]
+//
+// Commands:
+//
+//	stats                      model and feedback-log statistics
+//	events                     list the event taxonomy
+//	videos                     list archive videos and their events
+//	query  <pattern> [flags]   run an MATN temporal pattern query, e.g.
+//	                           hmmmctl query "goal -> free_kick" -k 5
+//	parse <pattern>            validate an MATN pattern and show its network
+//	state <index>              inspect one model state (annotated shot)
+//	rank <pattern>             rank videos for a pattern
+//	similar <video-id>         list videos similar to the given one
+//	feedback <state> [...]     mark a retrieved pattern positive by its
+//	                           state indices (from query output)
+//	retrain                    force offline retraining now
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/videodb/hmmm/internal/api"
+	"github.com/videodb/hmmm/internal/client"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hmmmctl: ")
+
+	serverURL := flag.String("server", "http://localhost:8077", "hmmmd base URL")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	cl := client.New(*serverURL, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var err error
+	switch args[0] {
+	case "stats":
+		err = runStats(ctx, cl)
+	case "events":
+		err = runEvents(ctx, cl)
+	case "videos":
+		err = runVideos(ctx, cl)
+	case "query":
+		err = runQuery(ctx, cl, args[1:])
+	case "parse":
+		err = runParse(ctx, cl, args[1:])
+	case "state":
+		err = runState(ctx, cl, args[1:])
+	case "rank":
+		err = runRank(ctx, cl, args[1:])
+	case "similar":
+		err = runSimilar(ctx, cl, args[1:])
+	case "feedback":
+		err = runFeedback(ctx, cl, args[1:])
+	case "retrain":
+		err = runRetrain(ctx, cl)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: hmmmctl [-server URL] <command> [args]
+
+commands:
+  stats                    model and feedback-log statistics
+  events                   list the event taxonomy
+  videos                   list archive videos and their events
+  query <pattern> [flags]  run an MATN query ("goal -> free_kick")
+      -k int      top K results (default 10)
+      -beam int   beam width (default 4)
+      -cross      allow cross-video patterns
+      -similar    admit unannotated similar shots
+      -video int  restrict to one video ID
+      -from-ms / -to-ms   restrict to a time window
+  parse <pattern>          validate an MATN pattern, show its network
+  state <index>            inspect one model state
+  rank <pattern>           rank videos for a pattern (level-2 matrices)
+  similar <video-id>       videos similar to the given one
+  feedback <state>...      mark a pattern positive by state indices
+  retrain                  force offline retraining
+`)
+}
+
+func runStats(ctx context.Context, cl *client.Client) error {
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("videos:            %d\n", st.Videos)
+	fmt.Printf("states:            %d\n", st.States)
+	fmt.Printf("concepts:          %d\n", st.Concepts)
+	fmt.Printf("features:          %d\n", st.Features)
+	fmt.Printf("distinct patterns: %d\n", st.DistinctPatterns)
+	fmt.Printf("pending feedback:  %d\n", st.PendingFeedback)
+	fmt.Printf("events:\n")
+	for name, n := range st.EventCounts {
+		fmt.Printf("  %-14s %d\n", name, n)
+	}
+	return nil
+}
+
+func runEvents(ctx context.Context, cl *client.Client) error {
+	events, err := cl.Events(ctx)
+	if err != nil {
+		return err
+	}
+	for _, e := range events {
+		fmt.Println(e)
+	}
+	return nil
+}
+
+func runVideos(ctx context.Context, cl *client.Client) error {
+	videos, err := cl.Videos(ctx)
+	if err != nil {
+		return err
+	}
+	for _, v := range videos {
+		parts := make([]string, 0, len(v.EventCounts))
+		for name, n := range v.EventCounts {
+			parts = append(parts, fmt.Sprintf("%s:%d", name, n))
+		}
+		fmt.Printf("video %-3d states=%-3d %s\n", v.ID, v.States, strings.Join(parts, " "))
+	}
+	return nil
+}
+
+func runQuery(ctx context.Context, cl *client.Client, args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	topK := fs.Int("k", 10, "top K results")
+	beam := fs.Int("beam", 4, "beam width")
+	cross := fs.Bool("cross", false, "allow cross-video patterns")
+	similar := fs.Bool("similar", false, "admit unannotated similar shots")
+	scopeVideo := fs.Int("video", 0, "restrict to one video ID")
+	scopeFrom := fs.Int("from-ms", 0, "restrict to shots starting at/after this time")
+	scopeTo := fs.Int("to-ms", 0, "restrict to shots starting before this time (0 = end)")
+	if len(args) == 0 {
+		return fmt.Errorf("query: missing pattern argument")
+	}
+	pattern := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	resp, err := cl.Query(ctx, api.QueryRequest{
+		Pattern: pattern, TopK: *topK, Beam: *beam,
+		CrossVideo: *cross, SimilarShots: *similar,
+		ScopeVideo: *scopeVideo, ScopeFromMS: *scopeFrom, ScopeToMS: *scopeTo,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pattern %q expanded to %d linear pattern(s); %d matches in %v\n",
+		resp.Pattern, resp.Expanded, len(resp.Matches), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("cost: %d sim evals, %d edges, %d videos\n\n",
+		resp.Cost.SimEvals, resp.Cost.EdgeEvals, resp.Cost.VideosSeen)
+	for _, m := range resp.Matches {
+		fmt.Printf("#%-2d score=%.4f states=%v\n", m.Rank, m.Score, m.States)
+		for i := range m.Shots {
+			fmt.Printf("    step %d: video %d shot %d [%s]\n",
+				i+1, m.Videos[i], m.Shots[i], strings.Join(m.Events[i], ", "))
+		}
+	}
+	if len(resp.Matches) > 0 {
+		fmt.Printf("\nmark a result positive with: hmmmctl feedback %s\n",
+			strings.Trim(strings.Join(strings.Fields(fmt.Sprint(resp.Matches[0].States)), " "), "[]"))
+	}
+	return nil
+}
+
+func runParse(ctx context.Context, cl *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("parse: missing pattern argument")
+	}
+	out, err := cl.Parse(ctx, args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pattern: %s\n", out.Pattern)
+	fmt.Printf("network: %s (%d states, %d arcs)\n", out.Network, out.States, out.Arcs)
+	fmt.Printf("expands to %d linear pattern(s):\n", len(out.Expanded))
+	for _, e := range out.Expanded {
+		fmt.Printf("  %s\n", e)
+	}
+	return nil
+}
+
+func runState(ctx context.Context, cl *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("state: missing state index")
+	}
+	id, err := strconv.Atoi(args[0])
+	if err != nil {
+		return fmt.Errorf("state: bad index %q", args[0])
+	}
+	st, err := cl.State(ctx, id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("state %d: shot %d of video %d, start %dms\n", st.State, st.Shot, st.Video, st.StartMS)
+	fmt.Printf("events: %s\n", strings.Join(st.Events, ", "))
+	fmt.Printf("pi1:    %.6f\n", st.Pi)
+	fmt.Printf("b1:     %.3f\n", st.B1)
+	return nil
+}
+
+func runRank(ctx context.Context, cl *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("rank: missing pattern argument")
+	}
+	resp, err := cl.RankVideos(ctx, args[0], 10)
+	if err != nil {
+		return err
+	}
+	for i, v := range resp.Videos {
+		fmt.Printf("#%-2d video %-3d score=%.6f\n", i+1, v.Video, v.Score)
+	}
+	return nil
+}
+
+func runSimilar(ctx context.Context, cl *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("similar: missing video id")
+	}
+	id, err := strconv.Atoi(args[0])
+	if err != nil {
+		return fmt.Errorf("similar: bad video id %q", args[0])
+	}
+	resp, err := cl.SimilarVideos(ctx, id)
+	if err != nil {
+		return err
+	}
+	for i, v := range resp.Videos {
+		fmt.Printf("#%-2d video %-3d score=%.4f\n", i+1, v.Video, v.Score)
+	}
+	return nil
+}
+
+func runFeedback(ctx context.Context, cl *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("feedback: missing state indices")
+	}
+	states := make([]int, len(args))
+	for i, a := range args {
+		v, err := strconv.Atoi(a)
+		if err != nil {
+			return fmt.Errorf("feedback: bad state index %q", a)
+		}
+		states[i] = v
+	}
+	resp, err := cl.Feedback(ctx, states)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded; pending=%d retrained=%v\n", resp.Pending, resp.Retrained)
+	return nil
+}
+
+func runRetrain(ctx context.Context, cl *client.Client) error {
+	resp, err := cl.Retrain(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("retrained=%v pending=%d\n", resp.Retrained, resp.Pending)
+	return nil
+}

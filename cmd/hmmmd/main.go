@@ -1,0 +1,88 @@
+// Command hmmmd serves the HMMM retrieval API over HTTP: the server side
+// of the paper's Figure-5 client/server retrieval system.
+//
+// Usage:
+//
+//	hmmmd [flags]
+//
+//	-model     string  load a model snapshot written by hmmm-gen;
+//	                   empty generates a fresh corpus in memory
+//	-addr      string  listen address (default :8077)
+//	-seed      uint    seed for the in-memory corpus (default 1)
+//	-videos    int     in-memory corpus videos (default 54)
+//	-shots     int     in-memory corpus shots (default 11567)
+//	-annotated int     in-memory corpus annotated shots (default 506)
+//	-retrain   int     feedback count that triggers auto retraining
+//	                   (default 10; 0 disables)
+//	-feedback-log string  persist the feedback log across restarts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"github.com/videodb/hmmm/internal/dataset"
+	"github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/retrieval"
+	"github.com/videodb/hmmm/internal/server"
+	"github.com/videodb/hmmm/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hmmmd: ")
+
+	var (
+		modelPath = flag.String("model", "", "model snapshot to serve (empty = generate)")
+		addr      = flag.String("addr", ":8077", "listen address")
+		seed      = flag.Uint64("seed", 1, "seed for the generated corpus")
+		videos    = flag.Int("videos", 54, "generated corpus videos")
+		shots     = flag.Int("shots", 11567, "generated corpus shots")
+		annotated = flag.Int("annotated", 506, "generated corpus annotated shots")
+		retrain   = flag.Int("retrain", 10, "feedback threshold for auto retraining (0 disables)")
+		fbLog     = flag.String("feedback-log", "", "persist the feedback log to this path")
+	)
+	flag.Parse()
+
+	var model *hmmm.Model
+	if *modelPath != "" {
+		var err error
+		model, err = store.LoadModel(*modelPath)
+		if err != nil {
+			log.Fatalf("loading model: %v", err)
+		}
+		fmt.Printf("loaded model from %s: %d states across %d videos\n",
+			*modelPath, model.NumStates(), model.NumVideos())
+	} else {
+		start := time.Now()
+		corpus, err := dataset.Build(dataset.Config{
+			Seed: *seed, Videos: *videos, Shots: *shots, Annotated: *annotated, Fast: true,
+		})
+		if err != nil {
+			log.Fatalf("building corpus: %v", err)
+		}
+		model, err = hmmm.Build(corpus.Archive, corpus.Features, hmmm.BuildOptions{LearnP12: true})
+		if err != nil {
+			log.Fatalf("building model: %v", err)
+		}
+		fmt.Printf("generated corpus and model in %.1fs: %d states across %d videos\n",
+			time.Since(start).Seconds(), model.NumStates(), model.NumVideos())
+	}
+
+	srv, err := server.New(server.Config{
+		Model:            model,
+		Options:          retrieval.Options{Beam: 4, TopK: 10},
+		RetrainThreshold: *retrain,
+		FeedbackLogPath:  *fbLog,
+	})
+	if err != nil {
+		log.Fatalf("starting server: %v", err)
+	}
+	fmt.Printf("listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+// Analytics tours the archive-analysis side of the library: video-level
+// clustering by semantic event profile (the Section-4.2.2 purpose of the
+// level-2 MMM), pattern-based video ranking, similarity browsing,
+// stationary-distribution analysis of the trained chains, per-match score
+// explanations, and query by example.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	hmmm "github.com/videodb/hmmm"
+)
+
+func main() {
+	corpus, err := hmmm.GenerateCorpus(hmmm.CorpusConfig{Seed: 23, Videos: 12, Shots: 1200, Annotated: 360})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := hmmm.BuildModel(corpus, hmmm.ModelOptions{LearnFeatureWeights: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := hmmm.NewEngine(model, hmmm.SearchOptions{TopK: 5, Beam: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Cluster the archive by semantic event profile.
+	fmt.Println("== video clustering by event profile (Section 4.2.2) ==")
+	res, err := hmmm.ClusterVideos(model, 3, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	labels := make([]string, len(corpus.Archive.Videos))
+	for i, v := range corpus.Archive.Videos {
+		labels[i] = v.Genre
+	}
+	for c := 0; c < 3; c++ {
+		var members []string
+		for vi, a := range res.Assign {
+			if a == c {
+				members = append(members, fmt.Sprintf("%s(%s)", corpus.Archive.Videos[vi].Name, labels[vi]))
+			}
+		}
+		fmt.Printf("cluster %d: %s\n", c, strings.Join(members, " "))
+	}
+	fmt.Printf("purity vs generated genres: %.2f\n\n", hmmm.ClusterPurity(res.Assign, labels, 3))
+
+	// 2. Rank videos for a pattern without touching the shot level.
+	fmt.Println("== video ranking for pattern goal -> corner_kick ==")
+	ranks, err := engine.RankVideos(hmmm.NewQuery(hmmm.EventGoal, hmmm.EventCornerKick))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, vr := range ranks[:3] {
+		fmt.Printf("  video %d (%s): %.6f\n", vr.VideoID,
+			corpus.Archive.Videos[vr.VideoIdx].Genre, vr.Score)
+	}
+
+	// 3. Similarity browsing from the top-ranked video.
+	fmt.Printf("\n== videos similar to video %d ==\n", ranks[0].VideoID)
+	sims, err := engine.SimilarVideos(ranks[0].VideoIdx, 0.7, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, vr := range sims {
+		fmt.Printf("  video %d (%s): %.4f\n", vr.VideoID,
+			corpus.Archive.Videos[vr.VideoIdx].Genre, vr.Score)
+	}
+
+	// 4. Stationary analysis: which shots does the affinity structure
+	// keep returning to?
+	pi, err := model.StationaryPi1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	type sp struct {
+		state int
+		p     float64
+	}
+	tops := make([]sp, len(pi))
+	for i, p := range pi {
+		tops[i] = sp{i, p}
+	}
+	sort.Slice(tops, func(i, j int) bool { return tops[i].p > tops[j].p })
+	fmt.Println("\n== highest long-run visit probability states ==")
+	for _, t := range tops[:3] {
+		st := model.States[t.state]
+		fmt.Printf("  state %d (shot %d, %v): %.4f\n", t.state, st.Shot, st.Events, t.p)
+	}
+
+	// 5. Explain the top match of a query.
+	q := hmmm.NewQuery(hmmm.EventFoul, hmmm.EventFreeKick)
+	rres, err := engine.Retrieve(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(rres.Matches) > 0 {
+		fmt.Println("\n== why the top foul -> free_kick match scored what it did ==")
+		exps, err := engine.Explain(rres.Matches[0], q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for j, ex := range exps {
+			factor := fmt.Sprintf("pi=%.4f", ex.Pi)
+			if j > 0 {
+				factor = fmt.Sprintf("a=%.4f", ex.Transition)
+			}
+			fmt.Printf("  step %d: %s sim=%.3f -> w=%.5f (top feature term: f%d %.3f)\n",
+				j+1, factor, ex.Sim, ex.Weight, ex.Features[0].Feature, ex.Features[0].Term)
+		}
+	}
+
+	// 6. Query by example: find shots like a known goal shot.
+	var goalShot hmmm.Match
+	gres, err := engine.Retrieve(hmmm.NewQuery(hmmm.EventGoal))
+	if err != nil || len(gres.Matches) == 0 {
+		log.Fatal("no goal shots")
+	}
+	goalShot = gres.Matches[0]
+	raw := corpus.Features[model.States[goalShot.States[0]].Shot]
+	qbe, err := engine.QueryByExample(raw, hmmm.EventGoal, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== shots most similar to the top goal shot (query by example) ==")
+	for i, m := range qbe {
+		fmt.Printf("  #%d state %d %v sim=%.4f\n", i+1, m.States[0], model.States[m.States[0]].Events, m.Score)
+	}
+}

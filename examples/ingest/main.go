@@ -1,0 +1,79 @@
+// Ingest demonstrates growing a live archive: a new raw video (continuous
+// frames + audio, standing in for a camera feed) is segmented into shots,
+// auto-annotated by a decision-tree event classifier, and folded into an
+// existing HMMM without rebuilding it — after which queries immediately
+// see the new material.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hmmm "github.com/videodb/hmmm"
+)
+
+func main() {
+	// An existing archive and model.
+	corpus, err := hmmm.GenerateCorpus(hmmm.CorpusConfig{Seed: 4, Videos: 6, Shots: 300, Annotated: 48})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := hmmm.BuildModel(corpus, hmmm.ModelOptions{LearnFeatureWeights: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("archive: %d videos, %d shots, %d model states\n",
+		len(corpus.Archive.Videos), corpus.Archive.NumShots(), model.NumStates())
+
+	// Train the event classifier on labeled shots (refs [6][7] style),
+	// then build the ingestion pipeline.
+	fmt.Println("training the event decision tree...")
+	classifier, err := hmmm.TrainEventClassifier(1, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipeline, err := hmmm.NewIngestPipeline(classifier, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// New raw footage arrives: an eventful final ten minutes.
+	timeline := []hmmm.Event{
+		0, hmmm.EventFoul, hmmm.EventFreeKick, hmmm.EventGoal, 0,
+		hmmm.EventGoalKick, hmmm.EventCornerKick, hmmm.EventGoal, hmmm.EventPlayerChange, 0,
+	}
+	raw := hmmm.SynthesizeRawVideo(99, "final-minutes", timeline, 4000)
+	fmt.Printf("ingesting %q: %d frames, %.0fs of audio\n",
+		raw.Name, len(raw.Frames), raw.Audio.Duration().Seconds())
+
+	res, err := pipeline.Ingest(model, corpus.Archive, raw, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("segmented into %d shots; classifier annotated %d of them\n",
+		len(res.Video.Shots), res.AutoAnnotated)
+	for _, s := range res.Video.Shots {
+		if s.Annotated() {
+			fmt.Printf("  shot %d [%dms-%dms]: %v\n", s.ID, s.StartMS, s.EndMS, s.Events)
+		}
+	}
+	fmt.Printf("model now has %d states across %d videos\n", model.NumStates(), model.NumVideos())
+
+	// The new video is immediately queryable.
+	engine, err := hmmm.NewEngine(model, hmmm.SearchOptions{TopK: 5, Beam: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := engine.Retrieve(hmmm.NewQuery(hmmm.EventGoal))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop goal shots after ingestion:")
+	for i, m := range result.Matches {
+		marker := ""
+		if m.Videos[0] == res.Video.ID {
+			marker = "   <-- from the ingested video"
+		}
+		fmt.Printf("  #%d score=%.4f video %d shot %d%s\n", i+1, m.Score, m.Videos[0], m.Shots[0], marker)
+	}
+}

@@ -1,0 +1,76 @@
+// Matnquery demonstrates the MATN query model of Figure 4 on the paper's
+// Section-3 example pattern:
+//
+//	"At first, a goal is resulted from a free kick. After that, a corner
+//	 kick occurs at some point in time, followed by a player change, and
+//	 finally another goal shot follows the player change."
+//
+// which the query language writes as
+//
+//	free_kick & goal -> corner_kick -> player_change -> goal
+//
+// The example also shows alternation and optional steps, and prints the
+// transition networks the parser builds.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	hmmm "github.com/videodb/hmmm"
+)
+
+func main() {
+	corpus, err := hmmm.GenerateCorpus(hmmm.CorpusConfig{Seed: 11, Videos: 12, Shots: 900, Annotated: 160})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := hmmm.BuildModel(corpus, hmmm.ModelOptions{LearnFeatureWeights: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := hmmm.NewEngine(model, hmmm.SearchOptions{TopK: 5, Beam: 4, CrossVideo: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, src := range []string{
+		"free_kick & goal -> corner_kick -> player_change -> goal", // the paper's example
+		"foul -> yellow_card | red_card",                           // alternation
+		"corner_kick -> foul? -> goal",                             // optional middle step
+	} {
+		fmt.Printf("query: %q\n", src)
+		network, err := hmmm.ParseMATN(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  network: %s\n", network)
+		queries, err := network.Compile()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  expands to %d linear pattern(s)\n", len(queries))
+
+		var all []hmmm.Match
+		for _, q := range queries {
+			res, err := engine.Retrieve(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			all = append(all, res.Matches...)
+		}
+		for i, m := range hmmm.MergeRanked(all, 3) {
+			var steps []string
+			for j := range m.Shots {
+				var names []string
+				for _, e := range model.States[m.States[j]].Events {
+					names = append(names, e.String())
+				}
+				steps = append(steps, fmt.Sprintf("v%d/s%d[%s]", m.Videos[j], m.Shots[j], strings.Join(names, "+")))
+			}
+			fmt.Printf("  #%d score=%.4f  %s\n", i+1, m.Score, strings.Join(steps, " -> "))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,47 @@
+// Quickstart: build a small corpus, model it with HMMM, and run one
+// temporal pattern query — the thirty-line tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	hmmm "github.com/videodb/hmmm"
+)
+
+func main() {
+	// 1. Synthesize a small soccer-video corpus (deterministic in the seed).
+	corpus, err := hmmm.GenerateCorpus(hmmm.CorpusConfig{Seed: 7, Videos: 8, Shots: 400, Annotated: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := corpus.Archive.Stats()
+	fmt.Printf("corpus: %d videos, %d shots, %d annotated events\n", st.Videos, st.Shots, st.Annotated)
+
+	// 2. Build the two-level HMMM with learned feature-importance weights.
+	model, err := hmmm.BuildModel(corpus, hmmm.ModelOptions{LearnFeatureWeights: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %d shot states, %d videos, %d features\n", model.NumStates(), model.NumVideos(), model.K())
+
+	// 3. Query: "a goal followed by a free kick".
+	engine, err := hmmm.NewEngine(model, hmmm.SearchOptions{TopK: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := engine.Retrieve(hmmm.NewQuery(hmmm.EventGoal, hmmm.EventFreeKick))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop patterns for goal -> free_kick:\n")
+	for i, m := range res.Matches {
+		var steps []string
+		for j := range m.Shots {
+			steps = append(steps, fmt.Sprintf("video %d shot %d", m.Videos[j], m.Shots[j]))
+		}
+		fmt.Printf("  #%d score=%.4f  %s\n", i+1, m.Score, strings.Join(steps, " -> "))
+	}
+	fmt.Printf("cost: %d similarity evaluations across %d videos\n", res.Cost.SimEvals, res.Cost.VideosSeen)
+}

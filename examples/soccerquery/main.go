@@ -1,0 +1,130 @@
+// Soccerquery reproduces the paper's Figure-5 scenario at full evaluation
+// scale: a 54-video / 11,567-shot / 506-event archive queried for "a goal
+// shot followed by a free kick", through the same client/server API the
+// paper's retrieval interface uses.
+//
+// The example starts an in-process HTTP server (the hmmmd service), then
+// drives it with the Go client: query, inspect the ranked patterns, send
+// positive feedback on the exact ones, retrain, and query again.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	hmmmdb "github.com/videodb/hmmm"
+	"github.com/videodb/hmmm/internal/api"
+	"github.com/videodb/hmmm/internal/client"
+	"github.com/videodb/hmmm/internal/retrieval"
+	"github.com/videodb/hmmm/internal/server"
+)
+
+func main() {
+	// Paper-scale corpus: zero dimensions select 54 / 11,567 / 506.
+	fmt.Println("building the paper-scale corpus (54 videos, 11,567 shots, 506 events)...")
+	start := time.Now()
+	corpus, err := hmmmdb.GenerateCorpus(hmmmdb.CorpusConfig{Seed: 2006})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := hmmmdb.BuildModel(corpus, hmmmdb.ModelOptions{LearnFeatureWeights: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ready in %.1fs\n\n", time.Since(start).Seconds())
+
+	srv, err := server.New(server.Config{
+		Model:            model,
+		Options:          retrieval.Options{Beam: 4, TopK: 10},
+		RetrainThreshold: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := client.New(ts.URL, nil)
+	ctx := context.Background()
+
+	// The Figure-5 query: a goal shot followed by a free kick.
+	resp, err := cl.Query(ctx, api.QueryRequest{Pattern: "goal -> free_kick", TopK: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	shots := 0
+	for _, m := range resp.Matches {
+		shots += len(m.Shots)
+	}
+	fmt.Printf("query %q: %d patterns (%d shots); paper reports 8 patterns (16 shots)\n",
+		resp.Pattern, len(resp.Matches), shots)
+	fmt.Printf("traversal cost: %d sim evals over %d videos\n\n", resp.Cost.SimEvals, resp.Cost.VideosSeen)
+	for _, m := range resp.Matches {
+		var labels []string
+		for i := range m.Shots {
+			labels = append(labels, fmt.Sprintf("v%d/s%d[%s]", m.Videos[i], m.Shots[i], strings.Join(m.Events[i], "+")))
+		}
+		fmt.Printf("  #%-2d score=%.4f  %s\n", m.Rank, m.Score, strings.Join(labels, " -> "))
+	}
+
+	// Mark the exact results positive (the Figure-5 drop-down feedback),
+	// triggering the threshold retrain on the server.
+	fmt.Println("\nsending positive feedback on exact matches...")
+	for _, m := range resp.Matches {
+		exact := true
+		for i, evs := range m.Events {
+			want := "goal"
+			if i == 1 {
+				want = "free_kick"
+			}
+			if !contains(evs, want) {
+				exact = false
+				break
+			}
+		}
+		if !exact {
+			continue
+		}
+		fb, err := cl.Feedback(ctx, m.States)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if fb.Retrained {
+			fmt.Println("  threshold reached: server retrained the HMMM offline")
+		}
+	}
+
+	// Query again: confirmed patterns now rank with higher scores.
+	resp2, err := cl.Query(ctx, api.QueryRequest{Pattern: "goal -> free_kick", TopK: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter retraining, top score %.4f (was %.4f)\n",
+		topScore(resp2.Matches), topScore(resp.Matches))
+
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server stats: %d states, %d distinct positive patterns recorded\n",
+		st.States, st.DistinctPatterns)
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+func topScore(ms []api.MatchJSON) float64 {
+	if len(ms) == 0 {
+		return 0
+	}
+	return ms[0].Score
+}

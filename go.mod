@@ -1,0 +1,3 @@
+module github.com/videodb/hmmm
+
+go 1.22

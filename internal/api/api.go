@@ -1,0 +1,137 @@
+// Package api defines the JSON payload types of the HMMM retrieval HTTP
+// API, shared by the server and the client.
+package api
+
+// QueryRequest asks for a temporal pattern retrieval.
+type QueryRequest struct {
+	// Pattern is an MATN query text, e.g. "goal -> free_kick".
+	Pattern string `json:"pattern"`
+	// TopK bounds results (0 = server default).
+	TopK int `json:"top_k,omitempty"`
+	// Beam widens per-video search (0 = default greedy).
+	Beam int `json:"beam,omitempty"`
+	// CrossVideo allows patterns spanning videos.
+	CrossVideo bool `json:"cross_video,omitempty"`
+	// SimilarShots admits unannotated candidate shots by feature
+	// similarity.
+	SimilarShots bool `json:"similar_shots,omitempty"`
+	// Explain attaches per-step factor decompositions to each match.
+	Explain bool `json:"explain,omitempty"`
+	// ScopeVideo restricts the search to one video ID (0 = all).
+	ScopeVideo int `json:"scope_video,omitempty"`
+	// ScopeFromMS / ScopeToMS bound shot start times (0 = unbounded end).
+	ScopeFromMS int `json:"scope_from_ms,omitempty"`
+	ScopeToMS   int `json:"scope_to_ms,omitempty"`
+}
+
+// MatchJSON is one retrieved pattern.
+type MatchJSON struct {
+	Rank    int        `json:"rank"`
+	Score   float64    `json:"score"`
+	States  []int      `json:"states"`
+	Shots   []int      `json:"shots"`
+	Videos  []int      `json:"videos"`
+	Events  [][]string `json:"events"`
+	Weights []float64  `json:"weights"`
+	// Explanation is present when the query asked for it: per-step
+	// factor decompositions of the Eqs. 12-13 weights.
+	Explanation []StepExplanationJSON `json:"explanation,omitempty"`
+}
+
+// StepExplanationJSON decomposes one step's edge weight.
+type StepExplanationJSON struct {
+	Pi         float64                   `json:"pi,omitempty"`
+	Transition float64                   `json:"transition,omitempty"`
+	CrossVideo bool                      `json:"cross_video,omitempty"`
+	Sim        float64                   `json:"sim"`
+	Weight     float64                   `json:"weight"`
+	Features   []FeatureContributionJSON `json:"features,omitempty"`
+}
+
+// FeatureContributionJSON is one feature's share of a similarity score.
+type FeatureContributionJSON struct {
+	Feature string  `json:"feature"`
+	Event   string  `json:"event"`
+	Term    float64 `json:"term"`
+}
+
+// QueryResponse is the ranked retrieval result.
+type QueryResponse struct {
+	Pattern  string      `json:"pattern"`
+	Expanded int         `json:"expanded_patterns"`
+	Matches  []MatchJSON `json:"matches"`
+	Cost     CostJSON    `json:"cost"`
+}
+
+// CostJSON counts the work a retrieval performed.
+type CostJSON struct {
+	SimEvals   int `json:"sim_evals"`
+	EdgeEvals  int `json:"edge_evals"`
+	VideosSeen int `json:"videos_seen"`
+}
+
+// FeedbackRequest marks one retrieved pattern positive.
+type FeedbackRequest struct {
+	States []int `json:"states"`
+}
+
+// FeedbackResponse reports the feedback bookkeeping.
+type FeedbackResponse struct {
+	Pending   int  `json:"pending"`
+	Retrained bool `json:"retrained"`
+}
+
+// StatsResponse summarizes the model and the feedback log.
+type StatsResponse struct {
+	Videos           int            `json:"videos"`
+	States           int            `json:"states"`
+	Concepts         int            `json:"concepts"`
+	Features         int            `json:"features"`
+	DistinctPatterns int            `json:"distinct_patterns"`
+	PendingFeedback  int            `json:"pending_feedback"`
+	EventCounts      map[string]int `json:"event_counts"`
+}
+
+// VideoJSON describes one archive video.
+type VideoJSON struct {
+	ID          int            `json:"id"`
+	States      int            `json:"states"`
+	EventCounts map[string]int `json:"event_counts"`
+}
+
+// VideoRankJSON is one entry of a video-level ranking.
+type VideoRankJSON struct {
+	Video int     `json:"video"`
+	Score float64 `json:"score"`
+}
+
+// RankResponse is a video-level ranking for a pattern or a similarity
+// probe.
+type RankResponse struct {
+	Videos []VideoRankJSON `json:"videos"`
+}
+
+// ShotResponse describes one model state (an annotated shot).
+type ShotResponse struct {
+	State   int       `json:"state"`
+	Shot    int       `json:"shot"`
+	Video   int       `json:"video"`
+	StartMS int       `json:"start_ms"`
+	Events  []string  `json:"events"`
+	Pi      float64   `json:"pi"`
+	B1      []float64 `json:"b1"`
+}
+
+// ParseResponse is the MATN debug rendering of a query text.
+type ParseResponse struct {
+	Pattern  string   `json:"pattern"`
+	Network  string   `json:"network"`
+	States   int      `json:"states"`
+	Arcs     int      `json:"arcs"`
+	Expanded []string `json:"expanded"`
+}
+
+// ErrorResponse is the JSON error envelope.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,179 @@
+// Package client is the Go client for the HMMM retrieval API served by
+// package server. The CLI (cmd/hmmmctl), the examples, and the end-to-end
+// tests all talk to the server through it.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/videodb/hmmm/internal/api"
+)
+
+// Client talks to one HMMM retrieval server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the server at baseURL (e.g.
+// "http://localhost:8077"). A nil httpClient selects a default with a
+// 30-second timeout.
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// Health checks server liveness.
+func (c *Client) Health(ctx context.Context) error {
+	var out map[string]string
+	return c.do(ctx, http.MethodGet, "/api/health", nil, &out)
+}
+
+// Stats fetches model and feedback-log statistics.
+func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
+	var out api.StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/api/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Events lists the event taxonomy.
+func (c *Client) Events(ctx context.Context) ([]string, error) {
+	var out map[string][]string
+	if err := c.do(ctx, http.MethodGet, "/api/events", nil, &out); err != nil {
+		return nil, err
+	}
+	return out["events"], nil
+}
+
+// Videos lists the archive's videos.
+func (c *Client) Videos(ctx context.Context) ([]api.VideoJSON, error) {
+	var out map[string][]api.VideoJSON
+	if err := c.do(ctx, http.MethodGet, "/api/videos", nil, &out); err != nil {
+		return nil, err
+	}
+	return out["videos"], nil
+}
+
+// State fetches the detail of one model state by global index.
+func (c *Client) State(ctx context.Context, id int) (*api.ShotResponse, error) {
+	var out api.ShotResponse
+	if err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/states/%d", id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Parse validates an MATN query text and returns its network rendering.
+func (c *Client) Parse(ctx context.Context, pattern string) (*api.ParseResponse, error) {
+	var out api.ParseResponse
+	if err := c.do(ctx, http.MethodPost, "/api/parse", api.QueryRequest{Pattern: pattern}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RankVideos ranks videos for an MATN pattern via the level-2 matrices.
+func (c *Client) RankVideos(ctx context.Context, pattern string, topK int) (*api.RankResponse, error) {
+	var out api.RankResponse
+	if err := c.do(ctx, http.MethodPost, "/api/videos/rank", api.QueryRequest{Pattern: pattern, TopK: topK}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SimilarVideos ranks videos similar to the given one.
+func (c *Client) SimilarVideos(ctx context.Context, videoID int) (*api.RankResponse, error) {
+	var out api.RankResponse
+	if err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/videos/%d/similar", videoID), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Query runs an MATN temporal pattern query.
+func (c *Client) Query(ctx context.Context, req api.QueryRequest) (*api.QueryResponse, error) {
+	var out api.QueryResponse
+	if err := c.do(ctx, http.MethodPost, "/api/query", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Feedback marks a retrieved pattern positive.
+func (c *Client) Feedback(ctx context.Context, states []int) (*api.FeedbackResponse, error) {
+	var out api.FeedbackResponse
+	if err := c.do(ctx, http.MethodPost, "/api/feedback", api.FeedbackRequest{States: states}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Retrain forces an offline retraining pass from the accumulated feedback.
+func (c *Client) Retrain(ctx context.Context) (*api.FeedbackResponse, error) {
+	var out api.FeedbackResponse
+	if err := c.do(ctx, http.MethodPost, "/api/retrain", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Status, e.Message)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	} else if method == http.MethodPost {
+		body = strings.NewReader("{}")
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e api.ErrorResponse
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}

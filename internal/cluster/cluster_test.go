@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/videodb/hmmm/internal/dataset"
+	"github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/xrand"
+)
+
+// blobs generates three well-separated 2-D clusters.
+func blobs(seed uint64, per int) (rows [][]float64, labels []string) {
+	rng := xrand.New(seed)
+	centers := [][2]float64{{0, 0}, {10, 0}, {0, 10}}
+	names := []string{"a", "b", "c"}
+	for ci, c := range centers {
+		for i := 0; i < per; i++ {
+			rows = append(rows, []float64{c[0] + rng.Norm(0, 0.5), c[1] + rng.Norm(0, 0.5)})
+			labels = append(labels, names[ci])
+		}
+	}
+	return rows, labels
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	rows, labels := blobs(1, 20)
+	res, err := KMeans(rows, 3, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := Purity(res.Assign, labels, 3); p < 0.99 {
+		t.Errorf("purity = %v, want ~1 on separated blobs", p)
+	}
+	if s := Silhouette(rows, res.Assign, 3); s < 0.7 {
+		t.Errorf("silhouette = %v, want high on separated blobs", s)
+	}
+	for c := 0; c < 3; c++ {
+		if res.Size(c) != 20 {
+			t.Errorf("cluster %d size = %d, want 20", c, res.Size(c))
+		}
+	}
+	if res.Inertia <= 0 {
+		t.Error("inertia should be positive for noisy blobs")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rows, _ := blobs(3, 10)
+	a, err := KMeans(rows, 3, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(rows, 3, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same-seed clustering differs")
+		}
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	rows := [][]float64{{1}, {2}}
+	if _, err := KMeans(rows, 0, 1, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KMeans(rows, 3, 1, 0); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := KMeans([][]float64{{1}, {2, 3}}, 2, 1, 0); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	rows := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	res, err := KMeans(rows, 2, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Errorf("identical points inertia = %v, want 0", res.Inertia)
+	}
+}
+
+func TestPurityEdgeCases(t *testing.T) {
+	if Purity(nil, nil, 2) != 0 {
+		t.Error("empty purity != 0")
+	}
+	if p := Purity([]int{0, 0, 1}, []string{"x", "x", "y"}, 2); p != 1 {
+		t.Errorf("perfect purity = %v", p)
+	}
+	if Purity([]int{0}, []string{"x", "y"}, 1) != 0 {
+		t.Error("length mismatch should give 0")
+	}
+}
+
+func TestSilhouetteEdgeCases(t *testing.T) {
+	if Silhouette(nil, nil, 2) != 0 {
+		t.Error("empty silhouette != 0")
+	}
+	// Single cluster: all items contribute 0.
+	rows := [][]float64{{0}, {1}}
+	if s := Silhouette(rows, []int{0, 0}, 1); s != 0 {
+		t.Errorf("single-cluster silhouette = %v, want 0", s)
+	}
+}
+
+func TestVideosClusteringRecoversGenres(t *testing.T) {
+	// The corpus cycles genres balanced/offensive/defensive; clustering
+	// the B2 event profiles into 3 should substantially recover them.
+	c, err := dataset.Build(dataset.Config{Seed: 17, Videos: 18, Shots: 1800, Annotated: 360, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := hmmm.Build(c.Archive, c.Features, hmmm.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Videos(m, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]string, len(c.Archive.Videos))
+	for i, v := range c.Archive.Videos {
+		labels[i] = v.Genre
+	}
+	if p := Purity(res.Assign, labels, 3); p < 0.8 {
+		t.Errorf("genre purity = %v, want >= 0.8", p)
+	}
+}
+
+func TestVideosNilModel(t *testing.T) {
+	if _, err := Videos(nil, 2, 1); err == nil {
+		t.Error("nil model accepted")
+	}
+}
+
+func BenchmarkKMeans(b *testing.B) {
+	rows, _ := blobs(1, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeans(rows, 3, uint64(i), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/retrieval"
+	"github.com/videodb/hmmm/internal/videomodel"
+)
+
+// metricModel builds a tiny model with known annotations for metric tests:
+// one video, states 0:goal, 1:free_kick, 2:goal, 3:foul.
+func metricModel(t *testing.T) *hmmm.Model {
+	t.Helper()
+	events := [][]videomodel.Event{
+		{videomodel.EventGoal},
+		{videomodel.EventFreeKick},
+		{videomodel.EventGoal},
+		{videomodel.EventFoul},
+	}
+	v := &videomodel.Video{ID: 1}
+	feats := map[videomodel.ShotID][]float64{}
+	for i, evs := range events {
+		s := &videomodel.Shot{ID: videomodel.ShotID(i), Video: 1, Index: i,
+			StartMS: i * 1000, EndMS: (i + 1) * 1000, Events: evs}
+		v.Shots = append(v.Shots, s)
+		feats[s.ID] = []float64{float64(i), 1}
+	}
+	a, err := videomodel.NewArchive([]*videomodel.Video{v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := hmmm.Build(a, feats, hmmm.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRelevance(t *testing.T) {
+	m := metricModel(t)
+	q := retrieval.NewQuery(videomodel.EventGoal, videomodel.EventFreeKick)
+	if got := Relevance(m, retrieval.Match{States: []int{0, 1}}, q); got != 1 {
+		t.Errorf("exact relevance = %v, want 1", got)
+	}
+	if got := Relevance(m, retrieval.Match{States: []int{0, 3}}, q); got != 0.5 {
+		t.Errorf("half relevance = %v, want 0.5", got)
+	}
+	if got := Relevance(m, retrieval.Match{States: []int{3, 3}}, q); got != 0 {
+		t.Errorf("zero relevance = %v, want 0", got)
+	}
+	if got := Relevance(m, retrieval.Match{States: []int{0}}, q); got != 0 {
+		t.Errorf("length-mismatch relevance = %v, want 0", got)
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	m := metricModel(t)
+	q := retrieval.NewQuery(videomodel.EventGoal)
+	matches := []retrieval.Match{
+		{States: []int{0}}, // exact
+		{States: []int{3}}, // not
+		{States: []int{2}}, // exact
+	}
+	if got := PrecisionAtK(m, matches, q, 2); got != 0.5 {
+		t.Errorf("P@2 = %v, want 0.5", got)
+	}
+	if got := PrecisionAtK(m, matches, q, 10); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("P@10 (clamped) = %v, want 2/3", got)
+	}
+	if PrecisionAtK(m, nil, q, 5) != 0 {
+		t.Error("P@k of empty should be 0")
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	m := metricModel(t)
+	q := retrieval.NewQuery(videomodel.EventGoal)
+	matches := []retrieval.Match{
+		{States: []int{0}}, // hit at 1: prec 1
+		{States: []int{3}},
+		{States: []int{2}}, // hit at 3: prec 2/3
+	}
+	got := AveragePrecision(m, matches, q, 2)
+	want := (1.0 + 2.0/3) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("AP = %v, want %v", got, want)
+	}
+	if AveragePrecision(m, matches, q, 0) != 0 {
+		t.Error("AP with no relevant should be 0")
+	}
+}
+
+func TestNDCGPerfectAndReversed(t *testing.T) {
+	m := metricModel(t)
+	q := retrieval.NewQuery(videomodel.EventGoal)
+	perfect := []retrieval.Match{{States: []int{0}}, {States: []int{3}}}
+	if got := NDCGAtK(m, perfect, q, 2); got != 1 {
+		t.Errorf("perfect nDCG = %v, want 1", got)
+	}
+	reversed := []retrieval.Match{{States: []int{3}}, {States: []int{0}}}
+	got := NDCGAtK(m, reversed, q, 2)
+	if got >= 1 || got <= 0 {
+		t.Errorf("reversed nDCG = %v, want in (0,1)", got)
+	}
+	if NDCGAtK(m, nil, q, 5) != 0 {
+		t.Error("empty nDCG should be 0")
+	}
+	allBad := []retrieval.Match{{States: []int{3}}}
+	if NDCGAtK(m, allBad, q, 1) != 0 {
+		t.Error("no-relevance nDCG should be 0")
+	}
+}
+
+func TestOverlapAtK(t *testing.T) {
+	a := []retrieval.Match{{States: []int{1}}, {States: []int{2}}}
+	b := []retrieval.Match{{States: []int{2}}, {States: []int{9}}}
+	if got := OverlapAtK(a, b, 2); got != 0.5 {
+		t.Errorf("overlap = %v, want 0.5", got)
+	}
+	if got := OverlapAtK(nil, b, 5); got != 1 {
+		t.Errorf("empty-reference overlap = %v, want 1", got)
+	}
+	if got := OverlapAtK(a, nil, 2); got != 0 {
+		t.Errorf("empty-candidate overlap = %v, want 0", got)
+	}
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/videodb/hmmm/internal/dataset"
+)
+
+// testSuite builds one small suite shared by the experiment tests (the
+// paper-scale suite is exercised by cmd/hmmm-experiments and the root
+// benchmarks).
+func testSuite(t *testing.T) *Suite {
+	t.Helper()
+	s, err := NewSuite(dataset.Config{Seed: 42, Videos: 8, Shots: 400, Annotated: 64, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestT1ReportsAllFeatures(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.T1FeatureTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := r.String()
+	for _, name := range []string{"grass_ratio", "sf_range", "volume_mean", "sub3_lowrate"} {
+		if !strings.Contains(text, name) {
+			t.Errorf("T1 report missing feature %s", name)
+		}
+	}
+	if !strings.Contains(text, "K = 20") {
+		t.Error("T1 report missing the K = 20 check")
+	}
+}
+
+func TestF1PipelineRuns(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.F1Pipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := r.String()
+	for _, stage := range []string{"stage 1", "stage 1b", "stage 2", "stage 3", "stage 4", "stage 5"} {
+		if !strings.Contains(text, stage) {
+			t.Errorf("F1 report missing %q", stage)
+		}
+	}
+	if !strings.Contains(text, "valid=true") {
+		t.Error("F1 pipeline produced an invalid model")
+	}
+}
+
+func TestF2TraceOrdered(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.F2RetrievalTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.String(), "Step 7-9 ranked results") {
+		t.Error("F2 trace incomplete")
+	}
+}
+
+func TestF3CostAdvantage(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.F3LatticeCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parse the C=4 row: columns C, hmmm-sim, hmmm-edge, bf-sim, ...
+	var hmmmSim, bfSim int
+	for _, line := range r.Lines {
+		fields := strings.Fields(line)
+		if len(fields) == 7 && fields[0] == "4" {
+			hmmmSim, _ = strconv.Atoi(fields[1])
+			bfSim, _ = strconv.Atoi(fields[3])
+		}
+	}
+	if hmmmSim == 0 || bfSim == 0 {
+		t.Fatalf("could not parse C=4 row from F3 report:\n%s", r.String())
+	}
+	if bfSim <= hmmmSim {
+		t.Errorf("at C=4 brute force sim evals %d should exceed lattice %d", bfSim, hmmmSim)
+	}
+}
+
+func TestF4FindsPaperPattern(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.F4MATNQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := r.String()
+	if !strings.Contains(text, "compiled to 1 linear pattern") {
+		t.Error("paper MATN should compile to exactly one pattern")
+	}
+	if !strings.Contains(text, "free_kick&goal") {
+		t.Error("network rendering missing conjunction arc")
+	}
+}
+
+func TestF5CorpusNumbers(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.F5PaperQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.String(), "corpus: 8 videos, 400 shots, 64 annotated") {
+		t.Errorf("F5 corpus line wrong:\n%s", r.String())
+	}
+}
+
+func TestX2LearningImproves(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.X2FeedbackLearning()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parse MAP of round 0 and the final round.
+	var first, last float64
+	seen := 0
+	for _, line := range r.Lines {
+		fields := strings.Fields(line)
+		if len(fields) == 6 {
+			if _, err := strconv.Atoi(fields[0]); err != nil {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil {
+				continue
+			}
+			if seen == 0 {
+				first = v
+			}
+			last = v
+			seen++
+		}
+	}
+	if seen < 2 {
+		t.Fatalf("could not parse learning curve:\n%s", r.String())
+	}
+	if last < first {
+		t.Errorf("MAP decreased across feedback rounds: %v -> %v", first, last)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	s := testSuite(t)
+	if _, err := s.Run("Z9"); err == nil {
+		t.Error("unknown experiment ID accepted")
+	}
+}
+
+func TestRunByID(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.Run("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "T1" {
+		t.Errorf("Run(t1) returned %s", r.ID)
+	}
+}
+
+func TestQuerySetValid(t *testing.T) {
+	for i, q := range QuerySet() {
+		if err := q.Validate(); err != nil {
+			t.Errorf("query %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	qs := QuerySet()
+	if got := queryString(qs[1]); got != "goal -> free_kick" {
+		t.Errorf("queryString = %q", got)
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	if meanOf(nil) != 0 {
+		t.Error("meanOf(nil) != 0")
+	}
+	if meanOf([]float64{1, 3}) != 2 {
+		t.Error("meanOf([1 3]) != 2")
+	}
+}
+
+func TestX4Runs(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.X4AutoAnnotation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := r.String()
+	if !strings.Contains(text, "held-out shot classification accuracy") {
+		t.Error("X4 missing classification section")
+	}
+	if !strings.Contains(text, "annotation precision") {
+		t.Error("X4 missing ingestion section")
+	}
+}
+
+func TestX5Runs(t *testing.T) {
+	s := testSuite(t)
+	r, err := s.X5VideoClustering()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := r.String()
+	if !strings.Contains(text, "purity vs planted archetypes") {
+		t.Errorf("X5 incomplete:\n%s", text)
+	}
+}

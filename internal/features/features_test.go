@@ -1,0 +1,177 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"github.com/videodb/hmmm/internal/synthaudio"
+	"github.com/videodb/hmmm/internal/synthvideo"
+	"github.com/videodb/hmmm/internal/videomodel"
+	"github.com/videodb/hmmm/internal/xrand"
+)
+
+// renderShot builds a fully rendered shot of the given class for tests.
+func renderShot(t testing.TB, seed uint64, class videomodel.Event) *videomodel.Shot {
+	t.Helper()
+	rng := xrand.New(seed)
+	r := synthvideo.NewRenderer(0, 0, 0)
+	s := &videomodel.Shot{ID: 1, StartMS: 0, EndMS: 3000}
+	if class != videomodel.EventNone {
+		s.Events = []videomodel.Event{class}
+	}
+	s.Frames = r.RenderShot(rng.Fork(1), class, 3000)
+	s.Audio = synthaudio.Synthesize(rng.Fork(2), class, 3000)
+	return s
+}
+
+func TestNamesComplete(t *testing.T) {
+	if K != 20 {
+		t.Fatalf("K = %d, want the paper's 20", K)
+	}
+	if NumVisual != 5 || NumAudio != 15 {
+		t.Fatalf("partition = %d visual + %d audio, want 5 + 15", NumVisual, NumAudio)
+	}
+	seen := make(map[string]bool)
+	for i, n := range Names {
+		if n == "" {
+			t.Fatalf("feature %d has no name", i)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestExtractShape(t *testing.T) {
+	s := renderShot(t, 1, videomodel.EventGoal)
+	v, err := Extract(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != K {
+		t.Fatalf("vector length = %d, want %d", len(v), K)
+	}
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Errorf("feature %s = %v", Names[i], x)
+		}
+	}
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	a, err := Extract(renderShot(t, 7, videomodel.EventFoul))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Extract(renderShot(t, 7, videomodel.EventFoul))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("feature %s differs across identical shots: %v vs %v", Names[i], a[i], b[i])
+		}
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	if _, err := Extract(&videomodel.Shot{}); err == nil {
+		t.Error("Extract accepted a shot with no frames")
+	}
+	s := renderShot(t, 1, videomodel.EventNone)
+	s.Audio = nil
+	if _, err := Extract(s); err == nil {
+		t.Error("Extract accepted a shot with no audio")
+	}
+	s = renderShot(t, 1, videomodel.EventNone)
+	s.Frames = s.Frames[:1]
+	if _, err := Extract(s); err == nil {
+		t.Error("Extract accepted a single-frame shot")
+	}
+}
+
+// classMean averages a feature over several rendered shots of a class.
+func classMean(t *testing.T, class videomodel.Event, feature int) float64 {
+	t.Helper()
+	var sum float64
+	const n = 4
+	for i := 0; i < n; i++ {
+		v, err := Extract(renderShot(t, uint64(1000*int(class)+i), class))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += v[feature]
+	}
+	return sum / n
+}
+
+func TestGrassRatioDiscriminates(t *testing.T) {
+	gk := classMean(t, videomodel.EventGoalKick, GrassRatio)
+	goal := classMean(t, videomodel.EventGoal, GrassRatio)
+	pc := classMean(t, videomodel.EventPlayerChange, GrassRatio)
+	if !(gk > goal && goal > pc) {
+		t.Errorf("grass_ratio ordering violated: goal_kick=%v goal=%v player_change=%v", gk, goal, pc)
+	}
+}
+
+func TestPixelChangeDiscriminates(t *testing.T) {
+	goal := classMean(t, videomodel.EventGoal, PixelChangePercent)
+	card := classMean(t, videomodel.EventYellowCard, PixelChangePercent)
+	if goal <= card {
+		t.Errorf("pixel_change: goal=%v should exceed yellow_card=%v", goal, card)
+	}
+}
+
+func TestVolumeDiscriminates(t *testing.T) {
+	goal := classMean(t, videomodel.EventGoal, EnergyMean)
+	gk := classMean(t, videomodel.EventGoalKick, EnergyMean)
+	if goal <= gk {
+		t.Errorf("energy_mean: goal=%v should exceed goal_kick=%v", goal, gk)
+	}
+}
+
+func TestWhistleDiscriminates(t *testing.T) {
+	fk := classMean(t, videomodel.EventFreeKick, Sub3Mean)
+	play := classMean(t, videomodel.EventNone, Sub3Mean)
+	if fk <= play {
+		t.Errorf("sub3_mean: free_kick=%v should exceed play=%v", fk, play)
+	}
+}
+
+func TestRatioFeaturesBounded(t *testing.T) {
+	for _, class := range append(videomodel.AllEvents(), videomodel.EventNone) {
+		v, err := Extract(renderShot(t, uint64(50+int(class)), class))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fi := range []int{GrassRatio, PixelChangePercent, EnergyLowRate, Sub1LowRate, Sub3LowRate, VolumeRange, SFRange, VolumeMean} {
+			if v[fi] < 0 || v[fi] > 1.0001 {
+				t.Errorf("class %v: %s = %v outside [0,1]", class, Names[fi], v[fi])
+			}
+		}
+		if v[HistoChange] < 0 || v[HistoChange] > 2.0001 {
+			t.Errorf("class %v: histo_change = %v outside [0,2]", class, v[HistoChange])
+		}
+	}
+}
+
+func TestNormBy(t *testing.T) {
+	if normBy(2, 4) != 0.5 {
+		t.Error("normBy(2,4) != 0.5")
+	}
+	if normBy(2, 0) != 0 {
+		t.Error("normBy with zero max should be 0")
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	s := renderShot(b, 1, videomodel.EventGoal)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Extract(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package feedback implements the paper's relevance-feedback loop: users
+// mark retrieved video shot sequences as "Positive" patterns; the system
+// accumulates these access patterns with their frequencies and, once a
+// threshold of new feedback is reached, retrains the HMMM offline
+// (Section 4.2.1.1 (2)).
+//
+// The package also provides the simulated user the experiments use in
+// place of the paper's human annotators: it marks a retrieved pattern
+// positive exactly when it matches the query's ground-truth annotations,
+// with optional judgment noise.
+package feedback
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/mmm"
+	"github.com/videodb/hmmm/internal/retrieval"
+	"github.com/videodb/hmmm/internal/xrand"
+)
+
+// Log accumulates positive patterns at both HMMM levels. It is safe for
+// concurrent use (the HTTP server feeds it from request handlers).
+type Log struct {
+	mu      sync.Mutex
+	shots   map[string]*entry // canonical shot-state sequence -> frequency
+	videos  map[string]*entry // canonical video-index set -> frequency
+	pending int               // feedbacks since the last Drain
+}
+
+type entry struct {
+	states []int
+	freq   int
+}
+
+// NewLog returns an empty feedback log.
+func NewLog() *Log {
+	return &Log{shots: make(map[string]*entry), videos: make(map[string]*entry)}
+}
+
+// MarkPositive records one positive shot pattern (global state indices, in
+// temporal order) against the model, deriving the co-accessed video
+// pattern from the states. Repeated marks of the same pattern raise its
+// access frequency access(k).
+func (l *Log) MarkPositive(m *hmmm.Model, states []int) error {
+	if len(states) == 0 {
+		return errors.New("feedback: empty pattern")
+	}
+	for _, s := range states {
+		if s < 0 || s >= m.NumStates() {
+			return fmt.Errorf("feedback: state %d out of range (%d states)", s, m.NumStates())
+		}
+	}
+	var vids []int
+	seen := make(map[int]bool)
+	for _, s := range states {
+		vi := m.States[s].VideoIdx
+		if !seen[vi] {
+			seen[vi] = true
+			vids = append(vids, vi)
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	bump(l.shots, states)
+	bump(l.videos, vids)
+	l.pending++
+	return nil
+}
+
+func bump(m map[string]*entry, states []int) {
+	k := key(states)
+	if e, ok := m[k]; ok {
+		e.freq++
+		return
+	}
+	m[k] = &entry{states: append([]int(nil), states...), freq: 1}
+}
+
+func key(states []int) string {
+	parts := make([]string, len(states))
+	for i, s := range states {
+		parts[i] = strconv.Itoa(s)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Pending returns the number of positive marks recorded since the last
+// ResetPending.
+func (l *Log) Pending() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pending
+}
+
+// ResetPending zeroes the pending counter (called after a retrain).
+func (l *Log) ResetPending() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pending = 0
+}
+
+// ShotPatterns returns the accumulated shot-level access patterns in a
+// deterministic order.
+func (l *Log) ShotPatterns() []mmm.AccessPattern {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return collect(l.shots)
+}
+
+// VideoPatterns returns the accumulated video-level access patterns in a
+// deterministic order.
+func (l *Log) VideoPatterns() []mmm.AccessPattern {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return collect(l.videos)
+}
+
+func collect(m map[string]*entry) []mmm.AccessPattern {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]mmm.AccessPattern, 0, len(keys))
+	for _, k := range keys {
+		e := m[k]
+		out = append(out, mmm.AccessPattern{States: append([]int(nil), e.states...), Freq: e.freq})
+	}
+	return out
+}
+
+// Len returns the number of distinct positive patterns recorded.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.shots)
+}
+
+// Trainer triggers offline retraining once enough new feedback
+// accumulates, as Section 4.2.1.1 (2) prescribes ("once the number of
+// newly achieved feedbacks reaches a certain threshold, the update ...
+// can be triggered automatically").
+type Trainer struct {
+	Threshold int // retrain when Log.Pending() >= Threshold; <= 0 means 1
+	Options   hmmm.TrainOptions
+}
+
+// NewTrainer returns a trainer with the default HMMM training options.
+func NewTrainer(threshold int) *Trainer {
+	return &Trainer{Threshold: threshold, Options: hmmm.DefaultTrainOptions()}
+}
+
+// MaybeRetrain retrains the model from the full accumulated log when the
+// pending count has reached the threshold, and reports whether it did.
+func (t *Trainer) MaybeRetrain(m *hmmm.Model, log *Log) (bool, error) {
+	threshold := t.Threshold
+	if threshold <= 0 {
+		threshold = 1
+	}
+	if log.Pending() < threshold {
+		return false, nil
+	}
+	if err := t.Retrain(m, log); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Retrain unconditionally applies the accumulated feedback to the model:
+// the shot level per Eqs. (1)-(2) and (4), the video level per
+// Eqs. (5)-(6). The pending counter is reset on success.
+func (t *Trainer) Retrain(m *hmmm.Model, log *Log) error {
+	if err := m.TrainShotLevel(log.ShotPatterns(), t.Options); err != nil {
+		return fmt.Errorf("feedback: shot level: %w", err)
+	}
+	if err := m.TrainVideoLevel(log.VideoPatterns(), t.Options); err != nil {
+		return fmt.Errorf("feedback: video level: %w", err)
+	}
+	log.ResetPending()
+	return nil
+}
+
+// SimulatedUser stands in for the paper's human feedback provider: it
+// marks a retrieved match positive iff the match exactly satisfies the
+// query annotations, flipping each judgment with probability Noise.
+type SimulatedUser struct {
+	Noise float64
+	rng   *xrand.RNG
+}
+
+// NewSimulatedUser returns a user with the given judgment noise in [0,1).
+func NewSimulatedUser(seed uint64, noise float64) *SimulatedUser {
+	return &SimulatedUser{Noise: noise, rng: xrand.New(seed)}
+}
+
+// Judge returns the state sequences of the matches the user marks
+// positive.
+func (u *SimulatedUser) Judge(m *hmmm.Model, q retrieval.Query, matches []retrieval.Match) [][]int {
+	var out [][]int
+	for _, match := range matches {
+		positive := retrieval.ExactMatch(m, match, q)
+		if u.Noise > 0 && u.rng.Bool(u.Noise) {
+			positive = !positive
+		}
+		if positive {
+			out = append(out, match.States)
+		}
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package feedback
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// logPayload is the wire form of a Log.
+type logPayload struct {
+	Shots   []patternPayload
+	Videos  []patternPayload
+	Pending int
+}
+
+type patternPayload struct {
+	States []int
+	Freq   int
+}
+
+// Save writes the log to w in gob form. The accumulated access patterns
+// are the system's learned user knowledge — the paper's training data —
+// so they must survive restarts alongside the model snapshot.
+func (l *Log) Save(w io.Writer) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	payload := logPayload{Pending: l.pending}
+	for _, e := range l.shots {
+		payload.Shots = append(payload.Shots, patternPayload{States: e.states, Freq: e.freq})
+	}
+	for _, e := range l.videos {
+		payload.Videos = append(payload.Videos, patternPayload{States: e.states, Freq: e.freq})
+	}
+	return gob.NewEncoder(w).Encode(payload)
+}
+
+// LoadLog reads a log written by Save.
+func LoadLog(r io.Reader) (*Log, error) {
+	var payload logPayload
+	if err := gob.NewDecoder(r).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("feedback: decoding log: %w", err)
+	}
+	l := NewLog()
+	for _, p := range payload.Shots {
+		l.shots[key(p.States)] = &entry{states: p.States, freq: p.Freq}
+	}
+	for _, p := range payload.Videos {
+		l.videos[key(p.States)] = &entry{states: p.States, freq: p.Freq}
+	}
+	l.pending = payload.Pending
+	return l, nil
+}

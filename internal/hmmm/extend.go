@@ -1,0 +1,128 @@
+package hmmm
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/videodb/hmmm/internal/matrix"
+	"github.com/videodb/hmmm/internal/mmm"
+	"github.com/videodb/hmmm/internal/videomodel"
+)
+
+// AddVideo extends a built model with a newly ingested video: its
+// annotated shots become new level-1 states (features normalized with the
+// model's existing Eq. 3 bounds), a fresh local A1 block is initialized
+// from the annotation counts, and the level-2 matrices grow by one state
+// with probability mass rebalanced so every stochastic invariant keeps
+// holding.
+//
+// Existing affinity knowledge is preserved: old A2 rows keep their
+// relative proportions and donate 1/(M+1) of their mass to the new video;
+// Π1/Π2 are rescaled the same way. Derived matrices (B1', and P1,2 when
+// learn is true) are recomputed from the enlarged state set.
+func (m *Model) AddVideo(v *videomodel.Video, feats map[videomodel.ShotID][]float64, learn bool) error {
+	if v == nil {
+		return errors.New("hmmm: nil video")
+	}
+	for _, id := range m.VideoIDs {
+		if id == v.ID {
+			return fmt.Errorf("hmmm: video %d already in model", v.ID)
+		}
+	}
+	annotated := v.AnnotatedShots()
+	if len(annotated) == 0 {
+		return fmt.Errorf("hmmm: video %d has no annotated shots to model", v.ID)
+	}
+	k := m.K()
+	newRows := make([][]float64, 0, len(annotated))
+	ne := make([]int, 0, len(annotated))
+	for _, s := range annotated {
+		f, ok := feats[s.ID]
+		if !ok {
+			return fmt.Errorf("hmmm: annotated shot %d has no feature vector", s.ID)
+		}
+		if len(f) != k {
+			return fmt.Errorf("hmmm: shot %d has %d features, want %d", s.ID, len(f), k)
+		}
+		row := append([]float64(nil), f...)
+		m.Scaler.TransformRow(row) // existing Eq. 3 bounds, clamped
+		newRows = append(newRows, row)
+		ne = append(ne, s.NE())
+	}
+	localA, err := mmm.InitTemporalA(ne)
+	if err != nil {
+		return fmt.Errorf("hmmm: video %d: %w", v.ID, err)
+	}
+
+	// Level-1 growth.
+	oldN := m.NumStates()
+	vi := m.NumVideos()
+	for li, s := range annotated {
+		m.States = append(m.States, State{
+			Shot:     s.ID,
+			VideoIdx: vi,
+			LocalIdx: li,
+			Events:   append([]videomodel.Event(nil), s.Events...),
+			StartMS:  s.StartMS,
+		})
+	}
+	b1 := matrix.NewDense(oldN+len(newRows), k)
+	for i := 0; i < oldN; i++ {
+		copy(b1.Row(i), m.B1.Row(i))
+	}
+	for i, row := range newRows {
+		copy(b1.Row(oldN+i), row)
+	}
+	m.B1 = b1
+	m.LocalA = append(m.LocalA, localA)
+	m.offsets = append(m.offsets, oldN)
+
+	// Π1 rebalance: old mass scaled to oldN/(oldN+n), new states uniform.
+	n := len(newRows)
+	total := float64(oldN + n)
+	pi1 := make([]float64, oldN+n)
+	scale := float64(oldN) / total
+	for i, p := range m.Pi1 {
+		pi1[i] = p * scale
+	}
+	for i := 0; i < n; i++ {
+		pi1[oldN+i] = 1 / total
+	}
+	m.Pi1 = pi1
+
+	// Level-2 growth.
+	oldM := vi
+	m.VideoIDs = append(m.VideoIDs, v.ID)
+	a2 := matrix.NewDense(oldM+1, oldM+1)
+	donate := 1 / float64(oldM+1)
+	for i := 0; i < oldM; i++ {
+		for j := 0; j < oldM; j++ {
+			a2.Set(i, j, m.A2.At(i, j)*(1-donate))
+		}
+		a2.Set(i, oldM, donate)
+	}
+	for j := 0; j <= oldM; j++ {
+		a2.Set(oldM, j, donate)
+	}
+	m.A2 = a2
+
+	b2 := matrix.NewDense(oldM+1, m.NumConcepts())
+	for i := 0; i < oldM; i++ {
+		copy(b2.Row(i), m.B2.Row(i))
+	}
+	for ci, cnt := range v.EventCounts() {
+		b2.Set(oldM, ci, float64(cnt))
+	}
+	m.B2 = b2
+
+	pi2 := make([]float64, oldM+1)
+	scale2 := float64(oldM) / float64(oldM+1)
+	for i, p := range m.Pi2 {
+		pi2[i] = p * scale2
+	}
+	pi2[oldM] = 1 / float64(oldM+1)
+	m.Pi2 = pi2
+
+	m.RefreshDerived(learn)
+	return nil
+}

@@ -1,0 +1,170 @@
+package hmmm
+
+import (
+	"testing"
+
+	"github.com/videodb/hmmm/internal/videomodel"
+)
+
+// newVideoFixture builds a video with two annotated shots and one plain
+// shot, plus raw feature vectors matching the 4-feature fixture model.
+func newVideoFixture(id videomodel.VideoID, firstShot videomodel.ShotID) (*videomodel.Video, map[videomodel.ShotID][]float64) {
+	v := &videomodel.Video{ID: id, Name: "ingested"}
+	feats := make(map[videomodel.ShotID][]float64)
+	plans := []struct {
+		events []videomodel.Event
+		f      []float64
+	}{
+		{[]videomodel.Event{videomodel.EventGoal}, []float64{0.88, 0.2, 0.2, 3}},
+		{nil, nil},
+		{[]videomodel.Event{videomodel.EventFreeKick, videomodel.EventGoal}, []float64{0.9, 0.84, 0.2, 5}},
+	}
+	for i, p := range plans {
+		s := &videomodel.Shot{
+			ID: firstShot + videomodel.ShotID(i), Video: id, Index: i,
+			StartMS: i * 1000, EndMS: (i + 1) * 1000, Events: p.events,
+		}
+		v.Shots = append(v.Shots, s)
+		if p.f != nil {
+			feats[s.ID] = p.f
+		}
+	}
+	return v, feats
+}
+
+func TestAddVideoGrowsModel(t *testing.T) {
+	m := buildFixture(t, BuildOptions{LearnP12: true})
+	beforeStates := m.NumStates()
+	beforeVideos := m.NumVideos()
+	goalMean := m.B1Prime.At(videomodel.EventGoal.Index(), 0)
+
+	v, feats := newVideoFixture(99, 1000)
+	if err := m.AddVideo(v, feats, true); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() != beforeStates+2 {
+		t.Errorf("states = %d, want %d", m.NumStates(), beforeStates+2)
+	}
+	if m.NumVideos() != beforeVideos+1 {
+		t.Errorf("videos = %d, want %d", m.NumVideos(), beforeVideos+1)
+	}
+	if err := m.Validate(1e-9); err != nil {
+		t.Fatalf("model invalid after AddVideo: %v", err)
+	}
+	// The new video's states must be addressable.
+	lo, hi := m.VideoStates(beforeVideos)
+	if hi-lo != 2 {
+		t.Errorf("new video has %d states, want 2", hi-lo)
+	}
+	// Derived matrices were refreshed (two more goal shots shift B1').
+	if m.B1Prime.At(videomodel.EventGoal.Index(), 0) == goalMean {
+		t.Error("B1' not refreshed after AddVideo")
+	}
+	// Local A1 of the new video follows the init formula for NE=[1,2]:
+	// A(0,0) = 0, A(0,1) = 2/(3-1) = 1.
+	a := m.LocalA[beforeVideos]
+	if a.At(0, 1) != 1 {
+		t.Errorf("new local A(0,1) = %v, want 1", a.At(0, 1))
+	}
+}
+
+func TestAddVideoErrors(t *testing.T) {
+	m := buildFixture(t, BuildOptions{})
+	if err := m.AddVideo(nil, nil, false); err == nil {
+		t.Error("nil video accepted")
+	}
+	// Duplicate ID.
+	v, feats := newVideoFixture(m.VideoIDs[0], 1000)
+	if err := m.AddVideo(v, feats, false); err == nil {
+		t.Error("duplicate video ID accepted")
+	}
+	// No annotations.
+	plain := &videomodel.Video{ID: 123, Shots: []*videomodel.Shot{{ID: 500, Video: 123}}}
+	if err := m.AddVideo(plain, nil, false); err == nil {
+		t.Error("annotation-less video accepted")
+	}
+	// Missing features.
+	v2, _ := newVideoFixture(124, 2000)
+	if err := m.AddVideo(v2, map[videomodel.ShotID][]float64{}, false); err == nil {
+		t.Error("missing feature vectors accepted")
+	}
+	// Wrong feature width.
+	v3, feats3 := newVideoFixture(125, 3000)
+	for id := range feats3 {
+		feats3[id] = feats3[id][:2]
+	}
+	if err := m.AddVideo(v3, feats3, false); err == nil {
+		t.Error("ragged feature vectors accepted")
+	}
+	// The failed adds must not have corrupted the model.
+	if err := m.Validate(1e-9); err != nil {
+		t.Fatalf("model invalid after rejected adds: %v", err)
+	}
+}
+
+func TestAddVideoPreservesOldProbabilities(t *testing.T) {
+	m := buildFixture(t, BuildOptions{})
+	oldPi2 := append([]float64(nil), m.Pi2...)
+	oldA2 := m.A2.Clone()
+
+	v, feats := newVideoFixture(99, 1000)
+	if err := m.AddVideo(v, feats, false); err != nil {
+		t.Fatal(err)
+	}
+	oldM := len(oldPi2)
+	scale := float64(oldM) / float64(oldM+1)
+	for i := 0; i < oldM; i++ {
+		if got, want := m.Pi2[i], oldPi2[i]*scale; got != want {
+			t.Errorf("Pi2[%d] = %v, want rescaled %v", i, got, want)
+		}
+	}
+	// Old A2 proportions preserved within old block.
+	if oldA2.At(0, 1) > 0 {
+		ratioBefore := oldA2.At(0, 1) / oldA2.At(0, 0)
+		ratioAfter := m.A2.At(0, 1) / m.A2.At(0, 0)
+		if ratioBefore != ratioAfter {
+			t.Errorf("A2 proportions changed: %v vs %v", ratioBefore, ratioAfter)
+		}
+	}
+}
+
+func TestAddVideoScalerClampsOutOfRange(t *testing.T) {
+	m := buildFixture(t, BuildOptions{})
+	v, feats := newVideoFixture(99, 1000)
+	for id := range feats {
+		feats[id] = []float64{999, -999, 0.5, 1} // far outside training bounds
+	}
+	if err := m.AddVideo(v, feats, false); err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := m.VideoStates(m.NumVideos() - 1)
+	if got := m.B1.At(lo, 0); got != 1 {
+		t.Errorf("over-range feature normalized to %v, want clamp to 1", got)
+	}
+	if got := m.B1.At(lo, 1); got != 0 {
+		t.Errorf("under-range feature normalized to %v, want clamp to 0", got)
+	}
+}
+
+func TestArchiveAddVideo(t *testing.T) {
+	a, _ := fixtureArchive(t)
+	before := len(a.Videos)
+	v, _ := newVideoFixture(77, 5000)
+	if err := a.AddVideo(v); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Videos) != before+1 {
+		t.Errorf("videos = %d, want %d", len(a.Videos), before+1)
+	}
+	if a.Shot(5000) == nil {
+		t.Error("new shot not indexed")
+	}
+	// Duplicates rejected without partial mutation.
+	dup, _ := newVideoFixture(78, 5000)
+	if err := a.AddVideo(dup); err == nil {
+		t.Error("duplicate shot IDs accepted")
+	}
+	if len(a.Videos) != before+1 {
+		t.Error("failed AddVideo mutated the archive")
+	}
+}

@@ -1,0 +1,238 @@
+package ingest
+
+import (
+	"testing"
+
+	"github.com/videodb/hmmm/internal/dataset"
+	"github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/mining"
+	"github.com/videodb/hmmm/internal/retrieval"
+	"github.com/videodb/hmmm/internal/shotdetect"
+	"github.com/videodb/hmmm/internal/videomodel"
+)
+
+// sharedClassifier trains the event tree once; training renders 9 classes
+// x N shots and is the slow part of these tests.
+var sharedClassifier *mining.Tree
+
+func classifier(t *testing.T) *mining.Tree {
+	t.Helper()
+	if sharedClassifier == nil {
+		tree, err := TrainClassifier(1, 12, mining.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedClassifier = tree
+	}
+	return sharedClassifier
+}
+
+func pipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	p, err := NewPipeline(shotdetect.DefaultConfig(), classifier(t), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPipelineValidation(t *testing.T) {
+	if _, err := NewPipeline(shotdetect.DefaultConfig(), nil, 0.5); err == nil {
+		t.Error("nil classifier accepted")
+	}
+	tree, err := mining.Train([]mining.Sample{{Features: []float64{1, 2}, Label: 0}}, mining.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPipeline(shotdetect.DefaultConfig(), tree, 0.5); err == nil {
+		t.Error("wrong-width classifier accepted")
+	}
+	if _, err := NewPipeline(shotdetect.DefaultConfig(), classifier(t), 1.5); err == nil {
+		t.Error("bad confidence accepted")
+	}
+	bad := shotdetect.DefaultConfig()
+	bad.Bins = 0
+	if _, err := NewPipeline(bad, classifier(t), 0.5); err == nil {
+		t.Error("bad detector config accepted")
+	}
+}
+
+func TestTrainClassifierValidation(t *testing.T) {
+	if _, err := TrainClassifier(1, 1, mining.Config{}); err == nil {
+		t.Error("samplesPerClass=1 accepted")
+	}
+}
+
+func TestClassifierLearnsEvents(t *testing.T) {
+	tree := classifier(t)
+	if tree.NumFeatures() != 20 {
+		t.Fatalf("classifier features = %d", tree.NumFeatures())
+	}
+	// It should at least separate held-out goals from goal kicks.
+	raw := SynthesizeRaw(77, "probe", []videomodel.Event{videomodel.EventGoal}, 3000)
+	p := pipeline(t)
+	res, err := p.Segment(raw, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Video == nil || len(res.Video.Shots) == 0 {
+		t.Fatal("segmentation produced no shots")
+	}
+}
+
+func TestSegmentErrors(t *testing.T) {
+	p := pipeline(t)
+	if _, err := p.Segment(nil, 1, 0); err == nil {
+		t.Error("nil raw accepted")
+	}
+	raw := SynthesizeRaw(3, "x", []videomodel.Event{videomodel.EventGoal}, 2000)
+	raw.Audio = nil
+	if _, err := p.Segment(raw, 1, 0); err == nil {
+		t.Error("missing audio accepted")
+	}
+	raw = SynthesizeRaw(3, "x", []videomodel.Event{videomodel.EventGoal}, 2000)
+	raw.FramePeriodMS = 0
+	if _, err := p.Segment(raw, 1, 0); err == nil {
+		t.Error("zero frame period accepted")
+	}
+}
+
+func TestSegmentProducesContiguousShots(t *testing.T) {
+	p := pipeline(t)
+	classes := []videomodel.Event{
+		videomodel.EventGoalKick, videomodel.EventGoal,
+		videomodel.EventNone, videomodel.EventYellowCard,
+	}
+	raw := SynthesizeRaw(9, "match", classes, 3000)
+	res, err := p.Segment(raw, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cursor := 0
+	for i, s := range res.Video.Shots {
+		if s.StartMS != cursor {
+			t.Fatalf("shot %d starts at %d, want %d", i, s.StartMS, cursor)
+		}
+		cursor = s.EndMS
+		if s.Video != 5 || s.Index != i {
+			t.Fatalf("shot %d bookkeeping wrong: %+v", i, s)
+		}
+		if s.Frames != nil || s.Audio != nil {
+			t.Fatal("segment retained media")
+		}
+	}
+	if cursor != raw.Duration() {
+		t.Errorf("shots cover %dms of %dms", cursor, raw.Duration())
+	}
+	if res.Video.Shots[0].ID != 100 {
+		t.Errorf("first shot ID = %d, want 100", res.Video.Shots[0].ID)
+	}
+}
+
+func TestIngestExtendsModelAndArchive(t *testing.T) {
+	corpus, err := dataset.Build(dataset.Config{Seed: 21, Videos: 4, Shots: 120, Annotated: 24, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := hmmm.Build(corpus.Archive, corpus.Features, hmmm.BuildOptions{LearnP12: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeStates := model.NumStates()
+	beforeVideos := model.NumVideos()
+	beforeShots := corpus.Archive.NumShots()
+
+	p := pipeline(t)
+	// Event-heavy raw footage so the classifier finds states to add.
+	classes := []videomodel.Event{
+		videomodel.EventGoal, videomodel.EventGoalKick, videomodel.EventGoal,
+		videomodel.EventYellowCard, videomodel.EventPlayerChange,
+	}
+	raw := SynthesizeRaw(31, "new-match", classes, 4000)
+	res, err := p.Ingest(model, corpus.Archive, raw, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AutoAnnotated == 0 {
+		t.Fatal("classifier annotated nothing")
+	}
+	if model.NumVideos() != beforeVideos+1 {
+		t.Errorf("videos = %d, want %d", model.NumVideos(), beforeVideos+1)
+	}
+	if model.NumStates() <= beforeStates {
+		t.Errorf("states did not grow: %d", model.NumStates())
+	}
+	if corpus.Archive.NumShots() <= beforeShots {
+		t.Error("archive did not grow")
+	}
+	if err := model.Validate(1e-6); err != nil {
+		t.Fatalf("model invalid after ingest: %v", err)
+	}
+	// The archive index must know the new shots.
+	newShot := res.Video.Shots[0]
+	if corpus.Archive.Shot(newShot.ID) != newShot {
+		t.Error("archive index missing ingested shot")
+	}
+
+	// The extended model must still answer queries, including over the
+	// new video.
+	eng, err := retrieval.NewEngine(model, retrieval.Options{AnnotatedOnly: true, Beam: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Retrieve(retrieval.NewQuery(videomodel.EventGoal)); err != nil {
+		t.Fatalf("query after ingest: %v", err)
+	}
+}
+
+func TestIngestRejectsEventlessVideo(t *testing.T) {
+	corpus, err := dataset.Build(dataset.Config{Seed: 23, Videos: 3, Shots: 60, Annotated: 9, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := hmmm.Build(corpus.Archive, corpus.Features, hmmm.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pipeline with an impossible confidence threshold annotates nothing.
+	p, err := NewPipeline(shotdetect.DefaultConfig(), classifier(t), 0.999999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := SynthesizeRaw(41, "quiet", []videomodel.Event{videomodel.EventNone, videomodel.EventNone}, 3000)
+	if _, err := p.Ingest(model, corpus.Archive, raw, false); err == nil {
+		t.Error("eventless ingest accepted")
+	}
+	if err := model.Validate(1e-6); err != nil {
+		t.Fatalf("failed ingest corrupted model: %v", err)
+	}
+}
+
+func TestSliceAudio(t *testing.T) {
+	clip := &videomodel.AudioClip{SampleRate: 1000, Samples: make([]float64, 5000)}
+	s := sliceAudio(clip, 1000, 3000)
+	if len(s.Samples) != 2000 {
+		t.Errorf("slice length = %d, want 2000", len(s.Samples))
+	}
+	s = sliceAudio(clip, 4000, 99999)
+	if len(s.Samples) != 1000 {
+		t.Errorf("clamped slice length = %d, want 1000", len(s.Samples))
+	}
+	s = sliceAudio(clip, 9000, 9999)
+	if len(s.Samples) != 0 {
+		t.Errorf("out-of-range slice length = %d, want 0", len(s.Samples))
+	}
+}
+
+func TestSynthesizeRawDeterministic(t *testing.T) {
+	a := SynthesizeRaw(5, "a", []videomodel.Event{videomodel.EventGoal}, 2000)
+	b := SynthesizeRaw(5, "a", []videomodel.Event{videomodel.EventGoal}, 2000)
+	if len(a.Frames) != len(b.Frames) || len(a.Audio.Samples) != len(b.Audio.Samples) {
+		t.Fatal("raw synthesis not deterministic in shape")
+	}
+	for i := range a.Audio.Samples {
+		if a.Audio.Samples[i] != b.Audio.Samples[i] {
+			t.Fatal("raw synthesis audio differs")
+		}
+	}
+}

@@ -1,0 +1,243 @@
+// Package matrix implements the small dense linear-algebra kernel the HMMM
+// model is built on: row-major float64 matrices with the row-stochastic
+// normalization, min-max feature scaling, and validation helpers that the
+// paper's construction formulas (Eqs. 1-11) require.
+//
+// The package deliberately stays tiny. HMMM never needs factorization or
+// inversion — only element access, row operations, and normalization — so
+// the implementation favors clarity and exact reproducibility over BLAS-like
+// generality.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShape is returned when matrix dimensions do not match an operation.
+var ErrShape = errors.New("matrix: dimension mismatch")
+
+// Dense is a row-major dense matrix of float64 values.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense returns a rows×cols zero matrix. It panics if either dimension
+// is negative.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: NewDense(%d, %d) with negative dimension", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows. It returns
+// ErrShape if the rows are ragged.
+func FromRows(rows [][]float64) (*Dense, error) {
+	if len(rows) == 0 {
+		return NewDense(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := NewDense(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("%w: row %d has %d columns, want %d", ErrShape, i, len(r), cols)
+		}
+		copy(m.data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the element at (i, j).
+func (m *Dense) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at (i, j).
+func (m *Dense) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+// Add adds v to the element at (i, j).
+func (m *Dense) Add(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] += v
+}
+
+func (m *Dense) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: index (%d, %d) out of bounds for %dx%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns row i as a slice aliasing the matrix storage. Mutating the
+// returned slice mutates the matrix.
+func (m *Dense) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("matrix: row %d out of bounds for %dx%d matrix", i, m.rows, m.cols))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Fill sets every element to v.
+func (m *Dense) Fill(v float64) {
+	for i := range m.data {
+		m.data[i] = v
+	}
+}
+
+// Scale multiplies every element by v.
+func (m *Dense) Scale(v float64) {
+	for i := range m.data {
+		m.data[i] *= v
+	}
+}
+
+// RowSum returns the sum of row i.
+func (m *Dense) RowSum(i int) float64 {
+	var s float64
+	for _, v := range m.Row(i) {
+		s += v
+	}
+	return s
+}
+
+// ColSum returns the sum of column j.
+func (m *Dense) ColSum(j int) float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: column %d out of bounds for %dx%d matrix", j, m.rows, m.cols))
+	}
+	var s float64
+	for i := 0; i < m.rows; i++ {
+		s += m.data[i*m.cols+j]
+	}
+	return s
+}
+
+// NormalizeRows scales each row so it sums to 1, making the matrix
+// row-stochastic (the Eq. 2 / Eq. 6 step). Rows whose sum is zero are left
+// untouched; callers that need a proper distribution on every row should
+// follow up with SmoothRows or check IsRowStochastic.
+func (m *Dense) NormalizeRows() {
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		var sum float64
+		for _, v := range row {
+			sum += v
+		}
+		if sum == 0 {
+			continue
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+	}
+}
+
+// SmoothRows replaces any all-zero row with the uniform distribution so the
+// matrix becomes fully row-stochastic even when training data never touched
+// a state.
+func (m *Dense) SmoothRows() {
+	if m.cols == 0 {
+		return
+	}
+	u := 1 / float64(m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		zero := true
+		for _, v := range row {
+			if v != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			for j := range row {
+				row[j] = u
+			}
+		}
+	}
+}
+
+// IsRowStochastic reports whether every row sums to 1 within tol and every
+// element is non-negative.
+func (m *Dense) IsRowStochastic(tol float64) bool {
+	for i := 0; i < m.rows; i++ {
+		var sum float64
+		for _, v := range m.Row(i) {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between
+// m and other, or an error if the shapes differ. It is the convergence
+// check used by the iterative feedback trainer.
+func (m *Dense) MaxAbsDiff(other *Dense) (float64, error) {
+	if m.rows != other.rows || m.cols != other.cols {
+		return 0, fmt.Errorf("%w: %dx%d vs %dx%d", ErrShape, m.rows, m.cols, other.rows, other.cols)
+	}
+	var max float64
+	for i, v := range m.data {
+		d := math.Abs(v - other.data[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max, nil
+}
+
+// MulVec computes m * x and returns the resulting vector. It returns
+// ErrShape if len(x) != Cols().
+func (m *Dense) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.cols {
+		return nil, fmt.Errorf("%w: vector length %d, matrix has %d columns", ErrShape, len(x), m.cols)
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// String renders the matrix for debugging: small matrices in full, large
+// ones abbreviated.
+func (m *Dense) String() string {
+	if m.rows*m.cols > 64 {
+		return fmt.Sprintf("Dense(%dx%d)", m.rows, m.cols)
+	}
+	s := ""
+	for i := 0; i < m.rows; i++ {
+		s += fmt.Sprintf("%8.4f\n", m.Row(i))
+	}
+	return s
+}

@@ -1,0 +1,304 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/videodb/hmmm/internal/xrand"
+)
+
+func TestNewDenseZeroed(t *testing.T) {
+	m := NewDense(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("shape = %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("element (%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSetAtAdd(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 1, 2.5)
+	m.Add(0, 1, 0.5)
+	if got := m.At(0, 1); got != 3 {
+		t.Fatalf("At(0,1) = %v, want 3", got)
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	m := NewDense(2, 2)
+	for name, fn := range map[string]func(){
+		"At":     func() { m.At(2, 0) },
+		"Set":    func() { m.Set(0, -1, 1) },
+		"Row":    func() { m.Row(5) },
+		"ColSum": func() { m.ColSum(2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s out of bounds did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %v, want 3", m.At(1, 0))
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	_, err := FromRows([][]float64{{1, 2}, {3}})
+	if !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m, err := FromRows(nil)
+	if err != nil || m.Rows() != 0 || m.Cols() != 0 {
+		t.Fatalf("FromRows(nil) = %v, %v", m, err)
+	}
+}
+
+func TestNormalizeRows(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 3}, {0, 0}, {2, 2}})
+	m.NormalizeRows()
+	if got := m.At(0, 0); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("normalized (0,0) = %v, want 0.25", got)
+	}
+	if m.At(1, 0) != 0 || m.At(1, 1) != 0 {
+		t.Error("zero row was modified by NormalizeRows")
+	}
+	if got := m.RowSum(2); math.Abs(got-1) > 1e-12 {
+		t.Errorf("row 2 sum = %v, want 1", got)
+	}
+}
+
+func TestSmoothRows(t *testing.T) {
+	m, _ := FromRows([][]float64{{0, 0}, {1, 0}})
+	m.SmoothRows()
+	if m.At(0, 0) != 0.5 || m.At(0, 1) != 0.5 {
+		t.Errorf("zero row not smoothed: %v %v", m.At(0, 0), m.At(0, 1))
+	}
+	if m.At(1, 0) != 1 {
+		t.Error("non-zero row was modified by SmoothRows")
+	}
+}
+
+func TestIsRowStochastic(t *testing.T) {
+	m, _ := FromRows([][]float64{{0.5, 0.5}, {0.1, 0.9}})
+	if !m.IsRowStochastic(1e-9) {
+		t.Error("stochastic matrix reported non-stochastic")
+	}
+	m.Set(0, 0, -0.5)
+	m.Set(0, 1, 1.5)
+	if m.IsRowStochastic(1e-9) {
+		t.Error("matrix with negative entry reported stochastic")
+	}
+}
+
+func TestNormalizeMakesStochastic(t *testing.T) {
+	// Property: any non-negative matrix with positive row sums becomes
+	// row-stochastic after NormalizeRows.
+	check := func(seed uint64) bool {
+		r := xrand.New(seed)
+		rows, cols := 1+r.Intn(10), 1+r.Intn(10)
+		m := NewDense(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				m.Set(i, j, r.Float64()+0.01)
+			}
+		}
+		m.NormalizeRows()
+		return m.IsRowStochastic(1e-9)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowAliasesStorage(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Row(0)[1] = 7
+	if m.At(0, 1) != 7 {
+		t.Error("Row did not alias underlying storage")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := NewDense(1, 1)
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 0 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestRowColSums(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.RowSum(1) != 7 {
+		t.Errorf("RowSum(1) = %v, want 7", m.RowSum(1))
+	}
+	if m.ColSum(0) != 4 {
+		t.Errorf("ColSum(0) = %v, want 4", m.ColSum(0))
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	got, err := m.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3 || got[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", got)
+	}
+	if _, err := m.MulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("MulVec shape err = %v, want ErrShape", err)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}})
+	b, _ := FromRows([][]float64{{1.5, 2}})
+	d, err := a.MaxAbsDiff(b)
+	if err != nil || d != 0.5 {
+		t.Fatalf("MaxAbsDiff = %v, %v; want 0.5, nil", d, err)
+	}
+	c := NewDense(2, 2)
+	if _, err := a.MaxAbsDiff(c); !errors.Is(err, ErrShape) {
+		t.Errorf("shape mismatch err = %v, want ErrShape", err)
+	}
+}
+
+func TestFillScale(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Fill(2)
+	m.Scale(3)
+	if m.At(1, 1) != 6 {
+		t.Errorf("Fill+Scale gave %v, want 6", m.At(1, 1))
+	}
+}
+
+func TestMinMaxScaler(t *testing.T) {
+	m, _ := FromRows([][]float64{
+		{0, 10, 5},
+		{10, 10, 7},
+		{5, 10, 9},
+	})
+	var s MinMaxScaler
+	out := s.FitTransform(m)
+	if out.At(0, 0) != 0 || out.At(1, 0) != 1 || out.At(2, 0) != 0.5 {
+		t.Errorf("column 0 scaled to %v %v %v, want 0 1 0.5", out.At(0, 0), out.At(1, 0), out.At(2, 0))
+	}
+	// Constant column maps to zero.
+	for i := 0; i < 3; i++ {
+		if out.At(i, 1) != 0 {
+			t.Errorf("constant column scaled to %v at row %d, want 0", out.At(i, 1), i)
+		}
+	}
+	// Original is untouched.
+	if m.At(0, 0) != 0 || m.At(1, 0) != 10 {
+		t.Error("Transform modified its input")
+	}
+}
+
+func TestMinMaxScalerClamps(t *testing.T) {
+	m, _ := FromRows([][]float64{{0}, {10}})
+	var s MinMaxScaler
+	s.Fit(m)
+	row := []float64{20}
+	s.TransformRow(row)
+	if row[0] != 1 {
+		t.Errorf("out-of-range value scaled to %v, want clamp to 1", row[0])
+	}
+	row = []float64{-5}
+	s.TransformRow(row)
+	if row[0] != 0 {
+		t.Errorf("out-of-range value scaled to %v, want clamp to 0", row[0])
+	}
+}
+
+func TestMinMaxScalerUnfitted(t *testing.T) {
+	var s MinMaxScaler
+	if s.Fitted() {
+		t.Fatal("zero scaler reports fitted")
+	}
+	m, _ := FromRows([][]float64{{3}})
+	out := s.Transform(m)
+	if out.At(0, 0) != 3 {
+		t.Error("unfitted Transform should be identity")
+	}
+}
+
+func TestMinMaxScalerBoundsRoundTrip(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 8}})
+	var s MinMaxScaler
+	s.Fit(m)
+	min, max := s.Bounds()
+
+	var restored MinMaxScaler
+	restored.SetBounds(min, max)
+	if !restored.Fitted() {
+		t.Fatal("restored scaler not fitted")
+	}
+	row := []float64{2, 5}
+	restored.TransformRow(row)
+	if row[0] != 0.5 || row[1] != 0.5 {
+		t.Errorf("restored transform = %v, want [0.5 0.5]", row)
+	}
+}
+
+func TestScalerTransformProperty(t *testing.T) {
+	// Property: after FitTransform every element lies in [0,1].
+	check := func(seed uint64) bool {
+		r := xrand.New(seed)
+		rows, cols := 1+r.Intn(20), 1+r.Intn(8)
+		m := NewDense(rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				m.Set(i, j, r.Norm(0, 100))
+			}
+		}
+		var s MinMaxScaler
+		out := s.FitTransform(m)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				v := out.At(i, j)
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringAbbreviatesLarge(t *testing.T) {
+	small := NewDense(2, 2)
+	if small.String() == "Dense(2x2)" {
+		t.Error("small matrix should render in full")
+	}
+	big := NewDense(20, 20)
+	if big.String() != "Dense(20x20)" {
+		t.Errorf("large matrix String = %q", big.String())
+	}
+}

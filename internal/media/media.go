@@ -1,0 +1,216 @@
+// Package media encodes the synthetic frames and audio clips into standard
+// file formats — PGM/PPM rasters and 16-bit PCM WAV — so the corpus can be
+// eyeballed with ordinary image viewers and audio players, and decodes
+// them back for round-trip ingestion of externally produced material.
+//
+// Everything is implemented directly against the format specifications
+// with the standard library only.
+package media
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/videodb/hmmm/internal/videomodel"
+)
+
+// WriteWAV encodes the clip as a 16-bit mono PCM WAV stream. Samples are
+// clamped to [-1, 1].
+func WriteWAV(w io.Writer, clip *videomodel.AudioClip) error {
+	if clip == nil || clip.SampleRate <= 0 {
+		return errors.New("media: clip missing or has no sample rate")
+	}
+	n := len(clip.Samples)
+	dataSize := uint32(n * 2)
+	var hdr [44]byte
+	copy(hdr[0:4], "RIFF")
+	binary.LittleEndian.PutUint32(hdr[4:8], 36+dataSize)
+	copy(hdr[8:12], "WAVE")
+	copy(hdr[12:16], "fmt ")
+	binary.LittleEndian.PutUint32(hdr[16:20], 16) // PCM chunk size
+	binary.LittleEndian.PutUint16(hdr[20:22], 1)  // PCM format
+	binary.LittleEndian.PutUint16(hdr[22:24], 1)  // mono
+	binary.LittleEndian.PutUint32(hdr[24:28], uint32(clip.SampleRate))
+	binary.LittleEndian.PutUint32(hdr[28:32], uint32(clip.SampleRate*2)) // byte rate
+	binary.LittleEndian.PutUint16(hdr[32:34], 2)                         // block align
+	binary.LittleEndian.PutUint16(hdr[34:36], 16)                        // bits per sample
+	copy(hdr[36:40], "data")
+	binary.LittleEndian.PutUint32(hdr[40:44], dataSize)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 2*n)
+	for i, s := range clip.Samples {
+		if s > 1 {
+			s = 1
+		} else if s < -1 {
+			s = -1
+		}
+		v := int16(math.Round(s * 32767))
+		binary.LittleEndian.PutUint16(buf[2*i:], uint16(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadWAV decodes a 16-bit mono PCM WAV stream written by WriteWAV (or any
+// canonical 44-byte-header PCM file).
+func ReadWAV(r io.Reader) (*videomodel.AudioClip, error) {
+	var hdr [44]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("media: reading WAV header: %w", err)
+	}
+	if string(hdr[0:4]) != "RIFF" || string(hdr[8:12]) != "WAVE" || string(hdr[12:16]) != "fmt " {
+		return nil, errors.New("media: not a WAV stream")
+	}
+	if binary.LittleEndian.Uint16(hdr[20:22]) != 1 {
+		return nil, errors.New("media: only PCM WAV is supported")
+	}
+	if binary.LittleEndian.Uint16(hdr[22:24]) != 1 {
+		return nil, errors.New("media: only mono WAV is supported")
+	}
+	if bits := binary.LittleEndian.Uint16(hdr[34:36]); bits != 16 {
+		return nil, fmt.Errorf("media: %d-bit WAV not supported, want 16", bits)
+	}
+	if string(hdr[36:40]) != "data" {
+		return nil, errors.New("media: missing data chunk")
+	}
+	rate := int(binary.LittleEndian.Uint32(hdr[24:28]))
+	size := binary.LittleEndian.Uint32(hdr[40:44])
+	raw := make([]byte, size)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return nil, fmt.Errorf("media: reading WAV data: %w", err)
+	}
+	samples := make([]float64, size/2)
+	for i := range samples {
+		v := int16(binary.LittleEndian.Uint16(raw[2*i:]))
+		samples[i] = float64(v) / 32767
+	}
+	return &videomodel.AudioClip{SampleRate: rate, Samples: samples}, nil
+}
+
+// WritePGM encodes the frame's luminance plane as a binary PGM (P5) image.
+func WritePGM(w io.Writer, f *videomodel.Frame) error {
+	if f == nil || f.W <= 0 || f.H <= 0 {
+		return errors.New("media: empty frame")
+	}
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", f.W, f.H); err != nil {
+		return err
+	}
+	_, err := w.Write(f.Luma)
+	return err
+}
+
+// WritePPM encodes the frame as a binary PPM (P6) color image, rendering
+// the green-dominance plane into the green channel so grass is visibly
+// green.
+func WritePPM(w io.Writer, f *videomodel.Frame) error {
+	if f == nil || f.W <= 0 || f.H <= 0 {
+		return errors.New("media: empty frame")
+	}
+	if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", f.W, f.H); err != nil {
+		return err
+	}
+	buf := make([]byte, 3*f.Pixels())
+	for i := range f.Luma {
+		l := int(f.Luma[i])
+		g := int(f.Green[i])
+		// Mix luminance with green dominance: grass pixels gain green,
+		// others stay near gray.
+		buf[3*i] = clampByte(l - g/3)
+		buf[3*i+1] = clampByte(l + g/3)
+		buf[3*i+2] = clampByte(l - g/3)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadPGM decodes a binary PGM (P5) image into a frame (green plane zero).
+func ReadPGM(r io.Reader) (*videomodel.Frame, error) {
+	br := bufio.NewReader(r)
+	magic, err := readToken(br)
+	if err != nil || magic != "P5" {
+		return nil, errors.New("media: not a binary PGM stream")
+	}
+	w, err := readInt(br)
+	if err != nil {
+		return nil, err
+	}
+	h, err := readInt(br)
+	if err != nil {
+		return nil, err
+	}
+	maxVal, err := readInt(br)
+	if err != nil {
+		return nil, err
+	}
+	if maxVal != 255 {
+		return nil, fmt.Errorf("media: PGM max value %d not supported, want 255", maxVal)
+	}
+	if w <= 0 || h <= 0 || w*h > 1<<26 {
+		return nil, fmt.Errorf("media: implausible PGM dimensions %dx%d", w, h)
+	}
+	f := videomodel.NewFrame(w, h)
+	if _, err := io.ReadFull(br, f.Luma); err != nil {
+		return nil, fmt.Errorf("media: reading PGM pixels: %w", err)
+	}
+	return f, nil
+}
+
+// readToken skips whitespace and PNM comments, then reads one token.
+func readToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if len(tok) > 0 && err == io.EOF {
+				return string(tok), nil
+			}
+			return "", err
+		}
+		switch {
+		case b == '#' && len(tok) == 0:
+			if _, err := br.ReadString('\n'); err != nil {
+				return "", err
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}
+
+func readInt(br *bufio.Reader) (int, error) {
+	tok, err := readToken(br)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	if tok == "" {
+		return 0, errors.New("media: empty PNM header token")
+	}
+	for _, c := range tok {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("media: bad PNM header token %q", tok)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, nil
+}
+
+func clampByte(v int) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}

@@ -1,0 +1,177 @@
+package media
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/videodb/hmmm/internal/synthaudio"
+	"github.com/videodb/hmmm/internal/synthvideo"
+	"github.com/videodb/hmmm/internal/videomodel"
+	"github.com/videodb/hmmm/internal/xrand"
+)
+
+func TestWAVRoundTrip(t *testing.T) {
+	clip := synthaudio.Synthesize(xrand.New(1), videomodel.EventGoal, 1000)
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, clip); err != nil {
+		t.Fatal(err)
+	}
+	if want := 44 + 2*len(clip.Samples); buf.Len() != want {
+		t.Fatalf("WAV size = %d, want %d", buf.Len(), want)
+	}
+	back, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SampleRate != clip.SampleRate {
+		t.Errorf("sample rate = %d, want %d", back.SampleRate, clip.SampleRate)
+	}
+	if len(back.Samples) != len(clip.Samples) {
+		t.Fatalf("samples = %d, want %d", len(back.Samples), len(clip.Samples))
+	}
+	for i := range back.Samples {
+		if math.Abs(back.Samples[i]-clip.Samples[i]) > 1.0/32000 {
+			t.Fatalf("sample %d: %v vs %v beyond 16-bit quantization", i, back.Samples[i], clip.Samples[i])
+		}
+	}
+}
+
+func TestWAVClampsOutOfRange(t *testing.T) {
+	clip := &videomodel.AudioClip{SampleRate: 8000, Samples: []float64{2, -2, 0}}
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, clip); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Samples[0] != 1 || back.Samples[1] != -1 {
+		t.Errorf("clamped samples = %v", back.Samples[:2])
+	}
+}
+
+func TestWriteWAVErrors(t *testing.T) {
+	if err := WriteWAV(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil clip accepted")
+	}
+	if err := WriteWAV(&bytes.Buffer{}, &videomodel.AudioClip{}); err == nil {
+		t.Error("zero-rate clip accepted")
+	}
+}
+
+func TestReadWAVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"RIFFxxxx",
+		strings.Repeat("x", 44),
+	}
+	for _, src := range cases {
+		if _, err := ReadWAV(strings.NewReader(src)); err == nil {
+			t.Errorf("garbage %q accepted", src[:min(8, len(src))])
+		}
+	}
+	// Stereo header rejected.
+	clip := &videomodel.AudioClip{SampleRate: 8000, Samples: []float64{0}}
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, clip); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[22] = 2 // channels = 2
+	if _, err := ReadWAV(bytes.NewReader(b)); err == nil {
+		t.Error("stereo accepted")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestPGMRoundTrip(t *testing.T) {
+	r := synthvideo.NewRenderer(0, 0, 0)
+	frame := r.RenderShot(xrand.New(3), videomodel.EventCornerKick, 1000)[0]
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, frame); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != frame.W || back.H != frame.H {
+		t.Fatalf("dims = %dx%d, want %dx%d", back.W, back.H, frame.W, frame.H)
+	}
+	for i := range frame.Luma {
+		if back.Luma[i] != frame.Luma[i] {
+			t.Fatalf("pixel %d differs", i)
+		}
+	}
+}
+
+func TestPGMComments(t *testing.T) {
+	src := "P5\n# a comment line\n2 1\n255\nAB"
+	f, err := ReadPGM(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.W != 2 || f.H != 1 || f.Luma[0] != 'A' {
+		t.Errorf("parsed frame = %+v", f)
+	}
+}
+
+func TestReadPGMErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"P6\n2 2\n255\n",      // wrong magic for PGM
+		"P5\n2 2\n65535\n",    // unsupported depth
+		"P5\nx 2\n255\n",      // bad width
+		"P5\n2 2\n255\nAB",    // truncated pixels
+		"P5\n-1 2\n255\nABCD", // negative-ish
+	}
+	for i, src := range cases {
+		if _, err := ReadPGM(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestWritePPM(t *testing.T) {
+	r := synthvideo.NewRenderer(0, 0, 0)
+	frame := r.RenderShot(xrand.New(5), videomodel.EventGoalKick, 1000)[0]
+	var buf bytes.Buffer
+	if err := WritePPM(&buf, frame); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("P6\n")) {
+		t.Error("PPM magic missing")
+	}
+	// Header + 3 bytes per pixel.
+	if buf.Len() < 3*frame.Pixels() {
+		t.Errorf("PPM size %d too small for %d pixels", buf.Len(), frame.Pixels())
+	}
+	// Grass-heavy frame: mean green channel should exceed mean red.
+	data := buf.Bytes()[len(buf.Bytes())-3*frame.Pixels():]
+	var red, green int
+	for i := 0; i < len(data); i += 3 {
+		red += int(data[i])
+		green += int(data[i+1])
+	}
+	if green <= red {
+		t.Errorf("grass frame PPM: green %d should exceed red %d", green, red)
+	}
+}
+
+func TestWritePGMErrors(t *testing.T) {
+	if err := WritePGM(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil frame accepted")
+	}
+	if err := WritePPM(&bytes.Buffer{}, &videomodel.Frame{}); err == nil {
+		t.Error("empty frame accepted")
+	}
+}

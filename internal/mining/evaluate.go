@@ -1,0 +1,101 @@
+package mining
+
+import (
+	"fmt"
+
+	"github.com/videodb/hmmm/internal/xrand"
+)
+
+// ConfusionMatrix accumulates classification outcomes: entry [truth][pred]
+// counts samples of class truth predicted as pred.
+type ConfusionMatrix struct {
+	Counts [][]int
+}
+
+// NewConfusionMatrix returns a zeroed classes×classes matrix.
+func NewConfusionMatrix(classes int) *ConfusionMatrix {
+	m := &ConfusionMatrix{Counts: make([][]int, classes)}
+	for i := range m.Counts {
+		m.Counts[i] = make([]int, classes)
+	}
+	return m
+}
+
+// Observe records one (truth, predicted) outcome.
+func (m *ConfusionMatrix) Observe(truth, pred int) {
+	m.Counts[truth][pred]++
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (m *ConfusionMatrix) Accuracy() float64 {
+	var correct, total int
+	for i, row := range m.Counts {
+		for j, c := range row {
+			total += c
+			if i == j {
+				correct += c
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// PrecisionRecall returns the per-class precision and recall for class c.
+func (m *ConfusionMatrix) PrecisionRecall(c int) (precision, recall float64) {
+	var tp, fp, fn int
+	tp = m.Counts[c][c]
+	for i := range m.Counts {
+		if i != c {
+			fp += m.Counts[i][c]
+			fn += m.Counts[c][i]
+		}
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	return precision, recall
+}
+
+// CrossValidate runs k-fold cross validation over the samples and returns
+// the pooled confusion matrix. The fold assignment is a deterministic
+// shuffle driven by seed.
+func CrossValidate(samples []Sample, cfg Config, k int, seed uint64) (*ConfusionMatrix, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("mining: k = %d folds, want >= 2", k)
+	}
+	if len(samples) < k {
+		return nil, fmt.Errorf("mining: %d samples for %d folds", len(samples), k)
+	}
+	classes := 0
+	for _, s := range samples {
+		if s.Label+1 > classes {
+			classes = s.Label + 1
+		}
+	}
+	perm := xrand.New(seed).Perm(len(samples))
+	cm := NewConfusionMatrix(classes)
+	for fold := 0; fold < k; fold++ {
+		var train, test []Sample
+		for pos, i := range perm {
+			if pos%k == fold {
+				test = append(test, samples[i])
+			} else {
+				train = append(train, samples[i])
+			}
+		}
+		tree, err := Train(train, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("mining: fold %d: %w", fold, err)
+		}
+		for _, s := range test {
+			cm.Observe(s.Label, tree.Predict(s.Features))
+		}
+	}
+	return cm, nil
+}

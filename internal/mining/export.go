@@ -1,0 +1,88 @@
+package mining
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Describe writes a human-readable rendering of the tree, one node per
+// line, indented by depth. featureNames and classNames label the split
+// features and leaf classes; either may be nil to fall back to indices.
+func (t *Tree) Describe(w io.Writer, featureNames, classNames []string) error {
+	return t.describe(w, t.root, 0, featureNames, classNames)
+}
+
+func (t *Tree) describe(w io.Writer, n *node, depth int, featureNames, classNames []string) error {
+	indent := strings.Repeat("  ", depth)
+	if n.feature == -1 {
+		_, err := fmt.Fprintf(w, "%s=> %s (n=%d, p=%.2f)\n",
+			indent, className(classNames, n.label), n.total, n.probs[n.label])
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%sif %s <= %.4f:\n", indent, featureName(featureNames, n.feature), n.threshold); err != nil {
+		return err
+	}
+	if err := t.describe(w, n.left, depth+1, featureNames, classNames); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%selse:\n", indent); err != nil {
+		return err
+	}
+	return t.describe(w, n.right, depth+1, featureNames, classNames)
+}
+
+// DOT writes the tree in Graphviz DOT format for visualization.
+func (t *Tree) DOT(w io.Writer, featureNames, classNames []string) error {
+	if _, err := fmt.Fprintln(w, "digraph tree {\n  node [shape=box];"); err != nil {
+		return err
+	}
+	id := 0
+	var walk func(n *node) (int, error)
+	walk = func(n *node) (int, error) {
+		my := id
+		id++
+		if n.feature == -1 {
+			if _, err := fmt.Fprintf(w, "  n%d [label=\"%s\\nn=%d\"];\n",
+				my, className(classNames, n.label), n.total); err != nil {
+				return 0, err
+			}
+			return my, nil
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%s <= %.4f\"];\n",
+			my, featureName(featureNames, n.feature), n.threshold); err != nil {
+			return 0, err
+		}
+		l, err := walk(n.left)
+		if err != nil {
+			return 0, err
+		}
+		r, err := walk(n.right)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=\"yes\"];\n  n%d -> n%d [label=\"no\"];\n", my, l, my, r); err != nil {
+			return 0, err
+		}
+		return my, nil
+	}
+	if _, err := walk(t.root); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func featureName(names []string, i int) string {
+	if i >= 0 && i < len(names) {
+		return names[i]
+	}
+	return fmt.Sprintf("f%d", i)
+}
+
+func className(names []string, i int) string {
+	if i >= 0 && i < len(names) {
+		return names[i]
+	}
+	return fmt.Sprintf("class%d", i)
+}

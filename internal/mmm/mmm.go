@@ -1,0 +1,304 @@
+// Package mmm implements the single-level Markov Model Mediator: the
+// (A, B, Π) triple of Section 4 and its construction and training rules.
+//
+// A level of an HMMM is an MMM: states with a transition (affinity) matrix
+// A, a state×feature matrix B, and an initial-state distribution Π. This
+// package provides
+//
+//   - the temporal A1 initialization from annotation counts
+//     (Section 4.2.1.1 (1), verified against the paper's worked example);
+//   - the feedback-driven affinity update, Eqs. (1)-(2) for the temporal
+//     shot level and Eqs. (5)-(6) for the video level;
+//   - the initial-state distribution estimate, Eq. (4).
+//
+// The hierarchical composition (P1,2, B1', L1,2) lives in package hmmm.
+package mmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/videodb/hmmm/internal/matrix"
+)
+
+// ErrNoStates is returned when a construction function receives zero states.
+var ErrNoStates = errors.New("mmm: model has no states")
+
+// Model is one level of an HMMM: an MMM over N states with K features.
+type Model struct {
+	A  *matrix.Dense // N×N state transition / relative affinity matrix
+	B  *matrix.Dense // N×K state feature matrix
+	Pi []float64     // N initial state probabilities
+}
+
+// N returns the number of states.
+func (m *Model) N() int {
+	if m.A == nil {
+		return 0
+	}
+	return m.A.Rows()
+}
+
+// Validate checks the stochastic invariants: A row-stochastic, Π a
+// distribution, and dimensions consistent.
+func (m *Model) Validate(tol float64) error {
+	if m.A == nil || m.B == nil {
+		return errors.New("mmm: model missing A or B matrix")
+	}
+	n := m.A.Rows()
+	if m.A.Cols() != n {
+		return fmt.Errorf("mmm: A is %dx%d, want square", n, m.A.Cols())
+	}
+	if m.B.Rows() != n {
+		return fmt.Errorf("mmm: B has %d rows, want %d", m.B.Rows(), n)
+	}
+	if len(m.Pi) != n {
+		return fmt.Errorf("mmm: Pi has %d entries, want %d", len(m.Pi), n)
+	}
+	if !m.A.IsRowStochastic(tol) {
+		return errors.New("mmm: A is not row-stochastic")
+	}
+	var sum float64
+	for i, p := range m.Pi {
+		if p < 0 {
+			return fmt.Errorf("mmm: Pi[%d] = %v is negative", i, p)
+		}
+		sum += p
+	}
+	if sum < 1-tol || sum > 1+tol {
+		return fmt.Errorf("mmm: Pi sums to %v, want 1", sum)
+	}
+	return nil
+}
+
+// InitTemporalA builds the initial shot-level transition matrix A1 from the
+// per-state annotation counts ne (NE(s_i) in the paper), following
+// Section 4.2.1.1 (1) exactly:
+//
+//	A1(i,j) = 0                                    for j < i
+//	A1(i,j) = NE(s_j)   / (Σ_{k=i..N} NE(s_k) - 1) for i < j
+//	A1(i,i) = (NE(s_i)-1)/(Σ_{k=i..N} NE(s_k) - 1) for i < N
+//	A1(N,N) = 1
+//
+// States must be in temporal order and every count must be >= 1 (states are
+// annotated shots). The result is upper-triangular and row-stochastic.
+func InitTemporalA(ne []int) (*matrix.Dense, error) {
+	n := len(ne)
+	if n == 0 {
+		return nil, ErrNoStates
+	}
+	for i, c := range ne {
+		if c < 1 {
+			return nil, fmt.Errorf("mmm: state %d has annotation count %d, want >= 1", i, c)
+		}
+	}
+	// Suffix sums of NE.
+	suffix := make([]int, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + ne[i]
+	}
+	a := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		if i == n-1 {
+			a.Set(i, i, 1)
+			continue
+		}
+		denom := float64(suffix[i] - 1)
+		a.Set(i, i, float64(ne[i]-1)/denom)
+		for j := i + 1; j < n; j++ {
+			a.Set(i, j, float64(ne[j])/denom)
+		}
+	}
+	return a, nil
+}
+
+// AccessPattern is one recorded user access: the ordered state indices the
+// user traversed (or marked positive) and the access frequency access(k).
+type AccessPattern struct {
+	States []int // state indices in temporal order (shot level) or set order (video level)
+	Freq   int   // access frequency; patterns with Freq <= 0 are ignored
+}
+
+// CoAccess computes the Σ_k use(m,k)·use(n,k)·access(k) term shared by
+// Eq. (1) and Eq. (5) over n states. With temporal true, only pairs with
+// m <= n contribute (the Eq. (1) constraint T_{s_m} <= T_{s_n}; state
+// indices are temporal order at the shot level). Out-of-range state
+// indices in a pattern are reported as an error.
+func CoAccess(patterns []AccessPattern, n int, temporal bool) (*matrix.Dense, error) {
+	co := matrix.NewDense(n, n)
+	for pi, p := range patterns {
+		if p.Freq <= 0 {
+			continue
+		}
+		// De-duplicate: use(m,k) is an indicator, not a count.
+		seen := make(map[int]bool, len(p.States))
+		for _, s := range p.States {
+			if s < 0 || s >= n {
+				return nil, fmt.Errorf("mmm: pattern %d references state %d, model has %d states", pi, s, n)
+			}
+			seen[s] = true
+		}
+		states := make([]int, 0, len(seen))
+		for s := range seen {
+			states = append(states, s)
+		}
+		f := float64(p.Freq)
+		for _, m := range states {
+			for _, nn := range states {
+				if temporal && m > nn {
+					continue
+				}
+				co.Add(m, nn, f)
+			}
+		}
+	}
+	return co, nil
+}
+
+// UpdateOptions tunes the feedback-driven affinity update.
+type UpdateOptions struct {
+	// Temporal restricts reinforcement to pairs with m <= n (shot level).
+	Temporal bool
+	// Smoothing is added to every co-access count before multiplying by
+	// the prior, so states never co-accessed retain a sliver of their
+	// prior probability instead of collapsing to zero. Zero smoothing is
+	// the literal Eq. (1).
+	Smoothing float64
+	// KeepUntrained leaves rows with no co-access mass at their prior
+	// values instead of zeroing them.
+	KeepUntrained bool
+}
+
+// DefaultUpdateOptions returns the options the retrieval system trains
+// with: temporal, lightly smoothed, untrained rows preserved.
+func DefaultUpdateOptions() UpdateOptions {
+	return UpdateOptions{Temporal: true, Smoothing: 0.01, KeepUntrained: true}
+}
+
+// UpdateA applies the Eq. (1)-(2) update: AF(m,n) = A(m,n) × (smoothing +
+// co-access(m,n)), then per-row normalization. prior is not modified; the
+// updated matrix is returned.
+func UpdateA(prior *matrix.Dense, patterns []AccessPattern, opts UpdateOptions) (*matrix.Dense, error) {
+	n := prior.Rows()
+	if n != prior.Cols() {
+		return nil, fmt.Errorf("mmm: prior is %dx%d, want square", n, prior.Cols())
+	}
+	co, err := CoAccess(patterns, n, opts.Temporal)
+	if err != nil {
+		return nil, err
+	}
+	out := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		trained := false
+		for j := 0; j < n; j++ {
+			if co.At(i, j) > 0 && prior.At(i, j) > 0 {
+				trained = true
+			}
+			out.Set(i, j, prior.At(i, j)*(opts.Smoothing+co.At(i, j)))
+		}
+		if !trained && opts.KeepUntrained {
+			copy(out.Row(i), prior.Row(i))
+		}
+	}
+	out.NormalizeRows()
+	return out, nil
+}
+
+// BuildAffinityA builds the video-level A2 from scratch per Eqs. (5)-(6):
+// co-access counts (no temporal constraint), row-normalized. Rows with no
+// observations become uniform so A2 stays row-stochastic.
+func BuildAffinityA(patterns []AccessPattern, n int) (*matrix.Dense, error) {
+	if n == 0 {
+		return nil, ErrNoStates
+	}
+	co, err := CoAccess(patterns, n, false)
+	if err != nil {
+		return nil, err
+	}
+	co.NormalizeRows()
+	co.SmoothRows()
+	return co, nil
+}
+
+// BuildPi estimates the initial-state distribution from access patterns per
+// Eq. (4). With initialOnly true it counts only occurrences of a state as
+// the first state of a pattern (the textual definition in Section 4.2.1.3);
+// with false it counts every usage (the literal formula). Either way the
+// counts are weighted by access frequency and normalized; with no usable
+// patterns the distribution is uniform.
+func BuildPi(patterns []AccessPattern, n int, initialOnly bool) ([]float64, error) {
+	if n == 0 {
+		return nil, ErrNoStates
+	}
+	pi := make([]float64, n)
+	var total float64
+	for pidx, p := range patterns {
+		if p.Freq <= 0 || len(p.States) == 0 {
+			continue
+		}
+		f := float64(p.Freq)
+		if initialOnly {
+			s := p.States[0]
+			if s < 0 || s >= n {
+				return nil, fmt.Errorf("mmm: pattern %d references state %d, model has %d states", pidx, s, n)
+			}
+			pi[s] += f
+			total += f
+			continue
+		}
+		seen := make(map[int]bool, len(p.States))
+		for _, s := range p.States {
+			if s < 0 || s >= n {
+				return nil, fmt.Errorf("mmm: pattern %d references state %d, model has %d states", pidx, s, n)
+			}
+			if !seen[s] {
+				seen[s] = true
+				pi[s] += f
+				total += f
+			}
+		}
+	}
+	if total == 0 {
+		for i := range pi {
+			pi[i] = 1 / float64(n)
+		}
+		return pi, nil
+	}
+	for i := range pi {
+		pi[i] /= total
+	}
+	return pi, nil
+}
+
+// RowEntropy returns the Shannon entropy (bits) of each row of a
+// row-stochastic matrix. Entropy is a training diagnostic: feedback
+// reinforcement concentrates each row's probability mass on confirmed
+// successors, so mean row entropy falls as the model learns.
+func RowEntropy(a *matrix.Dense) []float64 {
+	out := make([]float64, a.Rows())
+	for i := range out {
+		var h float64
+		for _, p := range a.Row(i) {
+			if p > 0 {
+				h -= p * math.Log2(p)
+			}
+		}
+		out[i] = h
+	}
+	return out
+}
+
+// MeanEntropy returns the average row entropy of a row-stochastic matrix,
+// 0 for an empty matrix.
+func MeanEntropy(a *matrix.Dense) float64 {
+	rows := RowEntropy(a)
+	if len(rows) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, h := range rows {
+		sum += h
+	}
+	return sum / float64(len(rows))
+}

@@ -1,0 +1,423 @@
+package mmm
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/videodb/hmmm/internal/matrix"
+	"github.com/videodb/hmmm/internal/xrand"
+)
+
+func TestInitTemporalAPaperExample(t *testing.T) {
+	// Section 4.2.1.1: shots annotated "Free Kick", {"Free Kick","Goal"},
+	// "Corner Kick" => NE = [1, 2, 1].
+	a, err := InitTemporalA([]int{1, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{
+		{0, 2.0 / 3, 1.0 / 3},
+		{0, 0.5, 0.5},
+		{0, 0, 1},
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got := a.At(i, j); math.Abs(got-want[i][j]) > 1e-12 {
+				t.Errorf("A1(%d,%d) = %v, want %v", i+1, j+1, got, want[i][j])
+			}
+		}
+	}
+}
+
+func TestInitTemporalARowStochastic(t *testing.T) {
+	// Property: for any positive NE vector the result is row-stochastic
+	// and upper-triangular.
+	check := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 1 + rng.Intn(30)
+		ne := make([]int, n)
+		for i := range ne {
+			ne[i] = 1 + rng.Intn(4)
+		}
+		a, err := InitTemporalA(ne)
+		if err != nil {
+			return false
+		}
+		if !a.IsRowStochastic(1e-9) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if a.At(i, j) != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInitTemporalAErrors(t *testing.T) {
+	if _, err := InitTemporalA(nil); !errors.Is(err, ErrNoStates) {
+		t.Errorf("empty err = %v, want ErrNoStates", err)
+	}
+	if _, err := InitTemporalA([]int{1, 0}); err == nil {
+		t.Error("zero count accepted")
+	}
+}
+
+func TestInitTemporalASingleState(t *testing.T) {
+	a, err := InitTemporalA([]int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 1 {
+		t.Errorf("single state A = %v, want 1", a.At(0, 0))
+	}
+}
+
+func TestCoAccessTemporal(t *testing.T) {
+	patterns := []AccessPattern{
+		{States: []int{0, 2}, Freq: 3},
+		{States: []int{2, 0}, Freq: 1}, // same set; temporal uses indices not order
+	}
+	co, err := CoAccess(patterns, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := co.At(0, 2); got != 4 {
+		t.Errorf("co(0,2) = %v, want 4", got)
+	}
+	if got := co.At(2, 0); got != 0 {
+		t.Errorf("temporal co(2,0) = %v, want 0", got)
+	}
+	if got := co.At(0, 0); got != 4 {
+		t.Errorf("co(0,0) = %v, want 4", got)
+	}
+}
+
+func TestCoAccessNonTemporalSymmetric(t *testing.T) {
+	patterns := []AccessPattern{{States: []int{1, 2}, Freq: 2}}
+	co, err := CoAccess(patterns, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.At(1, 2) != co.At(2, 1) || co.At(1, 2) != 2 {
+		t.Errorf("co(1,2)=%v co(2,1)=%v, want both 2", co.At(1, 2), co.At(2, 1))
+	}
+}
+
+func TestCoAccessDeduplicatesStates(t *testing.T) {
+	// use(m,k) is an indicator: repeating a state in one pattern must not
+	// double-count.
+	patterns := []AccessPattern{{States: []int{1, 1, 1}, Freq: 5}}
+	co, err := CoAccess(patterns, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.At(1, 1) != 5 {
+		t.Errorf("co(1,1) = %v, want 5", co.At(1, 1))
+	}
+}
+
+func TestCoAccessIgnoresNonPositiveFreq(t *testing.T) {
+	patterns := []AccessPattern{{States: []int{0}, Freq: 0}, {States: []int{0}, Freq: -2}}
+	co, err := CoAccess(patterns, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.At(0, 0) != 0 {
+		t.Errorf("co = %v, want 0", co.At(0, 0))
+	}
+}
+
+func TestCoAccessRejectsOutOfRange(t *testing.T) {
+	if _, err := CoAccess([]AccessPattern{{States: []int{5}, Freq: 1}}, 3, false); err == nil {
+		t.Error("out-of-range state accepted")
+	}
+}
+
+func TestUpdateAReinforcesCoAccessedPairs(t *testing.T) {
+	prior, err := InitTemporalA([]int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before02 := prior.At(0, 2)
+	patterns := []AccessPattern{{States: []int{0, 2}, Freq: 10}}
+	updated, err := UpdateA(prior, patterns, DefaultUpdateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !updated.IsRowStochastic(1e-9) {
+		t.Error("updated A not row-stochastic")
+	}
+	if got := updated.At(0, 2); got <= before02 {
+		t.Errorf("A(0,2) = %v after positive feedback, want > prior %v", got, before02)
+	}
+	if updated.At(0, 2) <= updated.At(0, 1) {
+		t.Errorf("reinforced transition %v should exceed unreinforced %v", updated.At(0, 2), updated.At(0, 1))
+	}
+}
+
+func TestUpdateAKeepUntrainedRows(t *testing.T) {
+	prior, _ := InitTemporalA([]int{1, 1, 1})
+	patterns := []AccessPattern{{States: []int{0, 1}, Freq: 5}}
+	updated, err := UpdateA(prior, patterns, DefaultUpdateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 2 had no feedback: it must match the prior.
+	for j := 0; j < 3; j++ {
+		if updated.At(2, j) != prior.At(2, j) {
+			t.Errorf("untrained row changed at col %d: %v vs %v", j, updated.At(2, j), prior.At(2, j))
+		}
+	}
+}
+
+func TestUpdateALiteralEquationZeroesUnobserved(t *testing.T) {
+	prior, _ := InitTemporalA([]int{1, 1, 1})
+	patterns := []AccessPattern{{States: []int{0, 1}, Freq: 5}}
+	updated, err := UpdateA(prior, patterns, UpdateOptions{Temporal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := updated.At(0, 2); got != 0 {
+		t.Errorf("literal Eq.(1): A(0,2) = %v, want 0", got)
+	}
+	if got := updated.At(0, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("literal Eq.(1): A(0,1) = %v, want 1", got)
+	}
+}
+
+func TestUpdateARejectsNonSquare(t *testing.T) {
+	if _, err := UpdateA(matrix.NewDense(2, 3), nil, DefaultUpdateOptions()); err == nil {
+		t.Error("non-square prior accepted")
+	}
+}
+
+func TestBuildAffinityA(t *testing.T) {
+	patterns := []AccessPattern{
+		{States: []int{0, 1}, Freq: 3},
+		{States: []int{0, 2}, Freq: 1},
+	}
+	a, err := BuildAffinityA(patterns, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsRowStochastic(1e-9) {
+		t.Error("A2 not row-stochastic")
+	}
+	if a.At(0, 1) <= a.At(0, 2) {
+		t.Errorf("A2(0,1)=%v should exceed A2(0,2)=%v", a.At(0, 1), a.At(0, 2))
+	}
+}
+
+func TestBuildAffinityANoData(t *testing.T) {
+	a, err := BuildAffinityA(nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsRowStochastic(1e-9) {
+		t.Error("empty-data A2 should be uniform row-stochastic")
+	}
+	if a.At(0, 0) != 0.5 {
+		t.Errorf("uniform entry = %v, want 0.5", a.At(0, 0))
+	}
+}
+
+func TestBuildAffinityAErrors(t *testing.T) {
+	if _, err := BuildAffinityA(nil, 0); !errors.Is(err, ErrNoStates) {
+		t.Errorf("err = %v, want ErrNoStates", err)
+	}
+}
+
+func TestBuildPiInitialOnly(t *testing.T) {
+	patterns := []AccessPattern{
+		{States: []int{2, 0}, Freq: 3},
+		{States: []int{1}, Freq: 1},
+	}
+	pi, err := BuildPi(patterns, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi[2] != 0.75 || pi[1] != 0.25 || pi[0] != 0 {
+		t.Errorf("pi = %v, want [0 0.25 0.75]", pi)
+	}
+}
+
+func TestBuildPiAllUsage(t *testing.T) {
+	patterns := []AccessPattern{{States: []int{0, 1, 1}, Freq: 2}}
+	pi, err := BuildPi(patterns, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi[0] != 0.5 || pi[1] != 0.5 {
+		t.Errorf("pi = %v, want [0.5 0.5 0]", pi)
+	}
+}
+
+func TestBuildPiUniformFallback(t *testing.T) {
+	pi, err := BuildPi(nil, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pi {
+		if p != 0.25 {
+			t.Errorf("fallback pi = %v, want uniform 0.25", pi)
+			break
+		}
+	}
+}
+
+func TestBuildPiErrors(t *testing.T) {
+	if _, err := BuildPi(nil, 0, true); !errors.Is(err, ErrNoStates) {
+		t.Errorf("err = %v, want ErrNoStates", err)
+	}
+	if _, err := BuildPi([]AccessPattern{{States: []int{7}, Freq: 1}}, 2, true); err == nil {
+		t.Error("out-of-range state accepted")
+	}
+	if _, err := BuildPi([]AccessPattern{{States: []int{7}, Freq: 1}}, 2, false); err == nil {
+		t.Error("out-of-range state accepted (all-usage mode)")
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	a, _ := InitTemporalA([]int{1, 1})
+	b := matrix.NewDense(2, 4)
+	m := &Model{A: a, B: b, Pi: []float64{0.5, 0.5}}
+	if err := m.Validate(1e-9); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	if m.N() != 2 {
+		t.Errorf("N = %d, want 2", m.N())
+	}
+
+	cases := []struct {
+		name string
+		m    *Model
+	}{
+		{"missing A", &Model{B: b, Pi: []float64{1}}},
+		{"non-square A", &Model{A: matrix.NewDense(2, 3), B: b, Pi: []float64{0.5, 0.5}}},
+		{"B rows", &Model{A: a, B: matrix.NewDense(3, 4), Pi: []float64{0.5, 0.5}}},
+		{"Pi length", &Model{A: a, B: b, Pi: []float64{1}}},
+		{"Pi sum", &Model{A: a, B: b, Pi: []float64{0.5, 0.2}}},
+		{"Pi negative", &Model{A: a, B: b, Pi: []float64{1.5, -0.5}}},
+	}
+	for _, tc := range cases {
+		if err := tc.m.Validate(1e-9); err == nil {
+			t.Errorf("%s: invalid model accepted", tc.name)
+		}
+	}
+	if (&Model{}).N() != 0 {
+		t.Error("empty model N != 0")
+	}
+}
+
+func TestValidateNonStochasticA(t *testing.T) {
+	a := matrix.NewDense(2, 2) // all zeros
+	m := &Model{A: a, B: matrix.NewDense(2, 1), Pi: []float64{0.5, 0.5}}
+	if err := m.Validate(1e-9); err == nil {
+		t.Error("all-zero A accepted as stochastic")
+	}
+}
+
+func TestUpdatePreservesStochasticProperty(t *testing.T) {
+	// Property: for any prior and any patterns, the update yields a
+	// row-stochastic matrix when smoothing keeps rows alive.
+	check := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(10)
+		ne := make([]int, n)
+		for i := range ne {
+			ne[i] = 1 + rng.Intn(3)
+		}
+		prior, err := InitTemporalA(ne)
+		if err != nil {
+			return false
+		}
+		var patterns []AccessPattern
+		for p := 0; p < rng.Intn(5); p++ {
+			var states []int
+			for s := 0; s < 1+rng.Intn(4); s++ {
+				states = append(states, rng.Intn(n))
+			}
+			patterns = append(patterns, AccessPattern{States: states, Freq: 1 + rng.Intn(5)})
+		}
+		updated, err := UpdateA(prior, patterns, DefaultUpdateOptions())
+		if err != nil {
+			return false
+		}
+		return updated.IsRowStochastic(1e-9)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUpdateA(b *testing.B) {
+	rng := xrand.New(1)
+	const n = 200
+	ne := make([]int, n)
+	for i := range ne {
+		ne[i] = 1 + rng.Intn(3)
+	}
+	prior, err := InitTemporalA(ne)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var patterns []AccessPattern
+	for p := 0; p < 50; p++ {
+		states := []int{rng.Intn(n), rng.Intn(n), rng.Intn(n)}
+		patterns = append(patterns, AccessPattern{States: states, Freq: 1 + rng.Intn(3)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := UpdateA(prior, patterns, DefaultUpdateOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestRowEntropy(t *testing.T) {
+	a, _ := matrix.FromRows([][]float64{
+		{0.5, 0.5},   // 1 bit
+		{1, 0},       // 0 bits
+		{0.25, 0.75}, // ~0.811 bits
+	})
+	h := RowEntropy(a)
+	if math.Abs(h[0]-1) > 1e-12 {
+		t.Errorf("uniform row entropy = %v, want 1", h[0])
+	}
+	if h[1] != 0 {
+		t.Errorf("deterministic row entropy = %v, want 0", h[1])
+	}
+	if math.Abs(h[2]-0.8112781244591328) > 1e-9 {
+		t.Errorf("skewed row entropy = %v", h[2])
+	}
+	if got := MeanEntropy(a); math.Abs(got-(h[0]+h[1]+h[2])/3) > 1e-12 {
+		t.Errorf("mean entropy = %v", got)
+	}
+	if MeanEntropy(matrix.NewDense(0, 0)) != 0 {
+		t.Error("empty mean entropy != 0")
+	}
+}
+
+func TestTrainingLowersEntropy(t *testing.T) {
+	prior, err := InitTemporalA([]int{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := MeanEntropy(prior)
+	updated, err := UpdateA(prior, []AccessPattern{{States: []int{0, 1}, Freq: 20}}, DefaultUpdateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := MeanEntropy(updated); after >= before {
+		t.Errorf("entropy after reinforcement = %v, want < %v", after, before)
+	}
+}

@@ -1,0 +1,154 @@
+package mmm
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/videodb/hmmm/internal/matrix"
+	"github.com/videodb/hmmm/internal/xrand"
+)
+
+func TestStationaryTwoStateChain(t *testing.T) {
+	// P = [[0.9, 0.1], [0.5, 0.5]] has stationary [5/6, 1/6].
+	a, _ := matrix.FromRows([][]float64{{0.9, 0.1}, {0.5, 0.5}})
+	pi, err := Stationary(a, StationaryOptions{Damping: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-5.0/6) > 1e-8 || math.Abs(pi[1]-1.0/6) > 1e-8 {
+		t.Errorf("pi = %v, want [5/6 1/6]", pi)
+	}
+}
+
+func TestStationaryUniformChain(t *testing.T) {
+	a, _ := matrix.FromRows([][]float64{{0.5, 0.5}, {0.5, 0.5}})
+	pi, err := Stationary(a, StationaryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-0.5) > 1e-8 {
+		t.Errorf("pi = %v, want uniform", pi)
+	}
+}
+
+func TestStationaryDampingHandlesAbsorbing(t *testing.T) {
+	// Identity chain is reducible; undamped iteration stays at the start
+	// vector, damped converges to uniform.
+	a, _ := matrix.FromRows([][]float64{{1, 0}, {0, 1}})
+	pi, err := Stationary(a, StationaryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-0.5) > 1e-6 {
+		t.Errorf("damped absorbing chain pi = %v, want uniform", pi)
+	}
+}
+
+func TestStationaryErrors(t *testing.T) {
+	if _, err := Stationary(matrix.NewDense(0, 0), StationaryOptions{}); !errors.Is(err, ErrNoStates) {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, err := Stationary(matrix.NewDense(2, 3), StationaryOptions{}); err == nil {
+		t.Error("non-square accepted")
+	}
+	bad, _ := matrix.FromRows([][]float64{{0.5, 0.2}, {0.5, 0.5}})
+	if _, err := Stationary(bad, StationaryOptions{}); err == nil {
+		t.Error("non-stochastic accepted")
+	}
+}
+
+func TestStationaryNoConvergence(t *testing.T) {
+	// A slowly mixing chain (second eigenvalue 0.998) cannot reach a
+	// 1e-15 tolerance in three undamped iterations.
+	slow, _ := matrix.FromRows([][]float64{{0.999, 0.001}, {0.002, 0.998}})
+	_, err := Stationary(slow, StationaryOptions{Damping: -1, MaxIter: 3, Tolerance: 1e-15})
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("err = %v, want ErrNoConvergence", err)
+	}
+	// A 2-cycle with damping converges to uniform.
+	a, _ := matrix.FromRows([][]float64{{0, 1}, {1, 0}})
+	pi, err := Stationary(a, StationaryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-0.5) > 1e-6 {
+		t.Errorf("damped cycle pi = %v", pi)
+	}
+}
+
+func TestStationaryIsDistributionProperty(t *testing.T) {
+	// Property: for any random stochastic matrix the result is a
+	// distribution and (approximately) a fixed point of the damped chain.
+	check := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(10)
+		a := matrix.NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.Float64()+0.01)
+			}
+		}
+		a.NormalizeRows()
+		pi, err := Stationary(a, StationaryOptions{})
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, p := range pi {
+			if p < 0 {
+				return false
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-8 {
+			return false
+		}
+		// Fixed point check: pi ≈ (1-d) pi A + d u.
+		next, err := leftMul(pi, a)
+		if err != nil {
+			return false
+		}
+		for j := range next {
+			mixed := (1-DefaultDamping)*next[j] + DefaultDamping/float64(n)
+			if math.Abs(mixed-pi[j]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func leftMul(pi []float64, a *matrix.Dense) ([]float64, error) {
+	n := a.Rows()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := a.Row(i)
+		for j, v := range row {
+			out[j] += pi[i] * v
+		}
+	}
+	return out, nil
+}
+
+func BenchmarkStationary200(b *testing.B) {
+	rng := xrand.New(1)
+	const n = 200
+	a := matrix.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.Float64())
+		}
+	}
+	a.NormalizeRows()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Stationary(a, StationaryOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package retrieval
+
+import (
+	"github.com/videodb/hmmm/internal/hmmm"
+)
+
+// BruteForce exhaustively enumerates every temporally ordered sequence of
+// annotated states matching the query events within each video, scores each
+// with the same Eqs. 12-15 the engine uses, and returns the global top-K
+// ranking.
+//
+// This is the comparison baseline for the paper's claim that the HMMM
+// traversal "can assist in retrieving more accurate patterns quickly with
+// lower computational costs": the baseline's ranking is exact (it considers
+// every annotation-consistent candidate), but its cost grows with the
+// product of per-event candidate counts, while the engine expands only the
+// stochastically promising paths.
+func BruteForce(m *hmmm.Model, q Query, topK int) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if topK <= 0 {
+		topK = DefaultTopK
+	}
+	eng, err := NewEngine(m, Options{AnnotatedOnly: true})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for vi := 0; vi < m.NumVideos(); vi++ {
+		if q.Scope != nil && q.Scope.Video != 0 && m.VideoIDs[vi] != q.Scope.Video {
+			continue
+		}
+		res.Cost.VideosSeen++
+		lo, hi := m.VideoStates(vi)
+		if lo == hi {
+			continue
+		}
+		steps := q.steps()
+		var dfs func(j, after int, p *path)
+		dfs = func(j, after int, p *path) {
+			if j == len(steps) {
+				res.Matches = append(res.Matches, eng.finishMatch(p))
+				return
+			}
+			st := steps[j]
+			start := lo
+			if after >= 0 {
+				start = after + 1
+			}
+			for s := start; s < hi; s++ {
+				if !q.Scope.contains(m.States[s].StartMS) {
+					continue
+				}
+				if !stateHasStep(&m.States[s], st) {
+					continue
+				}
+				if after >= 0 && !st.gapOK(m.States[after].StartMS, m.States[s].StartMS) {
+					continue
+				}
+				var w float64
+				if j == 0 {
+					w = m.Pi1[s] * eng.simCounted(s, st, &res.Cost)
+				} else {
+					res.Cost.EdgeEvals++
+					prev := p.states[len(p.states)-1]
+					w = p.w * eng.transition(vi, prev, s) * eng.simCounted(s, st, &res.Cost)
+				}
+				dfs(j+1, s, p.extend(s, vi, w))
+			}
+		}
+		dfs(0, -1, &path{})
+	}
+	sortMatches(res.Matches)
+	if len(res.Matches) > topK {
+		res.Matches = res.Matches[:topK]
+	}
+	return res, nil
+}
+
+// GroundTruthCount returns the total number of annotation-consistent
+// candidate sequences for the query (the size of the space BruteForce
+// enumerates), without scoring them. The experiments use it to report the
+// search-space reduction achieved by the stochastic traversal.
+//
+// Queries without gap constraints use a right-to-left dynamic program;
+// gap-constrained queries fall back to explicit enumeration (their
+// candidate spaces are small by construction).
+func GroundTruthCount(m *hmmm.Model, q Query) int {
+	if q.Validate() != nil {
+		return 0
+	}
+	steps := q.steps()
+	constrained := q.Scope != nil
+	for _, st := range steps {
+		if st.MinGapMS > 0 || st.MaxGapMS > 0 {
+			constrained = true
+			break
+		}
+	}
+	total := 0
+	for vi := 0; vi < m.NumVideos(); vi++ {
+		if q.Scope != nil && q.Scope.Video != 0 && m.VideoIDs[vi] != q.Scope.Video {
+			continue
+		}
+		lo, hi := m.VideoStates(vi)
+		if lo == hi {
+			continue
+		}
+		if constrained {
+			total += countConstrained(m, steps, q.Scope, lo, hi)
+			continue
+		}
+		// counts[j][s] = number of ways to complete steps j.. starting at
+		// state >= s. Computed right to left.
+		c := len(steps)
+		prev := make([]int, hi-lo+1)
+		for j := c - 1; j >= 0; j-- {
+			cur := make([]int, hi-lo+1)
+			for s := hi - 1; s >= lo; s-- {
+				cur[s-lo] = cur[s-lo+1]
+				if stateHasStep(&m.States[s], steps[j]) {
+					if j == c-1 {
+						cur[s-lo]++
+					} else {
+						cur[s-lo] += prev[s-lo+1]
+					}
+				}
+			}
+			prev = cur
+		}
+		total += prev[0]
+	}
+	return total
+}
+
+// countConstrained enumerates gap- or scope-constrained sequences within
+// one video.
+func countConstrained(m *hmmm.Model, steps []Step, scope *Scope, lo, hi int) int {
+	var dfs func(j, after int) int
+	dfs = func(j, after int) int {
+		if j == len(steps) {
+			return 1
+		}
+		st := steps[j]
+		start := lo
+		if after >= 0 {
+			start = after + 1
+		}
+		n := 0
+		for s := start; s < hi; s++ {
+			if !scope.contains(m.States[s].StartMS) {
+				continue
+			}
+			if !stateHasStep(&m.States[s], st) {
+				continue
+			}
+			if after >= 0 && !st.gapOK(m.States[after].StartMS, m.States[s].StartMS) {
+				continue
+			}
+			n += dfs(j+1, s)
+		}
+		return n
+	}
+	return dfs(0, -1)
+}

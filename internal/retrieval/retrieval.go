@@ -1,0 +1,817 @@
+// Package retrieval implements the paper's Section-5 temporal pattern
+// retrieval process over an HMMM: the Figure-2 nine-step algorithm, the
+// Figure-3 lattice traversal (including cross-video continuation via A2),
+// the Eq. 12-13 edge weights, the Eq. 14 similarity function, and the
+// Eq. 15 pattern score, plus an exhaustive baseline used by the
+// evaluation to quantify the paper's "lower computational costs" claim.
+package retrieval
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/videomodel"
+)
+
+// Step is one position of a temporal pattern: the conjunction of event
+// concepts a single shot must exhibit, plus optional temporal-gap
+// constraints against the previous step's shot. The paper's Section-3
+// example query starts with a shot that is both a free kick and a goal —
+// a two-event step; gap constraints extend the temporal relations of the
+// authors' companion query model (ref. [8]).
+type Step struct {
+	Events []videomodel.Event
+	// MinGapMS / MaxGapMS bound the start-time distance (milliseconds)
+	// from the previous step's shot, within the same video. Zero means
+	// unconstrained. A step with MaxGapMS > 0 cannot be satisfied by a
+	// cross-video hop (different videos have unrelated timelines).
+	MinGapMS int
+	MaxGapMS int
+}
+
+// gapOK reports whether a transition from a shot starting at prevMS to one
+// starting at curMS satisfies the step's gap constraints.
+func (st Step) gapOK(prevMS, curMS int) bool {
+	gap := curMS - prevMS
+	if st.MinGapMS > 0 && gap < st.MinGapMS {
+		return false
+	}
+	if st.MaxGapMS > 0 && gap > st.MaxGapMS {
+		return false
+	}
+	return true
+}
+
+// Scope restricts a query to part of the archive: a single video and/or
+// a start-time window within each searched video.
+type Scope struct {
+	// Video, when non-zero, restricts the search to that video (cross-
+	// video hops are disabled).
+	Video videomodel.VideoID
+	// FromMS / ToMS bound the shot start times considered; ToMS 0 means
+	// unbounded.
+	FromMS, ToMS int
+}
+
+// contains reports whether a shot starting at startMS falls in the scope
+// window.
+func (sc *Scope) contains(startMS int) bool {
+	if sc == nil {
+		return true
+	}
+	if startMS < sc.FromMS {
+		return false
+	}
+	if sc.ToMS > 0 && startMS >= sc.ToMS {
+		return false
+	}
+	return true
+}
+
+// Query is a temporal event pattern R = {e1, ..., eC} sorted by temporal
+// relationship (Section 5). Events is the common single-event-per-step
+// form; Steps, when non-empty, takes precedence and allows conjunction
+// steps. Scope, when non-nil, restricts where the pattern may match.
+type Query struct {
+	Events []videomodel.Event
+	Steps  []Step
+	Scope  *Scope
+}
+
+// NewQuery builds a single-event-per-step query.
+func NewQuery(events ...videomodel.Event) Query {
+	return Query{Events: events}
+}
+
+// steps returns the normalized step sequence.
+func (q Query) steps() []Step {
+	if len(q.Steps) > 0 {
+		return q.Steps
+	}
+	out := make([]Step, len(q.Events))
+	for i, e := range q.Events {
+		out[i] = Step{Events: []videomodel.Event{e}}
+	}
+	return out
+}
+
+// Len returns the number of steps C.
+func (q Query) Len() int {
+	if len(q.Steps) > 0 {
+		return len(q.Steps)
+	}
+	return len(q.Events)
+}
+
+// Validate checks that the query is non-empty and every event is a real
+// concept.
+func (q Query) Validate() error {
+	steps := q.steps()
+	if len(steps) == 0 {
+		return errors.New("retrieval: empty query pattern")
+	}
+	for i, st := range steps {
+		if len(st.Events) == 0 {
+			return fmt.Errorf("retrieval: query step %d has no events", i)
+		}
+		for _, e := range st.Events {
+			if !e.Valid() {
+				return fmt.Errorf("retrieval: query step %d has invalid event %v", i, e)
+			}
+		}
+		if st.MinGapMS < 0 || st.MaxGapMS < 0 {
+			return fmt.Errorf("retrieval: query step %d has negative gap constraint", i)
+		}
+		if st.MaxGapMS > 0 && st.MinGapMS > st.MaxGapMS {
+			return fmt.Errorf("retrieval: query step %d has min gap %dms > max gap %dms", i, st.MinGapMS, st.MaxGapMS)
+		}
+		if i == 0 && (st.MinGapMS > 0 || st.MaxGapMS > 0) {
+			return fmt.Errorf("retrieval: first query step cannot carry a gap constraint")
+		}
+	}
+	if sc := q.Scope; sc != nil {
+		if sc.FromMS < 0 || sc.ToMS < 0 {
+			return errors.New("retrieval: negative scope bound")
+		}
+		if sc.ToMS > 0 && sc.FromMS >= sc.ToMS {
+			return fmt.Errorf("retrieval: empty scope window [%d, %d)", sc.FromMS, sc.ToMS)
+		}
+	}
+	return nil
+}
+
+// stateHasStep reports whether a model state is annotated with every event
+// of the step.
+func stateHasStep(st *hmmm.State, step Step) bool {
+	for _, e := range step.Events {
+		if !st.HasEvent(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// Match is one candidate video shot sequence Q_k with its score SS(R, Q_k).
+type Match struct {
+	States  []int                // global state indices, one per query event
+	Shots   []videomodel.ShotID  // the corresponding shots
+	Videos  []videomodel.VideoID // video of each step (patterns may span videos)
+	Weights []float64            // w_j edge weights (Eqs. 12-13)
+	Score   float64              // SS (Eq. 15)
+}
+
+// Cost counts the work a retrieval performed; the X1 experiment compares
+// these between the HMMM traversal and the exhaustive baseline.
+type Cost struct {
+	SimEvals   int // Eq. 14 similarity evaluations
+	EdgeEvals  int // state-transition edges considered
+	VideosSeen int // level-2 states expanded
+}
+
+// Result is a ranked retrieval outcome.
+type Result struct {
+	Matches []Match // sorted by Score descending
+	Cost    Cost
+}
+
+// Options tunes the engine.
+type Options struct {
+	// TopK bounds the number of returned matches; 0 means DefaultTopK.
+	TopK int
+	// Beam is the number of alternative lattice cells kept per stage and
+	// the number of complete paths returned per video. Beam 1 is the
+	// paper's literal greedy "always traverse the most optimal path";
+	// larger beams trade a little cost for robustness against locally
+	// attractive but non-continuable states. 0 means DefaultBeam.
+	Beam int
+	// CrossVideo allows a pattern to continue in another video (selected
+	// by A2 affinity and B2 feature check) when the current video has no
+	// further matching shot — the Figure-3 "end of one video" rule.
+	CrossVideo bool
+	// SimEpsilon floors the Eq. 14 denominator B1'(e, f): features whose
+	// per-event mean is below it are skipped ("non-zero features").
+	SimEpsilon float64
+	// AnnotatedOnly restricts step candidates to states annotated with
+	// the sought event. When false, unannotated states compete purely by
+	// feature similarity ("or similar to event e_j", Step 3).
+	AnnotatedOnly bool
+	// Parallel fans the per-video lattice searches out over this many
+	// goroutines (the model is read-only during retrieval). Values <= 1
+	// search serially. Parallel retrieval ignores StopAfterMatches and
+	// returns exactly the serial result set.
+	Parallel int
+	// Tracer, when non-nil, receives TraceEvent s during retrieval: the
+	// EXPLAIN ANALYZE view of the traversal. Must be concurrency-safe
+	// when combined with Parallel.
+	Tracer Tracer
+	// StopAfterMatches stops expanding further videos once 3×TopK matches
+	// have been collected (a margin that keeps the final top-K ranking
+	// close to exhaustive). Videos are visited in Π2/A2 affinity order
+	// (most promising first), so this is the paper's "traverse the right
+	// path ... with lower computational costs" mode; the returned set can
+	// miss high-scoring patterns hiding in low-affinity videos.
+	StopAfterMatches bool
+}
+
+// Default engine parameters.
+const (
+	DefaultTopK       = 10
+	DefaultBeam       = 4
+	DefaultSimEpsilon = 1e-9
+)
+
+func (o Options) withDefaults() Options {
+	if o.TopK <= 0 {
+		o.TopK = DefaultTopK
+	}
+	if o.Beam <= 0 {
+		o.Beam = DefaultBeam
+	}
+	if o.SimEpsilon <= 0 {
+		o.SimEpsilon = DefaultSimEpsilon
+	}
+	return o
+}
+
+// Engine retrieves temporal patterns from an HMMM.
+type Engine struct {
+	m    *hmmm.Model
+	opts Options
+	// index[vi][ci] holds the ascending global state indices of video vi
+	// annotated with concept ci: the inverted event index behind Step 3's
+	// candidate lookups.
+	index [][][]int
+}
+
+// NewEngine returns an engine over the model. The model is not copied;
+// training it re-tunes subsequent retrievals, but structural changes
+// (AddVideo) require a new engine so the event index matches the states.
+func NewEngine(m *hmmm.Model, opts Options) (*Engine, error) {
+	if m == nil {
+		return nil, errors.New("retrieval: nil model")
+	}
+	if err := m.Validate(1e-6); err != nil {
+		return nil, fmt.Errorf("retrieval: invalid model: %w", err)
+	}
+	e := &Engine{m: m, opts: opts.withDefaults()}
+	e.index = make([][][]int, m.NumVideos())
+	for vi := range e.index {
+		e.index[vi] = make([][]int, m.NumConcepts())
+		lo, hi := m.VideoStates(vi)
+		for s := lo; s < hi; s++ {
+			for _, ev := range m.States[s].Events {
+				if ev.Valid() {
+					ci := ev.Index()
+					e.index[vi][ci] = append(e.index[vi][ci], s)
+				}
+			}
+		}
+	}
+	return e, nil
+}
+
+// Model returns the engine's underlying model.
+func (e *Engine) Model() *hmmm.Model { return e.m }
+
+// Sim computes the Eq. 14 similarity between global state s and event
+// concept ev over the non-zero features of the concept:
+//
+//	sim(s,e) = Σ_y P12(e,fy) · (1 - |B1(s,fy) - B1'(e,fy)|) / B1'(e,fy)
+func (e *Engine) Sim(s int, ev videomodel.Event) float64 {
+	ci := ev.Index()
+	bRow := e.m.B1.Row(s)
+	meanRow := e.m.B1Prime.Row(ci)
+	pRow := e.m.P12.Row(ci)
+	var sim float64
+	for y, mean := range meanRow {
+		if mean <= e.opts.SimEpsilon {
+			continue
+		}
+		d := bRow[y] - mean
+		if d < 0 {
+			d = -d
+		}
+		sim += pRow[y] * (1 - d) / mean
+	}
+	return sim
+}
+
+// path is a partial candidate during traversal.
+type path struct {
+	states  []int
+	videos  []int // video index per step
+	weights []float64
+	w       float64 // current w_j
+	score   float64 // running SS
+}
+
+func (p *path) extend(state, video int, w float64) *path {
+	np := &path{
+		states:  append(append([]int(nil), p.states...), state),
+		videos:  append(append([]int(nil), p.videos...), video),
+		weights: append(append([]float64(nil), p.weights...), w),
+		w:       w,
+		score:   p.score + w,
+	}
+	return np
+}
+
+// Retrieve runs the Figure-2 process: traverse the video level (Step 2)
+// selecting candidate videos, walk the shot lattice per video (Steps 3-5),
+// score candidate sequences (Step 6), and rank them (Steps 7-9).
+func (e *Engine) Retrieve(q Query) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	order := e.videoOrder(q.steps()[0], &res.Cost)
+	if q.Scope != nil && q.Scope.Video != 0 {
+		scoped := order[:0:0]
+		for _, vi := range order {
+			if e.m.VideoIDs[vi] == q.Scope.Video {
+				scoped = append(scoped, vi)
+			}
+		}
+		if len(scoped) == 0 {
+			// The scoped video may lack the first step's events entirely;
+			// search it anyway when it exists (similarity mode may match).
+			for vi, vid := range e.m.VideoIDs {
+				if vid == q.Scope.Video {
+					scoped = append(scoped, vi)
+					break
+				}
+			}
+		}
+		order = scoped
+	}
+	if e.opts.Parallel > 1 && !e.opts.StopAfterMatches {
+		e.retrieveParallel(order, q, res)
+	} else {
+		for oi, vi := range order {
+			res.Cost.VideosSeen++
+			e.emit(TraceEvent{Kind: TraceVideoEnter, Video: vi, N: oi})
+			for _, m := range e.searchVideo(vi, q, &res.Cost) {
+				e.emit(TraceEvent{Kind: TraceComplete, Video: vi, State: m.States[len(m.States)-1], Value: m.Score})
+				res.Matches = append(res.Matches, m)
+			}
+			if e.opts.StopAfterMatches && len(res.Matches) >= 3*e.opts.TopK {
+				break
+			}
+		}
+	}
+	sortMatches(res.Matches)
+	if len(res.Matches) > e.opts.TopK {
+		res.Matches = res.Matches[:e.opts.TopK]
+	}
+	return res, nil
+}
+
+// retrieveParallel searches the ordered videos concurrently. Each worker
+// accumulates its own cost counters; matches are assembled in video order
+// so the result is bit-identical to a serial run.
+func (e *Engine) retrieveParallel(order []int, q Query, res *Result) {
+	type videoResult struct {
+		matches []Match
+		cost    Cost
+	}
+	results := make([]videoResult, len(order))
+	sem := make(chan struct{}, e.opts.Parallel)
+	var wg sync.WaitGroup
+	for oi, vi := range order {
+		wg.Add(1)
+		go func(oi, vi int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var c Cost
+			c.VideosSeen = 1
+			e.emit(TraceEvent{Kind: TraceVideoEnter, Video: vi, N: oi})
+			matches := e.searchVideo(vi, q, &c)
+			for _, m := range matches {
+				e.emit(TraceEvent{Kind: TraceComplete, Video: vi, State: m.States[len(m.States)-1], Value: m.Score})
+			}
+			results[oi] = videoResult{matches: matches, cost: c}
+		}(oi, vi)
+	}
+	wg.Wait()
+	for _, vr := range results {
+		res.Matches = append(res.Matches, vr.matches...)
+		res.Cost.SimEvals += vr.cost.SimEvals
+		res.Cost.EdgeEvals += vr.cost.EdgeEvals
+		res.Cost.VideosSeen += vr.cost.VideosSeen
+	}
+}
+
+// videoOrder implements Step 2: start from the highest-Π2 video containing
+// the first step's events (checking B2), then repeatedly hop to the
+// unvisited video with the strongest A2 affinity to the previous one.
+// Videos lacking the events entirely are appended last (they can still
+// host similar shots when AnnotatedOnly is false).
+func (e *Engine) videoOrder(first Step, cost *Cost) []int {
+	mv := e.m.NumVideos()
+	var candidates []int
+	for v := 0; v < mv; v++ {
+		if e.videoHasStep(v, first) {
+			candidates = append(candidates, v)
+		}
+	}
+	var order []int
+	visited := make([]bool, mv)
+	if len(candidates) > 0 {
+		// Seed with the max-Π2 candidate.
+		best := candidates[0]
+		for _, v := range candidates[1:] {
+			if e.m.Pi2[v] > e.m.Pi2[best] {
+				best = v
+			}
+		}
+		cur := best
+		for {
+			visited[cur] = true
+			order = append(order, cur)
+			next := -1
+			for _, v := range candidates {
+				if visited[v] {
+					continue
+				}
+				cost.EdgeEvals++
+				if next == -1 || e.m.A2.At(cur, v) > e.m.A2.At(cur, next) {
+					next = v
+				}
+			}
+			if next == -1 {
+				break
+			}
+			cur = next
+		}
+	}
+	if !e.opts.AnnotatedOnly {
+		for v := 0; v < mv; v++ {
+			if !visited[v] {
+				order = append(order, v)
+			}
+		}
+	}
+	return order
+}
+
+// videoHasStep reports whether video v contains every event of the step
+// according to B2 (the Step-2 feature check).
+func (e *Engine) videoHasStep(v int, step Step) bool {
+	for _, ev := range step.Events {
+		if e.m.B2.At(v, ev.Index()) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// cell is one node of the Figure-3 lattice: the best-known path reaching a
+// given state at a given query stage. Backpointers materialize the path.
+type cell struct {
+	state int     // global state index
+	vi    int     // video index of the state
+	w     float64 // w_j of the best path into this cell (Eqs. 12-13)
+	score float64 // running SS of that path (Eq. 15 prefix)
+	prev  *cell
+}
+
+// searchVideo runs the Figure-3 lattice over one video: every stage keeps
+// every reachable candidate state with its best incoming path (Viterbi-style
+// max over transitions), which is what lets the traversal "always try the
+// right path" without dying on a locally attractive but non-continuable
+// start. It returns up to Beam complete candidate sequences.
+func (e *Engine) searchVideo(vi int, q Query, cost *Cost) []Match {
+	visited := map[int]bool{vi: true}
+	cells := e.lattice(vi, q, 0, nil, visited, cost)
+	cells = topCells(cells, e.opts.Beam)
+	matches := make([]Match, 0, len(cells))
+	for _, c := range cells {
+		matches = append(matches, e.matchFromCell(c))
+	}
+	return matches
+}
+
+// lattice expands video vi over query stages j0..C-1. entry, when non-nil,
+// holds stage j0-1 cells in a previous video (cross-video continuation);
+// otherwise stage j0 starts fresh with the Eq. 12 weight. It returns the
+// final-stage cells, possibly from deeper videos reached by hops.
+func (e *Engine) lattice(vi int, q Query, j0 int, entry []*cell, visited map[int]bool, cost *Cost) []*cell {
+	var cur []*cell
+	steps := q.steps()
+
+	// Stage j0: enter the video.
+	st := steps[j0]
+	for _, s := range e.stepCandidates(vi, -1, st, q.Scope, cost) {
+		sim := e.simCounted(s, st, cost)
+		if entry == nil {
+			// Eq. 12: w1 = Π1(s1) · sim(s1, e1).
+			w := e.m.Pi1[s] * sim
+			cur = append(cur, &cell{state: s, vi: vi, w: w, score: w})
+			continue
+		}
+		// Cross-video entry: the transition factor is the level-2
+		// affinity A2(prev video, this video).
+		var best *cell
+		var bestW float64
+		for _, c := range entry {
+			cost.EdgeEvals++
+			w := c.w * e.m.A2.At(c.vi, vi) * sim
+			if best == nil || w > bestW {
+				best, bestW = c, w
+			}
+		}
+		if best != nil {
+			cur = append(cur, &cell{state: s, vi: vi, w: bestW, score: best.score + bestW, prev: best})
+		}
+	}
+	if len(cur) == 0 {
+		e.emit(TraceEvent{Kind: TraceDeadEnd, Video: vi, Stage: j0})
+		return nil
+	}
+	cur = trimByWeight(cur, e.opts.Beam)
+	e.emit(TraceEvent{Kind: TraceStage, Video: vi, Stage: j0, N: len(cur)})
+
+	// Stages j0+1..C-1 within this video (Eq. 13), hopping by A2 when the
+	// video runs out of candidates (Figure 3's "end of one video").
+	for j := j0 + 1; j < len(steps); j++ {
+		st := steps[j]
+		var next []*cell
+		for _, c := range cur {
+			for _, s := range e.stepCandidates(vi, c.state, st, q.Scope, cost) {
+				cost.EdgeEvals++
+				w := c.w * e.transition(vi, c.state, s) * e.simCounted(s, st, cost)
+				next = appendRelax(next, &cell{state: s, vi: vi, w: w, score: c.score + w, prev: c})
+			}
+		}
+		if len(next) == 0 {
+			if !e.opts.CrossVideo || st.MaxGapMS > 0 || (q.Scope != nil && q.Scope.Video != 0) {
+				e.emit(TraceEvent{Kind: TraceDeadEnd, Video: vi, Stage: j})
+				return nil
+			}
+			nv := e.nextVideo(vi, visited, st, cost)
+			if nv < 0 {
+				e.emit(TraceEvent{Kind: TraceDeadEnd, Video: vi, Stage: j})
+				return nil
+			}
+			visited[nv] = true
+			e.emit(TraceEvent{Kind: TraceHop, Video: nv, Stage: j})
+			return e.lattice(nv, q, j, topCells(cur, e.opts.Beam), visited, cost)
+		}
+		cur = trimByWeight(next, e.opts.Beam)
+		e.emit(TraceEvent{Kind: TraceStage, Video: vi, Stage: j, N: len(cur)})
+	}
+	return cur
+}
+
+// trimByWeight keeps the width best cells by current edge weight w — the
+// per-stage beam of the traversal. Beam 1 reproduces the paper's greedy
+// single-path walk.
+func trimByWeight(cells []*cell, width int) []*cell {
+	if len(cells) <= width {
+		return cells
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].w != cells[j].w {
+			return cells[i].w > cells[j].w
+		}
+		return cells[i].state < cells[j].state
+	})
+	return cells[:width]
+}
+
+// appendRelax inserts a cell, keeping only the best cell per state
+// (the Viterbi relaxation).
+func appendRelax(cells []*cell, c *cell) []*cell {
+	for i, old := range cells {
+		if old.state == c.state {
+			if c.w > old.w {
+				cells[i] = c
+			}
+			return cells
+		}
+	}
+	return append(cells, c)
+}
+
+// topCells returns the width best cells by running score.
+func topCells(cells []*cell, width int) []*cell {
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].score != cells[j].score {
+			return cells[i].score > cells[j].score
+		}
+		return cells[i].state < cells[j].state
+	})
+	if len(cells) > width {
+		cells = cells[:width]
+	}
+	return cells
+}
+
+// matchFromCell materializes the path ending at c.
+func (e *Engine) matchFromCell(c *cell) Match {
+	var chain []*cell
+	for x := c; x != nil; x = x.prev {
+		chain = append(chain, x)
+	}
+	// Reverse into temporal order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	m := Match{Score: c.score}
+	for _, x := range chain {
+		m.States = append(m.States, x.state)
+		m.Shots = append(m.Shots, e.m.States[x.state].Shot)
+		m.Videos = append(m.Videos, e.m.VideoIDs[x.vi])
+		m.Weights = append(m.Weights, x.w)
+	}
+	return m
+}
+
+// stepCandidates returns the global state indices of video vi that can
+// serve the step after global state after (-1 for "any"). States annotated
+// with every step event are preferred and found through the inverted event
+// index; without AnnotatedOnly, all remaining states compete when no
+// annotated one exists.
+func (e *Engine) stepCandidates(vi, after int, step Step, scope *Scope, cost *Cost) []int {
+	lo, hi := e.m.VideoStates(vi)
+	start := lo
+	prevMS := -1
+	if after >= 0 {
+		start = after + 1
+		prevMS = e.m.States[after].StartMS
+	}
+
+	// Annotated candidates via the index: walk the (shortest) posting
+	// list of the step's events, filtering by position, conjunction, and
+	// gap constraints.
+	var annotated []int
+	if len(step.Events) > 0 {
+		posting := e.index[vi][step.Events[0].Index()]
+		for _, ev := range step.Events[1:] {
+			if alt := e.index[vi][ev.Index()]; len(alt) < len(posting) {
+				posting = alt
+			}
+		}
+		// Binary search the first posting >= start.
+		i := sort.SearchInts(posting, start)
+		for ; i < len(posting); i++ {
+			s := posting[i]
+			if !scope.contains(e.m.States[s].StartMS) {
+				continue
+			}
+			if prevMS >= 0 && !step.gapOK(prevMS, e.m.States[s].StartMS) {
+				continue
+			}
+			if len(step.Events) > 1 && !stateHasStep(&e.m.States[s], step) {
+				continue
+			}
+			annotated = append(annotated, s)
+		}
+	}
+	if len(annotated) > 0 {
+		return annotated
+	}
+	if e.opts.AnnotatedOnly {
+		return nil
+	}
+	// Similarity fallback: every remaining state that is NOT a full
+	// annotation match (those were exhausted above) competes by features.
+	var plain []int
+	for s := start; s < hi; s++ {
+		if !scope.contains(e.m.States[s].StartMS) {
+			continue
+		}
+		if prevMS >= 0 && !step.gapOK(prevMS, e.m.States[s].StartMS) {
+			continue
+		}
+		if !stateHasStep(&e.m.States[s], step) {
+			plain = append(plain, s)
+		}
+	}
+	return plain
+}
+
+// transition returns the A1 factor between two states of the same video.
+func (e *Engine) transition(vi, from, to int) float64 {
+	a := e.m.LocalA[vi]
+	return a.At(e.m.States[from].LocalIdx, e.m.States[to].LocalIdx)
+}
+
+// nextVideo picks the not-yet-visited video with the highest A2 affinity
+// to cur among those containing ev (B2 check). It returns -1 when none
+// qualifies.
+func (e *Engine) nextVideo(cur int, used map[int]bool, step Step, cost *Cost) int {
+	best := -1
+	for v := 0; v < e.m.NumVideos(); v++ {
+		if used[v] || !e.videoHasStep(v, step) {
+			continue
+		}
+		cost.EdgeEvals++
+		if best == -1 || e.m.A2.At(cur, v) > e.m.A2.At(cur, best) {
+			best = v
+		}
+	}
+	return best
+}
+
+func (e *Engine) simCounted(s int, step Step, cost *Cost) float64 {
+	cost.SimEvals++
+	return e.SimStep(s, step)
+}
+
+// SimStep averages Sim over the step's conjunct events.
+func (e *Engine) SimStep(s int, step Step) float64 {
+	if len(step.Events) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, ev := range step.Events {
+		sum += e.Sim(s, ev)
+	}
+	return sum / float64(len(step.Events))
+}
+
+func (e *Engine) finishMatch(p *path) Match {
+	m := Match{
+		States:  p.states,
+		Weights: p.weights,
+		Score:   p.score,
+	}
+	for i, s := range p.states {
+		m.Shots = append(m.Shots, e.m.States[s].Shot)
+		m.Videos = append(m.Videos, e.m.VideoIDs[p.videos[i]])
+	}
+	return m
+}
+
+// sortMatches orders matches by score descending with a deterministic
+// tie-break on state indices.
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Score != ms[j].Score {
+			return ms[i].Score > ms[j].Score
+		}
+		a, b := ms[i].States, ms[j].States
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+// ExactMatch reports whether every step of the match lands on a state
+// annotated with all of the corresponding step's events: the ground-truth
+// criterion used by the precision experiments.
+func ExactMatch(m *hmmm.Model, match Match, q Query) bool {
+	steps := q.steps()
+	if len(match.States) != len(steps) {
+		return false
+	}
+	for i, s := range match.States {
+		if !stateHasStep(&m.States[s], steps[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeRanked deduplicates matches by state sequence (keeping the highest
+// score), re-ranks, and truncates to topK. The server uses it to combine
+// the results of the several linear patterns an MATN query may expand to.
+func MergeRanked(matches []Match, topK int) []Match {
+	if topK <= 0 {
+		topK = DefaultTopK
+	}
+	best := make(map[string]Match, len(matches))
+	for _, m := range matches {
+		k := stateKey(m.States)
+		if old, ok := best[k]; !ok || m.Score > old.Score {
+			best[k] = m
+		}
+	}
+	out := make([]Match, 0, len(best))
+	for _, m := range best {
+		out = append(out, m)
+	}
+	sortMatches(out)
+	if len(out) > topK {
+		out = out[:topK]
+	}
+	return out
+}
+
+func stateKey(states []int) string {
+	b := make([]byte, 0, len(states)*3)
+	for _, s := range states {
+		b = strconv.AppendInt(b, int64(s), 10)
+		b = append(b, ',')
+	}
+	return string(b)
+}

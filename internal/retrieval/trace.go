@@ -1,0 +1,118 @@
+package retrieval
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// TraceEvent is one step of a retrieval's execution, emitted when the
+// engine runs with a Tracer: the EXPLAIN ANALYZE view of the Figure-2
+// process.
+type TraceEvent struct {
+	Kind  TraceKind
+	Video int     // video index (video-scoped events)
+	Stage int     // query stage j (stage-scoped events)
+	State int     // global state index (state-scoped events)
+	N     int     // candidate / path counts
+	Value float64 // weight or score associated with the event
+}
+
+// TraceKind enumerates trace event types.
+type TraceKind int
+
+// Trace event kinds.
+const (
+	TraceVideoEnter TraceKind = iota // expanding a level-2 state; N = order position
+	TraceStage                       // a lattice stage expanded; N = surviving cells
+	TraceHop                         // cross-video continuation; Video = target video
+	TraceComplete                    // a candidate sequence completed; Value = SS score
+	TraceDeadEnd                     // a video's lattice died before the final stage
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceVideoEnter:
+		return "video-enter"
+	case TraceStage:
+		return "stage"
+	case TraceHop:
+		return "hop"
+	case TraceComplete:
+		return "complete"
+	case TraceDeadEnd:
+		return "dead-end"
+	default:
+		return fmt.Sprintf("trace(%d)", int(k))
+	}
+}
+
+// Tracer receives trace events during retrieval. Implementations must be
+// safe for concurrent use when the engine runs with Parallel > 1.
+type Tracer interface {
+	Event(TraceEvent)
+}
+
+// CollectTracer accumulates events in memory.
+type CollectTracer struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// Event implements Tracer.
+func (c *CollectTracer) Event(ev TraceEvent) {
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of the collected events.
+func (c *CollectTracer) Events() []TraceEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]TraceEvent(nil), c.events...)
+}
+
+// Count returns how many events of the kind were collected.
+func (c *CollectTracer) Count(kind TraceKind) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, ev := range c.events {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// WriterTracer renders events as text lines.
+type WriterTracer struct {
+	mu sync.Mutex
+	W  io.Writer
+}
+
+// Event implements Tracer.
+func (w *WriterTracer) Event(ev TraceEvent) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch ev.Kind {
+	case TraceVideoEnter:
+		fmt.Fprintf(w.W, "enter video %d (order %d)\n", ev.Video, ev.N)
+	case TraceStage:
+		fmt.Fprintf(w.W, "  video %d stage %d: %d cells\n", ev.Video, ev.Stage, ev.N)
+	case TraceHop:
+		fmt.Fprintf(w.W, "  hop -> video %d at stage %d\n", ev.Video, ev.Stage)
+	case TraceComplete:
+		fmt.Fprintf(w.W, "  complete: state %d score %.5f\n", ev.State, ev.Value)
+	case TraceDeadEnd:
+		fmt.Fprintf(w.W, "  dead end in video %d at stage %d\n", ev.Video, ev.Stage)
+	}
+}
+
+// emit sends an event to the configured tracer, if any.
+func (e *Engine) emit(ev TraceEvent) {
+	if e.opts.Tracer != nil {
+		e.opts.Tracer.Event(ev)
+	}
+}

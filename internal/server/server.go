@@ -1,0 +1,529 @@
+// Package server exposes the HMMM retrieval system over HTTP+JSON: the
+// programmatic equivalent of the paper's Figure-5 client/server soccer
+// video retrieval interface. Clients issue MATN pattern queries, browse
+// the archive, send positive feedback on retrieved patterns, and trigger
+// (or let the threshold trigger) offline retraining.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/videodb/hmmm/internal/api"
+	"github.com/videodb/hmmm/internal/features"
+	"github.com/videodb/hmmm/internal/feedback"
+	"github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/matn"
+	"github.com/videodb/hmmm/internal/retrieval"
+	"github.com/videodb/hmmm/internal/videomodel"
+)
+
+// Server serves the retrieval API over one HMMM model.
+//
+// Retrieval runs under a read lock; feedback retraining mutates the model
+// under the write lock, so queries always observe a consistent model.
+type Server struct {
+	mu      sync.RWMutex
+	model   *hmmm.Model
+	opts    retrieval.Options
+	log     *feedback.Log
+	trainer *feedback.Trainer
+	logPath string
+}
+
+// Config bundles the server dependencies.
+type Config struct {
+	Model   *hmmm.Model
+	Options retrieval.Options
+	// RetrainThreshold is the feedback count that triggers automatic
+	// offline retraining; <= 0 disables auto-retraining (manual
+	// /api/retrain still works).
+	RetrainThreshold int
+	// FeedbackLogPath, when non-empty, persists the feedback log: loaded
+	// at startup if the file exists, rewritten after every feedback and
+	// retrain. The accumulated positive patterns are the system's learned
+	// user knowledge and must survive restarts.
+	FeedbackLogPath string
+}
+
+// New validates the model and returns a server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("server: nil model")
+	}
+	if err := cfg.Model.Validate(1e-6); err != nil {
+		return nil, fmt.Errorf("server: invalid model: %w", err)
+	}
+	s := &Server{
+		model:   cfg.Model,
+		opts:    cfg.Options,
+		log:     feedback.NewLog(),
+		trainer: feedback.NewTrainer(cfg.RetrainThreshold),
+		logPath: cfg.FeedbackLogPath,
+	}
+	if s.logPath != "" {
+		f, err := os.Open(s.logPath)
+		switch {
+		case err == nil:
+			loaded, lerr := feedback.LoadLog(f)
+			f.Close()
+			if lerr != nil {
+				return nil, fmt.Errorf("server: loading feedback log: %w", lerr)
+			}
+			s.log = loaded
+		case !os.IsNotExist(err):
+			return nil, fmt.Errorf("server: opening feedback log: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// persistLog rewrites the feedback log snapshot if persistence is
+// configured. Called with the write lock held.
+func (s *Server) persistLog() error {
+	if s.logPath == "" {
+		return nil
+	}
+	tmp := s.logPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.log.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, s.logPath)
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/health", s.handleHealth)
+	mux.HandleFunc("GET /api/stats", s.handleStats)
+	mux.HandleFunc("GET /api/events", s.handleEvents)
+	mux.HandleFunc("GET /api/videos", s.handleVideos)
+	mux.HandleFunc("GET /api/states/{id}", s.handleState)
+	mux.HandleFunc("POST /api/videos/rank", s.handleRankVideos)
+	mux.HandleFunc("GET /api/videos/{id}/similar", s.handleSimilarVideos)
+	mux.HandleFunc("POST /api/parse", s.handleParse)
+	mux.HandleFunc("POST /api/query", s.handleQuery)
+	mux.HandleFunc("POST /api/feedback", s.handleFeedback)
+	mux.HandleFunc("POST /api/retrain", s.handleRetrain)
+	return mux
+}
+
+// API payload types are defined in package api and aliased here for
+// convenience.
+type (
+	QueryRequest     = api.QueryRequest
+	ShotResponse     = api.ShotResponse
+	RankResponse     = api.RankResponse
+	ParseResponse    = api.ParseResponse
+	QueryResponse    = api.QueryResponse
+	MatchJSON        = api.MatchJSON
+	CostJSON         = api.CostJSON
+	FeedbackRequest  = api.FeedbackRequest
+	FeedbackResponse = api.FeedbackResponse
+	StatsResponse    = api.StatsResponse
+	VideoJSON        = api.VideoJSON
+	ErrorResponse    = api.ErrorResponse
+)
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	counts := make(map[string]int)
+	for _, st := range s.model.States {
+		for _, e := range st.Events {
+			counts[e.String()]++
+		}
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Videos:           s.model.NumVideos(),
+		States:           s.model.NumStates(),
+		Concepts:         s.model.NumConcepts(),
+		Features:         s.model.K(),
+		DistinctPatterns: s.log.Len(),
+		PendingFeedback:  s.log.Pending(),
+		EventCounts:      counts,
+	})
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	names := make([]string, videomodel.NumEvents)
+	for i := range names {
+		names[i] = videomodel.EventFromIndex(i).String()
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"events": names})
+}
+
+func (s *Server) handleVideos(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]VideoJSON, s.model.NumVideos())
+	for vi := range out {
+		lo, hi := s.model.VideoStates(vi)
+		counts := make(map[string]int)
+		for ci := 0; ci < s.model.NumConcepts(); ci++ {
+			if n := int(s.model.B2.At(vi, ci)); n > 0 {
+				counts[videomodel.EventFromIndex(ci).String()] = n
+			}
+		}
+		out[vi] = VideoJSON{ID: int(s.model.VideoIDs[vi]), States: hi - lo, EventCounts: counts}
+	}
+	writeJSON(w, http.StatusOK, map[string][]VideoJSON{"videos": out})
+}
+
+// handleRankVideos ranks videos for an MATN pattern using the level-2
+// matrices only (the Step-2 browsing signal).
+func (s *Server) handleRankVideos(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	queries, err := matn.CompileString(req.Pattern)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	engine, err := retrieval.NewEngine(s.model, s.opts)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	// Merge alternation branches by max score per video.
+	best := make(map[int]float64)
+	for _, q := range queries {
+		ranks, err := engine.RankVideos(q)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		for _, vr := range ranks {
+			if vr.Score > best[int(vr.VideoID)] {
+				best[int(vr.VideoID)] = vr.Score
+			}
+		}
+	}
+	resp := RankResponse{}
+	for id, score := range best {
+		resp.Videos = append(resp.Videos, api.VideoRankJSON{Video: id, Score: score})
+	}
+	sort.Slice(resp.Videos, func(i, j int) bool {
+		if resp.Videos[i].Score != resp.Videos[j].Score {
+			return resp.Videos[i].Score > resp.Videos[j].Score
+		}
+		return resp.Videos[i].Video < resp.Videos[j].Video
+	})
+	topK := req.TopK
+	if topK <= 0 {
+		topK = retrieval.DefaultTopK
+	}
+	if len(resp.Videos) > topK {
+		resp.Videos = resp.Videos[:topK]
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSimilarVideos ranks videos similar to the given one by event
+// profile blended with learned A2 affinity.
+func (s *Server) handleSimilarVideos(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad video id: %w", err))
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vi := -1
+	for i, vid := range s.model.VideoIDs {
+		if int(vid) == id {
+			vi = i
+			break
+		}
+	}
+	if vi < 0 {
+		writeError(w, http.StatusNotFound, fmt.Errorf("video %d not found", id))
+		return
+	}
+	engine, err := retrieval.NewEngine(s.model, s.opts)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	ranks, err := engine.SimilarVideos(vi, 0.7, retrieval.DefaultTopK)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := RankResponse{}
+	for _, vr := range ranks {
+		resp.Videos = append(resp.Videos, api.VideoRankJSON{Video: int(vr.VideoID), Score: vr.Score})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleState returns the detail of one level-1 state by global index.
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad state id: %w", err))
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id < 0 || id >= s.model.NumStates() {
+		writeError(w, http.StatusNotFound, fmt.Errorf("state %d out of range (%d states)", id, s.model.NumStates()))
+		return
+	}
+	st := &s.model.States[id]
+	names := make([]string, len(st.Events))
+	for i, e := range st.Events {
+		names[i] = e.String()
+	}
+	writeJSON(w, http.StatusOK, ShotResponse{
+		State:   id,
+		Shot:    int(st.Shot),
+		Video:   int(s.model.VideoIDs[st.VideoIdx]),
+		StartMS: st.StartMS,
+		Events:  names,
+		Pi:      s.model.Pi1[id],
+		B1:      append([]float64(nil), s.model.B1.Row(id)...),
+	})
+}
+
+// handleParse validates and renders an MATN query without executing it.
+func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	network, err := matn.Parse(req.Pattern)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	queries, err := network.Compile()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := ParseResponse{
+		Pattern: req.Pattern,
+		Network: network.String(),
+		States:  network.States,
+		Arcs:    len(network.Arcs),
+	}
+	for _, q := range queries {
+		var parts []string
+		for _, step := range q.Steps {
+			var names []string
+			for _, e := range step.Events {
+				names = append(names, e.String())
+			}
+			parts = append(parts, strings.Join(names, "&"))
+		}
+		resp.Expanded = append(resp.Expanded, strings.Join(parts, " -> "))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	queries, err := matn.CompileString(req.Pattern)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	opts := s.opts
+	if req.TopK > 0 {
+		opts.TopK = req.TopK
+	}
+	if req.Beam > 0 {
+		opts.Beam = req.Beam
+	}
+	opts.CrossVideo = opts.CrossVideo || req.CrossVideo
+	opts.AnnotatedOnly = !req.SimilarShots
+	engine, err := retrieval.NewEngine(s.model, opts)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	// An MATN may compile to several linear patterns (alternation,
+	// optional steps); results are merged and deduplicated by state
+	// sequence, keeping the best score.
+	var scope *retrieval.Scope
+	if req.ScopeVideo != 0 || req.ScopeFromMS != 0 || req.ScopeToMS != 0 {
+		scope = &retrieval.Scope{
+			Video:  videomodel.VideoID(req.ScopeVideo),
+			FromMS: req.ScopeFromMS,
+			ToMS:   req.ScopeToMS,
+		}
+		probe := queries[0]
+		probe.Scope = scope
+		if err := probe.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	var all []retrieval.Match
+	var cost retrieval.Cost
+	for _, q := range queries {
+		q.Scope = scope
+		res, err := engine.Retrieve(q)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		all = append(all, res.Matches...)
+		cost.SimEvals += res.Cost.SimEvals
+		cost.EdgeEvals += res.Cost.EdgeEvals
+		cost.VideosSeen += res.Cost.VideosSeen
+	}
+	merged := retrieval.MergeRanked(all, opts.TopK)
+
+	var explain func(match retrieval.Match) []api.StepExplanationJSON
+	if req.Explain {
+		explain = func(match retrieval.Match) []api.StepExplanationJSON {
+			// Explain against the first compiled pattern of matching
+			// length; alternation branches share factor structure.
+			for _, q := range queries {
+				if q.Len() != len(match.States) {
+					continue
+				}
+				exps, err := engine.Explain(match, q)
+				if err != nil {
+					continue
+				}
+				out := make([]api.StepExplanationJSON, len(exps))
+				for i, ex := range exps {
+					ej := api.StepExplanationJSON{
+						Pi: ex.Pi, Transition: ex.Transition,
+						CrossVideo: ex.CrossVideo, Sim: ex.Sim, Weight: ex.Weight,
+					}
+					for _, fc := range ex.Features {
+						ej.Features = append(ej.Features, api.FeatureContributionJSON{
+							Feature: features.Names[fc.Feature],
+							Event:   fc.Event.String(),
+							Term:    fc.Term,
+						})
+					}
+					out[i] = ej
+				}
+				return out
+			}
+			return nil
+		}
+	}
+
+	resp := QueryResponse{
+		Pattern:  req.Pattern,
+		Expanded: len(queries),
+		Cost:     CostJSON{SimEvals: cost.SimEvals, EdgeEvals: cost.EdgeEvals, VideosSeen: cost.VideosSeen},
+	}
+	for i, match := range merged {
+		mj := MatchJSON{
+			Rank:    i + 1,
+			Score:   match.Score,
+			States:  match.States,
+			Weights: match.Weights,
+		}
+		for j, shot := range match.Shots {
+			mj.Shots = append(mj.Shots, int(shot))
+			mj.Videos = append(mj.Videos, int(match.Videos[j]))
+		}
+		for _, st := range match.States {
+			var names []string
+			for _, e := range s.model.States[st].Events {
+				names = append(names, e.String())
+			}
+			mj.Events = append(mj.Events, names)
+		}
+		if explain != nil {
+			mj.Explanation = explain(match)
+		}
+		resp.Matches = append(resp.Matches, mj)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	var req FeedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.log.MarkPositive(s.model, req.States); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	retrained := false
+	if s.trainer.Threshold > 0 {
+		var err error
+		retrained, err = s.trainer.MaybeRetrain(s.model, s.log)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	if err := s.persistLog(); err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("persisting feedback log: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, FeedbackResponse{Pending: s.log.Pending(), Retrained: retrained})
+}
+
+func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.trainer.Retrain(s.model, s.log); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if err := s.persistLog(); err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("persisting feedback log: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, FeedbackResponse{Pending: s.log.Pending(), Retrained: true})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,181 @@
+package shotdetect
+
+import (
+	"testing"
+
+	"github.com/videodb/hmmm/internal/synthvideo"
+	"github.com/videodb/hmmm/internal/videomodel"
+	"github.com/videodb/hmmm/internal/xrand"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{Bins: 0, K: 4, Window: 10, MinShotLen: 1},
+		{Bins: 300, K: 4, Window: 10, MinShotLen: 1},
+		{Bins: 32, K: 0, Window: 10, MinShotLen: 1},
+		{Bins: 32, K: 4, Window: 1, MinShotLen: 1},
+		{Bins: 32, K: 4, Window: 10, MinShotLen: 0},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New accepted invalid config %+v", i, cfg)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Fatalf("DefaultConfig rejected: %v", err)
+	}
+}
+
+// concatShots renders consecutive shots of alternating classes and returns
+// the frame stream plus ground-truth boundary frame indices.
+func concatShots(seed uint64, classes []videomodel.Event, framesPerShot int) ([]*videomodel.Frame, []int) {
+	r := synthvideo.NewRenderer(0, 0, 0)
+	rng := xrand.New(seed)
+	var stream []*videomodel.Frame
+	var truth []int
+	for i, c := range classes {
+		shot := r.RenderShot(rng.Fork(uint64(i)), c, framesPerShot*synthvideo.DefaultFramePeriod)
+		if i > 0 {
+			truth = append(truth, len(stream))
+		}
+		stream = append(stream, shot...)
+	}
+	return stream, truth
+}
+
+func TestDetectFindsCutsBetweenDistinctShots(t *testing.T) {
+	// Alternate visually distinct classes so every boundary is a hard cut.
+	classes := []videomodel.Event{
+		videomodel.EventGoalKick, videomodel.EventYellowCard,
+		videomodel.EventGoalKick, videomodel.EventPlayerChange,
+		videomodel.EventCornerKick, videomodel.EventRedCard,
+	}
+	stream, truth := concatShots(21, classes, 12)
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected := d.Detect(stream)
+	p, r, f1 := Evaluate(detected, truth, 1)
+	if r < 0.8 {
+		t.Errorf("recall = %v (detected %d of %d cuts), want >= 0.8", r, len(detected), len(truth))
+	}
+	if p < 0.6 {
+		t.Errorf("precision = %v, want >= 0.6", p)
+	}
+	if f1 == 0 {
+		t.Error("F1 = 0")
+	}
+}
+
+func TestDetectNoCutsWithinOneShot(t *testing.T) {
+	r := synthvideo.NewRenderer(0, 0, 0)
+	frames := r.RenderShot(xrand.New(3), videomodel.EventGoalKick, 10000)
+	d, _ := New(DefaultConfig())
+	if cuts := d.Detect(frames); len(cuts) > 1 {
+		t.Errorf("detected %d cuts inside a single static shot", len(cuts))
+	}
+}
+
+func TestDetectShortInput(t *testing.T) {
+	d, _ := New(DefaultConfig())
+	if got := d.Detect(nil); got != nil {
+		t.Error("Detect(nil) should return nil")
+	}
+	if got := d.Detect([]*videomodel.Frame{videomodel.NewFrame(2, 2)}); got != nil {
+		t.Error("Detect of one frame should return nil")
+	}
+}
+
+func TestMinShotLengthEnforced(t *testing.T) {
+	classes := []videomodel.Event{
+		videomodel.EventGoalKick, videomodel.EventYellowCard, videomodel.EventGoalKick,
+	}
+	stream, _ := concatShots(5, classes, 10)
+	cfg := DefaultConfig()
+	cfg.MinShotLen = 8
+	d, _ := New(cfg)
+	cuts := d.Detect(stream)
+	last := 0
+	for _, c := range cuts {
+		if c.Frame-last < cfg.MinShotLen {
+			t.Errorf("cut at %d violates min shot length after %d", c.Frame, last)
+		}
+		last = c.Frame
+	}
+}
+
+func TestSegmentPartitionsFrames(t *testing.T) {
+	classes := []videomodel.Event{videomodel.EventGoalKick, videomodel.EventRedCard, videomodel.EventCornerKick}
+	stream, _ := concatShots(9, classes, 10)
+	d, _ := New(DefaultConfig())
+	segs := d.Segment(stream)
+	total := 0
+	for _, s := range segs {
+		if len(s) == 0 {
+			t.Error("empty segment")
+		}
+		total += len(s)
+	}
+	if total != len(stream) {
+		t.Errorf("segments cover %d frames of %d", total, len(stream))
+	}
+}
+
+func TestSegmentNoCuts(t *testing.T) {
+	d, _ := New(DefaultConfig())
+	frames := []*videomodel.Frame{videomodel.NewFrame(2, 2), videomodel.NewFrame(2, 2)}
+	segs := d.Segment(frames)
+	if len(segs) != 1 || len(segs[0]) != 2 {
+		t.Errorf("Segment of identical frames = %d segments", len(segs))
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	det := []Boundary{{Frame: 10}, {Frame: 30}, {Frame: 50}}
+	truth := []int{11, 29, 90}
+	p, r, f1 := Evaluate(det, truth, 2)
+	if p != 2.0/3 {
+		t.Errorf("precision = %v, want 2/3", p)
+	}
+	if r != 2.0/3 {
+		t.Errorf("recall = %v, want 2/3", r)
+	}
+	if f1 != 2.0/3 {
+		t.Errorf("f1 = %v, want 2/3", f1)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	p, r, f1 := Evaluate(nil, nil, 2)
+	if p != 1 || r != 1 || f1 != 1 {
+		t.Errorf("empty/empty = %v %v %v, want 1 1 1", p, r, f1)
+	}
+	p, r, _ = Evaluate(nil, []int{5}, 2)
+	if p != 0 || r != 0 {
+		t.Errorf("missed-all = %v %v, want 0 0", p, r)
+	}
+}
+
+func TestEvaluateNoDoubleMatch(t *testing.T) {
+	// Two detections near one truth boundary: only one may count.
+	det := []Boundary{{Frame: 10}, {Frame: 11}}
+	truth := []int{10}
+	p, r, _ := Evaluate(det, truth, 2)
+	if p != 0.5 || r != 1 {
+		t.Errorf("p=%v r=%v, want 0.5 1", p, r)
+	}
+}
+
+func BenchmarkDetect(b *testing.B) {
+	classes := []videomodel.Event{
+		videomodel.EventGoalKick, videomodel.EventGoal, videomodel.EventCornerKick,
+		videomodel.EventYellowCard, videomodel.EventNone, videomodel.EventRedCard,
+	}
+	stream, _ := concatShots(1, classes, 12)
+	d, _ := New(DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Detect(stream)
+	}
+}

@@ -1,0 +1,230 @@
+// Package store persists corpora and HMMM models to disk: versioned gob
+// snapshots for fast reload, plus a JSON model export for inspection and
+// interchange.
+//
+// A paper-scale corpus regenerates in a couple of seconds, but the trained
+// model embodies accumulated user feedback that must survive restarts —
+// the paper's training "computations should be done offline", and this is
+// where their results live.
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/videodb/hmmm/internal/dataset"
+	"github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/videomodel"
+)
+
+// Magic and Version identify the snapshot format. Version 2 added a
+// CRC-32 payload checksum.
+const (
+	Magic   = "HMMMDB"
+	Version = 2
+)
+
+// ErrBadFormat is returned when a file is not a store snapshot or has an
+// unsupported version.
+var ErrBadFormat = errors.New("store: unrecognized snapshot format")
+
+// ErrChecksum is returned when a snapshot's payload fails integrity
+// verification.
+var ErrChecksum = errors.New("store: snapshot checksum mismatch")
+
+// header prefixes every snapshot.
+type header struct {
+	Magic    string
+	Version  int
+	Kind     string // "corpus" or "model"
+	Checksum uint32 // IEEE CRC-32 of the gob-encoded payload
+}
+
+// corpusPayload is the persistent form of a dataset.Corpus. Media is never
+// persisted; features and annotations are.
+type corpusPayload struct {
+	Videos   []*videomodel.Video
+	Features map[videomodel.ShotID][]float64
+	Config   dataset.Config
+}
+
+// SaveCorpus writes the corpus to path atomically (write to temp file,
+// then rename) with a payload checksum.
+func SaveCorpus(path string, c *dataset.Corpus) error {
+	return saveSnapshot(path, "corpus", corpusPayload{
+		Videos:   c.Archive.Videos,
+		Features: c.Features,
+		Config:   c.Config,
+	})
+}
+
+// saveSnapshot gob-encodes the payload, checksums it, and writes header +
+// payload atomically.
+func saveSnapshot(path, kind string, payload any) error {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(payload); err != nil {
+		return fmt.Errorf("store: encoding %s: %w", kind, err)
+	}
+	sum := crc32.ChecksumIEEE(body.Bytes())
+	return atomically(path, func(w io.Writer) error {
+		if err := gob.NewEncoder(w).Encode(header{
+			Magic: Magic, Version: Version, Kind: kind, Checksum: sum,
+		}); err != nil {
+			return err
+		}
+		_, err := w.Write(body.Bytes())
+		return err
+	})
+}
+
+// loadSnapshot verifies the header and checksum, then gob-decodes the
+// payload into out. The whole snapshot is read into memory: decoding the
+// header from a bytes.Reader (an io.ByteReader) makes gob consume exactly
+// the header message, so the remaining bytes are precisely the payload.
+func loadSnapshot(path, kind string, out any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	br := bytes.NewReader(data)
+	h, err := checkHeader(gob.NewDecoder(br), kind)
+	if err != nil {
+		return err
+	}
+	body := data[len(data)-br.Len():]
+	if crc32.ChecksumIEEE(body) != h.Checksum {
+		return fmt.Errorf("%w: %s payload", ErrChecksum, kind)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(out); err != nil {
+		return fmt.Errorf("store: decoding %s: %w", kind, err)
+	}
+	return nil
+}
+
+// LoadCorpus reads a corpus written by SaveCorpus, verifying integrity.
+func LoadCorpus(path string) (*dataset.Corpus, error) {
+	var p corpusPayload
+	if err := loadSnapshot(path, "corpus", &p); err != nil {
+		return nil, err
+	}
+	archive, err := videomodel.NewArchive(p.Videos)
+	if err != nil {
+		return nil, fmt.Errorf("store: corrupt corpus: %w", err)
+	}
+	return &dataset.Corpus{Archive: archive, Features: p.Features, Config: p.Config}, nil
+}
+
+// SaveModel writes the model to path atomically with a payload checksum.
+func SaveModel(path string, m *hmmm.Model) error {
+	return saveSnapshot(path, "model", m.Snapshot())
+}
+
+// LoadModel reads a model written by SaveModel, verifying integrity and
+// validating its invariants.
+func LoadModel(path string) (*hmmm.Model, error) {
+	var s hmmm.Snapshot
+	if err := loadSnapshot(path, "model", &s); err != nil {
+		return nil, err
+	}
+	return hmmm.FromSnapshot(&s)
+}
+
+func checkHeader(dec *gob.Decoder, kind string) (header, error) {
+	var h header
+	if err := dec.Decode(&h); err != nil {
+		return h, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if h.Magic != Magic {
+		return h, fmt.Errorf("%w: bad magic %q", ErrBadFormat, h.Magic)
+	}
+	if h.Version != Version {
+		return h, fmt.Errorf("%w: version %d, want %d", ErrBadFormat, h.Version, Version)
+	}
+	if h.Kind != kind {
+		return h, fmt.Errorf("%w: snapshot holds a %s, want a %s", ErrBadFormat, h.Kind, kind)
+	}
+	return h, nil
+}
+
+// atomically writes via a temp file in the target directory and renames
+// into place, so readers never observe a torn snapshot.
+func atomically(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".hmmm-snapshot-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// modelJSON is the JSON export shape: a human-inspectable summary plus the
+// full cross-level matrices (the per-video A1 blocks are included; B1 can
+// be large and is summarized by its bounds).
+type modelJSON struct {
+	NumStates   int                    `json:"num_states"`
+	NumVideos   int                    `json:"num_videos"`
+	NumConcepts int                    `json:"num_concepts"`
+	K           int                    `json:"num_features"`
+	Events      []string               `json:"events"`
+	Pi1         []float64              `json:"pi1"`
+	Pi2         []float64              `json:"pi2"`
+	A2          [][]float64            `json:"a2"`
+	B2          [][]float64            `json:"b2"`
+	P12         [][]float64            `json:"p12"`
+	B1Prime     [][]float64            `json:"b1_prime"`
+	LocalA      map[string][][]float64 `json:"local_a1"`
+}
+
+// ExportModelJSON writes a JSON rendering of the model.
+func ExportModelJSON(w io.Writer, m *hmmm.Model) error {
+	names := make([]string, videomodel.NumEvents)
+	for i := range names {
+		names[i] = videomodel.EventFromIndex(i).String()
+	}
+	out := modelJSON{
+		NumStates:   m.NumStates(),
+		NumVideos:   m.NumVideos(),
+		NumConcepts: m.NumConcepts(),
+		K:           m.K(),
+		Events:      names,
+		Pi1:         m.Pi1,
+		Pi2:         m.Pi2,
+		A2:          rows(m.A2),
+		B2:          rows(m.B2),
+		P12:         rows(m.P12),
+		B1Prime:     rows(m.B1Prime),
+		LocalA:      map[string][][]float64{},
+	}
+	for vi, a := range m.LocalA {
+		out.LocalA[fmt.Sprintf("video_%d", m.VideoIDs[vi])] = rows(a)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func rows(d interface {
+	Rows() int
+	Row(int) []float64
+}) [][]float64 {
+	out := make([][]float64, d.Rows())
+	for i := range out {
+		out[i] = append([]float64(nil), d.Row(i)...)
+	}
+	return out
+}

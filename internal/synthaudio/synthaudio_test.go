@@ -1,0 +1,121 @@
+package synthaudio
+
+import (
+	"math"
+	"testing"
+
+	"github.com/videodb/hmmm/internal/dsp"
+	"github.com/videodb/hmmm/internal/videomodel"
+	"github.com/videodb/hmmm/internal/xrand"
+)
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(xrand.New(3), videomodel.EventGoal, 2000)
+	b := Synthesize(xrand.New(3), videomodel.EventGoal, 2000)
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d differs between identically seeded runs", i)
+		}
+	}
+}
+
+func TestSynthesizeLengthAndBounds(t *testing.T) {
+	clip := Synthesize(xrand.New(1), videomodel.EventNone, 1500)
+	if clip.SampleRate != SampleRate {
+		t.Errorf("sample rate = %d, want %d", clip.SampleRate, SampleRate)
+	}
+	if want := 1500 * SampleRate / 1000; len(clip.Samples) != want {
+		t.Errorf("sample count = %d, want %d", len(clip.Samples), want)
+	}
+	for i, v := range clip.Samples {
+		if v < -1 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("sample %d = %v outside [-1,1]", i, v)
+		}
+	}
+}
+
+func TestSynthesizeMinimumDuration(t *testing.T) {
+	clip := Synthesize(xrand.New(1), videomodel.EventNone, 10)
+	if len(clip.Samples) < SampleRate/4 {
+		t.Errorf("very short shot produced %d samples, want at least %d", len(clip.Samples), SampleRate/4)
+	}
+}
+
+func meanRMS(clip *videomodel.AudioClip) float64 {
+	frames := dsp.Frames(clip.Samples, 512, 256)
+	var sum float64
+	for _, f := range frames {
+		sum += dsp.RMS(f)
+	}
+	return sum / float64(len(frames))
+}
+
+func TestGoalIsLouderThanGoalKick(t *testing.T) {
+	rng := xrand.New(9)
+	var goal, gk float64
+	const n = 5
+	for i := 0; i < n; i++ {
+		goal += meanRMS(Synthesize(rng.Fork(uint64(i)), videomodel.EventGoal, 3000))
+		gk += meanRMS(Synthesize(rng.Fork(uint64(100+i)), videomodel.EventGoalKick, 3000))
+	}
+	if goal <= gk*1.5 {
+		t.Errorf("goal RMS %v should clearly exceed goal-kick RMS %v", goal/n, gk/n)
+	}
+}
+
+func sub3Energy(clip *videomodel.AudioClip) float64 {
+	frames := dsp.Frames(clip.Samples, 512, 256)
+	var sum float64
+	for _, f := range frames {
+		spec := dsp.Spectrum(f)
+		sum += dsp.SubBandRMS(spec, clip.SampleRate, dsp.Band{LowHz: 2000, HighHz: 4000})
+	}
+	return sum / float64(len(frames))
+}
+
+func TestWhistleRaisesSubBand3(t *testing.T) {
+	// Free kicks start with a whistle (a ~2.5 kHz tone), ordinary play
+	// does not; sub-band 3 energy must reflect that.
+	rng := xrand.New(13)
+	var fk, play float64
+	const n = 5
+	for i := 0; i < n; i++ {
+		fk += sub3Energy(Synthesize(rng.Fork(uint64(i)), videomodel.EventFreeKick, 2000))
+		play += sub3Energy(Synthesize(rng.Fork(uint64(100+i)), videomodel.EventNone, 2000))
+	}
+	if fk <= play*1.3 {
+		t.Errorf("free-kick sub3 energy %v should exceed play %v", fk/n, play/n)
+	}
+}
+
+func TestProfileForUnknownFallsBack(t *testing.T) {
+	if ProfileFor(videomodel.Event(42)) != ProfileFor(videomodel.EventNone) {
+		t.Error("unknown event should use the play profile")
+	}
+}
+
+func TestRoarEnvelopeShape(t *testing.T) {
+	if roarEnvelope(0, 0.5) != 0 {
+		t.Error("envelope should start at 0")
+	}
+	if got := roarEnvelope(0.5, 0.5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("envelope at peak = %v, want 1", got)
+	}
+	if roarEnvelope(0.9, 0.5) >= roarEnvelope(0.6, 0.5) {
+		t.Error("envelope should decay after the peak")
+	}
+	if roarEnvelope(0, 0) != 1 {
+		t.Error("degenerate peak position should not divide by zero")
+	}
+}
+
+func BenchmarkSynthesize(b *testing.B) {
+	rng := xrand.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Synthesize(rng, videomodel.EventGoal, 3000)
+	}
+}

@@ -1,0 +1,150 @@
+package synthvideo
+
+import (
+	"testing"
+
+	"github.com/videodb/hmmm/internal/videomodel"
+	"github.com/videodb/hmmm/internal/xrand"
+)
+
+func TestRenderDeterministic(t *testing.T) {
+	r := NewRenderer(0, 0, 0)
+	a := r.RenderShot(xrand.New(5), videomodel.EventGoal, 3000)
+	b := r.RenderShot(xrand.New(5), videomodel.EventGoal, 3000)
+	if len(a) != len(b) {
+		t.Fatalf("frame counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		for j := range a[i].Luma {
+			if a[i].Luma[j] != b[i].Luma[j] || a[i].Green[j] != b[i].Green[j] {
+				t.Fatalf("frame %d pixel %d differs between identically seeded renders", i, j)
+			}
+		}
+	}
+}
+
+func TestRenderShotFrameCount(t *testing.T) {
+	r := NewRenderer(48, 32, 250)
+	if got := len(r.RenderShot(xrand.New(1), videomodel.EventNone, 2000)); got != 8 {
+		t.Errorf("2000ms shot rendered %d frames, want 8", got)
+	}
+	// Very short shots still get 2 frames so change features are defined.
+	if got := len(r.RenderShot(xrand.New(1), videomodel.EventNone, 100)); got != 2 {
+		t.Errorf("100ms shot rendered %d frames, want 2", got)
+	}
+}
+
+func TestFrameDimensions(t *testing.T) {
+	r := NewRenderer(30, 20, 500)
+	frames := r.RenderShot(xrand.New(2), videomodel.EventFoul, 1500)
+	for _, f := range frames {
+		if f.W != 30 || f.H != 20 || len(f.Luma) != 600 {
+			t.Fatalf("frame dims %dx%d len=%d", f.W, f.H, len(f.Luma))
+		}
+	}
+}
+
+func TestProfileForUnknownFallsBack(t *testing.T) {
+	if ProfileFor(videomodel.Event(99)) != ProfileFor(videomodel.EventNone) {
+		t.Error("unknown event should use the play profile")
+	}
+}
+
+func grassFraction(frames []*videomodel.Frame) float64 {
+	var grass, total int
+	for _, f := range frames {
+		for _, g := range f.Green {
+			if g >= 128 {
+				grass++
+			}
+			total++
+		}
+	}
+	return float64(grass) / float64(total)
+}
+
+func TestGrassRatioOrdering(t *testing.T) {
+	// The core discriminative property: goal-kick shots are grass-heavy,
+	// goal celebrations and player changes are not.
+	r := NewRenderer(0, 0, 0)
+	rng := xrand.New(7)
+	avg := func(e videomodel.Event) float64 {
+		var sum float64
+		const n = 5
+		for i := 0; i < n; i++ {
+			sum += grassFraction(r.RenderShot(rng.Fork(uint64(i)), e, 3000))
+		}
+		return sum / n
+	}
+	gk := avg(videomodel.EventGoalKick)
+	goal := avg(videomodel.EventGoal)
+	pc := avg(videomodel.EventPlayerChange)
+	if gk <= goal {
+		t.Errorf("goal kick grass %v should exceed goal grass %v", gk, goal)
+	}
+	if goal <= pc {
+		t.Errorf("goal grass %v should exceed player-change grass %v", goal, pc)
+	}
+}
+
+func motionLevel(frames []*videomodel.Frame) float64 {
+	var changed, total int
+	for i := 1; i < len(frames); i++ {
+		a, b := frames[i-1], frames[i]
+		for j := range a.Luma {
+			d := int(a.Luma[j]) - int(b.Luma[j])
+			if d < 0 {
+				d = -d
+			}
+			if d > 20 {
+				changed++
+			}
+			total++
+		}
+	}
+	return float64(changed) / float64(total)
+}
+
+func TestMotionOrdering(t *testing.T) {
+	r := NewRenderer(0, 0, 0)
+	rng := xrand.New(11)
+	avg := func(e videomodel.Event) float64 {
+		var sum float64
+		const n = 5
+		for i := 0; i < n; i++ {
+			sum += motionLevel(r.RenderShot(rng.Fork(uint64(i)), e, 3000))
+		}
+		return sum / n
+	}
+	goal := avg(videomodel.EventGoal)
+	card := avg(videomodel.EventYellowCard)
+	if goal <= card*1.5 {
+		t.Errorf("goal motion %v should clearly exceed yellow-card motion %v", goal, card)
+	}
+}
+
+func TestRendererDefaults(t *testing.T) {
+	r := NewRenderer(-1, 0, -5)
+	if r.w != DefaultWidth || r.h != DefaultHeight || r.framePeriod != DefaultFramePeriod {
+		t.Errorf("defaults not applied: %+v", r)
+	}
+}
+
+func TestFrameCountMinimum(t *testing.T) {
+	r := NewRenderer(0, 0, 0)
+	if r.FrameCount(0) != 2 {
+		t.Errorf("FrameCount(0) = %d, want 2", r.FrameCount(0))
+	}
+	if r.FrameCount(10000) != 40 {
+		t.Errorf("FrameCount(10000) = %d, want 40", r.FrameCount(10000))
+	}
+}
+
+func BenchmarkRenderShot(b *testing.B) {
+	r := NewRenderer(0, 0, 0)
+	rng := xrand.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.RenderShot(rng, videomodel.EventGoal, 3000)
+	}
+}
