@@ -1,0 +1,31 @@
+# Build / verification entry points. `make verify` is the tier-1 loop:
+# vet + build + full tests + race on the retrieval hot path.
+
+GO ?= go
+
+# Hot-path benchmarks captured into BENCH_retrieval.json.
+BENCH_PATTERN := BenchmarkF2RetrievalGreedy$$|BenchmarkF5PaperQuery$$|BenchmarkParallelRetrieval|BenchmarkSimCache
+
+.PHONY: build vet test race verify bench clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/retrieval/...
+
+verify: vet build test race
+
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=200x -count=1 . \
+		| $(GO) run ./cmd/benchjson > BENCH_retrieval.json
+	@echo "wrote BENCH_retrieval.json"
+
+clean:
+	$(GO) clean ./...

@@ -309,6 +309,39 @@ func BenchmarkParallelRetrieval(b *testing.B) {
 	}
 }
 
+// BenchmarkSimCache contrasts the engine's similarity table: cold is the
+// one-time NewEngine cache build over every (state, concept) pair at
+// paper scale, warm is a full sweep of cached lookups over the same
+// pairs. Their ratio is the per-query saving the cache buys once the
+// engine is reused.
+func BenchmarkSimCache(b *testing.B) {
+	_, m := paperModel(b)
+	b.Run("cold-build", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := retrieval.NewEngine(m, retrieval.Options{AnnotatedOnly: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	eng, err := retrieval.NewEngine(m, retrieval.Options{AnnotatedOnly: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("warm-lookup-sweep", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			for s := 0; s < m.NumStates(); s++ {
+				for ci := 0; ci < m.NumConcepts(); ci++ {
+					sink += eng.Sim(s, videomodel.EventFromIndex(ci))
+				}
+			}
+		}
+		_ = sink
+	})
+}
+
 // BenchmarkIngest measures ingesting one ~40s raw video (segmentation,
 // extraction, classification, model extension) into a copy of a small
 // model.

@@ -1,0 +1,63 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// map keyed by benchmark name. The raw lines are echoed to stderr so the
+// run stays observable while the machine-readable file is captured:
+//
+//	go test -run '^$' -bench 'BenchmarkF2.*' -benchmem . | benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkF2RetrievalGreedy-8   200   31415 ns/op   2048 B/op   12 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	out := make(map[string]Entry)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line)
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.Atoi(m[2])
+		e := Entry{Iterations: iters}
+		e.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			e.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			e.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+		}
+		out[m[1]] = e
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

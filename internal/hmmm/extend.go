@@ -33,6 +33,7 @@ func (m *Model) AddVideo(v *videomodel.Video, feats map[videomodel.ShotID][]floa
 	if len(annotated) == 0 {
 		return fmt.Errorf("hmmm: video %d has no annotated shots to model", v.ID)
 	}
+	m.noteMutation()
 	k := m.K()
 	newRows := make([][]float64, 0, len(annotated))
 	ne := make([]int, 0, len(annotated))

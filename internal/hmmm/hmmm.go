@@ -77,7 +77,23 @@ type Model struct {
 
 	// offsets[v] is the global state index of video v's first state.
 	offsets []int
+
+	// version counts mutations of the model (training, derived-matrix
+	// refreshes, structural growth). Retrieval engines record the version
+	// of the model they built their caches from and use it to detect
+	// staleness. Mutation is not concurrency-safe; callers serialize
+	// writers (the server holds its write lock across retrains).
+	version uint64
 }
+
+// Version returns the model's mutation counter. It starts at whatever
+// Build left it at and increases on every training pass, derived-matrix
+// refresh, or structural extension (AddVideo).
+func (m *Model) Version() uint64 { return m.version }
+
+// noteMutation bumps the mutation counter; every method that changes
+// model parameters or structure calls it.
+func (m *Model) noteMutation() { m.version++ }
 
 // K is the feature dimensionality of the model.
 func (m *Model) K() int {
@@ -256,6 +272,7 @@ func (m *Model) statesWithEvent(e videomodel.Event) []int {
 // feature across the shots annotated with the event. Concepts with fewer
 // than two annotated shots keep the uniform Eq. 7 row.
 func (m *Model) LearnP12() {
+	m.noteMutation()
 	k := m.K()
 	const minStd = 1e-6 // a zero std would make one weight infinite
 	for _, e := range videomodel.AllEvents() {
@@ -316,6 +333,7 @@ func (m *Model) computeB1Prime() *matrix.Dense {
 // RefreshDerived recomputes B1' (and, when learn is true, P1,2) after
 // annotations or B1 change.
 func (m *Model) RefreshDerived(learn bool) {
+	m.noteMutation()
 	if learn {
 		m.LearnP12()
 	}

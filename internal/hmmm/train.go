@@ -39,6 +39,7 @@ func DefaultTrainOptions() TrainOptions {
 // fragments that fall inside that video, and Π1 is re-estimated per
 // Eq. (4). Pattern states are global state indices.
 func (m *Model) TrainShotLevel(patterns []mmm.AccessPattern, opts TrainOptions) error {
+	m.noteMutation()
 	n := m.NumStates()
 	for pi, p := range patterns {
 		for _, s := range p.States {
@@ -86,6 +87,7 @@ func (m *Model) TrainShotLevel(patterns []mmm.AccessPattern, opts TrainOptions) 
 // access patterns: A2 per Eqs. (5)-(6) and Π2 per the Section 4.2.2.3 rule.
 // Pattern states are video indices.
 func (m *Model) TrainVideoLevel(patterns []mmm.AccessPattern, opts TrainOptions) error {
+	m.noteMutation()
 	a2, err := mmm.BuildAffinityA(patterns, m.NumVideos())
 	if err != nil {
 		return err
@@ -126,6 +128,7 @@ func (m *Model) Clone() *Model {
 		P12:      m.P12.Clone(),
 		B1Prime:  m.B1Prime.Clone(),
 		offsets:  append([]int(nil), m.offsets...),
+		version:  m.version,
 	}
 	for i := range c.States {
 		c.States[i].Events = append([]videomodel.Event(nil), m.States[i].Events...)

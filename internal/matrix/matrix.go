@@ -89,6 +89,13 @@ func (m *Dense) Row(i int) []float64 {
 	return m.data[i*m.cols : (i+1)*m.cols]
 }
 
+// Flat returns the row-major backing slice of the matrix: row i occupies
+// elements [i*Cols(), (i+1)*Cols()). It aliases the matrix storage, so
+// mutating the returned slice mutates the matrix. Hot loops that walk many
+// rows (the retrieval engine's similarity-table build) use it to slice
+// rows without the per-row bounds check of Row.
+func (m *Dense) Flat() []float64 { return m.data }
+
 // Clone returns a deep copy.
 func (m *Dense) Clone() *Dense {
 	c := NewDense(m.rows, m.cols)

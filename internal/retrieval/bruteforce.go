@@ -4,6 +4,42 @@ import (
 	"github.com/videodb/hmmm/internal/hmmm"
 )
 
+// bfPath is a partial candidate during the baseline's exhaustive DFS. The
+// engine's traversal uses arena-backed lattice cells instead; the baseline
+// keeps the simple immutable-copy representation because its cost is
+// dominated by enumeration, not allocation.
+type bfPath struct {
+	states  []int
+	videos  []int // video index per step
+	weights []float64
+	w       float64 // current w_j
+	score   float64 // running SS
+}
+
+func (p *bfPath) extend(state, video int, w float64) *bfPath {
+	return &bfPath{
+		states:  append(append([]int(nil), p.states...), state),
+		videos:  append(append([]int(nil), p.videos...), video),
+		weights: append(append([]float64(nil), p.weights...), w),
+		w:       w,
+		score:   p.score + w,
+	}
+}
+
+// match materializes the completed path.
+func (p *bfPath) match(m *hmmm.Model) Match {
+	out := Match{
+		States:  p.states,
+		Weights: p.weights,
+		Score:   p.score,
+	}
+	for i, s := range p.states {
+		out.Shots = append(out.Shots, m.States[s].Shot)
+		out.Videos = append(out.Videos, m.VideoIDs[p.videos[i]])
+	}
+	return out
+}
+
 // BruteForce exhaustively enumerates every temporally ordered sequence of
 // annotated states matching the query events within each video, scores each
 // with the same Eqs. 12-15 the engine uses, and returns the global top-K
@@ -37,10 +73,10 @@ func BruteForce(m *hmmm.Model, q Query, topK int) (*Result, error) {
 			continue
 		}
 		steps := q.steps()
-		var dfs func(j, after int, p *path)
-		dfs = func(j, after int, p *path) {
+		var dfs func(j, after int, p *bfPath)
+		dfs = func(j, after int, p *bfPath) {
 			if j == len(steps) {
-				res.Matches = append(res.Matches, eng.finishMatch(p))
+				res.Matches = append(res.Matches, p.match(m))
 				return
 			}
 			st := steps[j]
@@ -69,7 +105,7 @@ func BruteForce(m *hmmm.Model, q Query, topK int) (*Result, error) {
 				dfs(j+1, s, p.extend(s, vi, w))
 			}
 		}
-		dfs(0, -1, &path{})
+		dfs(0, -1, &bfPath{})
 	}
 	sortMatches(res.Matches)
 	if len(res.Matches) > topK {

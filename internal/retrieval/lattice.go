@@ -1,0 +1,373 @@
+package retrieval
+
+import (
+	"slices"
+	"sort"
+	"sync/atomic"
+
+	"github.com/videodb/hmmm/internal/videomodel"
+)
+
+// cell is one node of the Figure-3 lattice: the best-known path reaching a
+// given state at a given query stage. Cells live in a per-search arena and
+// reference their predecessor by arena index, so a whole retrieval
+// allocates no per-edge nodes; backpointers materialize the path.
+type cell struct {
+	state int32 // global state index
+	vi    int32 // video index of the state
+	prev  int32 // arena index of the predecessor cell, -1 at pattern start
+	w     float64
+	score float64
+}
+
+// arena is the reusable per-search scratch: the cell slab, the two stage
+// ref buffers, the candidate buffer, the visited-video set, and the dense
+// Viterbi relaxation slots. Arenas are pooled on the engine's shared state
+// and grow monotonically to the working-set size, after which a Retrieve
+// performs no lattice allocation at all.
+type arena struct {
+	cells      []cell
+	bufA, bufB []int32 // current / next stage cell refs
+	entry      []int32 // cross-video entry refs (copied, so stage buffers stay free)
+	cand       []int   // stepCandidates output buffer
+	visited    []bool  // per-video visited flags for cross-video hops
+	touched    []int32 // videos to clear from visited on beginVideo
+	// Dense relaxation: local state li's next-stage slot is relaxSlot[li],
+	// valid only when relaxEpoch[li] == epoch. Bumping epoch resets every
+	// slot in O(1).
+	relaxEpoch []int64
+	relaxSlot  []int32
+	epoch      int64
+}
+
+// ensure sizes the arena for a model with nVideos videos and at most
+// maxLocal states per video.
+func (ar *arena) ensure(nVideos, maxLocal int) {
+	if len(ar.visited) < nVideos {
+		ar.visited = make([]bool, nVideos)
+		ar.touched = ar.touched[:0]
+	}
+	if len(ar.relaxEpoch) < maxLocal {
+		ar.relaxEpoch = make([]int64, maxLocal)
+		ar.relaxSlot = make([]int32, maxLocal)
+	}
+}
+
+// beginVideo resets the arena for the next entry video's search.
+func (ar *arena) beginVideo() {
+	ar.cells = ar.cells[:0]
+	for _, v := range ar.touched {
+		ar.visited[v] = false
+	}
+	ar.touched = ar.touched[:0]
+}
+
+// visit marks a video as entered by the current search.
+func (ar *arena) visit(vi int) {
+	ar.visited[vi] = true
+	ar.touched = append(ar.touched, int32(vi))
+}
+
+// push appends a cell and returns its arena ref. Refs stay valid across
+// slab growth (they are indices, not pointers).
+func (ar *arena) push(c cell) int32 {
+	ar.cells = append(ar.cells, c)
+	return int32(len(ar.cells) - 1)
+}
+
+// getArena takes a pooled arena sized for the engine's model.
+func (e *Engine) getArena() *arena {
+	ar := e.shared.arenas.Get().(*arena)
+	ar.ensure(e.shared.nVideos, e.shared.maxLocal)
+	return ar
+}
+
+func (e *Engine) putArena(ar *arena) { e.shared.arenas.Put(ar) }
+
+// searchCtx carries one retrieval's per-search state: the normalized
+// steps, scope, cost counters, the arena, the top-K admission filter
+// (prunes materialization of matches that cannot reach the final
+// ranking), and the parallel pipeline's cancellation flag.
+type searchCtx struct {
+	steps  []Step
+	scope  *Scope
+	cost   *Cost
+	ar     *arena
+	admit  func(score float64) bool
+	cancel *atomic.Bool
+}
+
+// searchVideo runs the Figure-3 lattice over one entry video: every stage
+// keeps every reachable candidate state with its best incoming path
+// (Viterbi-style max over transitions), which is what lets the traversal
+// "always try the right path" without dying on a locally attractive but
+// non-continuable start. It returns up to Beam complete candidate
+// sequences plus the raw count of completed sequences before admission
+// filtering (the StopAfterMatches currency).
+func (e *Engine) searchVideo(vi int, ctx *searchCtx) ([]Match, int) {
+	ar := ctx.ar
+	ar.visit(vi)
+	final := e.lattice(vi, 0, nil, ctx)
+	final = ar.topCells(final, e.opts.Beam)
+	raw := len(final)
+	var matches []Match
+	for _, ci := range final {
+		c := ar.cells[ci]
+		e.emit(TraceEvent{Kind: TraceComplete, Video: vi, State: int(c.state), Value: c.score})
+		if ctx.admit == nil || ctx.admit(c.score) {
+			matches = append(matches, e.materialize(ci, ar))
+		}
+	}
+	return matches, raw
+}
+
+// lattice expands video vi over query stages j0..C-1. entry, when non-nil,
+// holds stage j0-1 cell refs in a previous video (cross-video
+// continuation); otherwise stage j0 starts fresh with the Eq. 12 weight.
+// It returns the final-stage cell refs, possibly from deeper videos
+// reached by hops. The refs alias the arena's stage buffers and stay
+// valid until the next beginVideo.
+func (e *Engine) lattice(vi, j0 int, entry []int32, ctx *searchCtx) []int32 {
+	ar := ctx.ar
+	cost := ctx.cost
+	beam := e.opts.Beam
+	cur, next := ar.bufA, ar.bufB
+	// Every return stores the (possibly re-grown) buffers back for reuse.
+	save := func() { ar.bufA, ar.bufB = cur, next }
+
+	for {
+		if ctx.cancel != nil && ctx.cancel.Load() {
+			save()
+			return nil
+		}
+
+		// Stage j0: enter the video.
+		st := ctx.steps[j0]
+		cur = cur[:0]
+		ar.cand = e.stepCandidates(ar.cand[:0], vi, -1, st, ctx.scope)
+		for _, s := range ar.cand {
+			sim := e.simCounted(s, st, cost)
+			if entry == nil {
+				// Eq. 12: w1 = Π1(s1) · sim(s1, e1).
+				w := e.m.Pi1[s] * sim
+				cur = append(cur, ar.push(cell{state: int32(s), vi: int32(vi), prev: -1, w: w, score: w}))
+				continue
+			}
+			// Cross-video entry: the transition factor is the level-2
+			// affinity A2(prev video, this video).
+			best := int32(-1)
+			var bestW, bestScore float64
+			for _, eci := range entry {
+				cost.EdgeEvals++
+				ec := &ar.cells[eci]
+				w := ec.w * e.m.A2.At(int(ec.vi), vi) * sim
+				if best == -1 || w > bestW {
+					best, bestW, bestScore = eci, w, ec.score
+				}
+			}
+			if best != -1 {
+				cur = append(cur, ar.push(cell{state: int32(s), vi: int32(vi), prev: best, w: bestW, score: bestScore + bestW}))
+			}
+		}
+		if len(cur) == 0 {
+			e.emit(TraceEvent{Kind: TraceDeadEnd, Video: vi, Stage: j0})
+			save()
+			return nil
+		}
+		cur = ar.trimByWeight(cur, beam)
+		e.emit(TraceEvent{Kind: TraceStage, Video: vi, Stage: j0, N: len(cur)})
+
+		// Stages j0+1..C-1 within this video (Eq. 13), hopping by A2 when
+		// the video runs out of candidates (Figure 3's "end of one video").
+		hopped := false
+		for j := j0 + 1; j < len(ctx.steps); j++ {
+			if ctx.cancel != nil && ctx.cancel.Load() {
+				save()
+				return nil
+			}
+			st := ctx.steps[j]
+			next = next[:0]
+			ar.epoch++
+			for _, ci := range cur {
+				c := ar.cells[ci] // copy: pushes below may grow the slab
+				ar.cand = e.stepCandidates(ar.cand[:0], vi, int(c.state), st, ctx.scope)
+				// One bounds-checked row fetch per cell; per-edge A1
+				// lookups index the row directly.
+				aRow := e.m.LocalA[vi].Row(e.m.States[c.state].LocalIdx)
+				for _, s := range ar.cand {
+					cost.EdgeEvals++
+					li := e.m.States[s].LocalIdx
+					w := c.w * aRow[li] * e.simCounted(s, st, cost)
+					if ar.relaxEpoch[li] == ar.epoch {
+						// Viterbi relaxation: keep the best path per state.
+						old := &ar.cells[next[ar.relaxSlot[li]]]
+						if w > old.w {
+							*old = cell{state: int32(s), vi: int32(vi), prev: ci, w: w, score: c.score + w}
+						}
+						continue
+					}
+					ar.relaxEpoch[li] = ar.epoch
+					ar.relaxSlot[li] = int32(len(next))
+					next = append(next, ar.push(cell{state: int32(s), vi: int32(vi), prev: ci, w: w, score: c.score + w}))
+				}
+			}
+			if len(next) == 0 {
+				if !e.opts.CrossVideo || st.MaxGapMS > 0 || (ctx.scope != nil && ctx.scope.Video != 0) {
+					e.emit(TraceEvent{Kind: TraceDeadEnd, Video: vi, Stage: j})
+					save()
+					return nil
+				}
+				nv := e.nextVideo(vi, ar.visited, st, cost)
+				if nv < 0 {
+					e.emit(TraceEvent{Kind: TraceDeadEnd, Video: vi, Stage: j})
+					save()
+					return nil
+				}
+				ar.visit(nv)
+				e.emit(TraceEvent{Kind: TraceHop, Video: nv, Stage: j})
+				// Continue in the next video: the surviving cells become
+				// the entry frontier. Copy the refs out of the stage
+				// buffer so the next video's stages can reuse it.
+				cur = ar.topCells(cur, beam)
+				ar.entry = append(ar.entry[:0], cur...)
+				entry = ar.entry
+				vi, j0 = nv, j
+				hopped = true
+				break
+			}
+			cur, next = ar.trimByWeight(next, beam), cur
+			e.emit(TraceEvent{Kind: TraceStage, Video: vi, Stage: j, N: len(cur)})
+		}
+		if hopped {
+			continue
+		}
+		save()
+		return cur
+	}
+}
+
+// trimByWeight keeps the width best cells by current edge weight w — the
+// per-stage beam of the traversal. Beam 1 reproduces the paper's greedy
+// single-path walk. The comparator is a total order (stage states are
+// unique), so the unstable sort is deterministic.
+func (ar *arena) trimByWeight(refs []int32, width int) []int32 {
+	if len(refs) <= width {
+		return refs
+	}
+	cells := ar.cells
+	slices.SortFunc(refs, func(a, b int32) int {
+		ca, cb := &cells[a], &cells[b]
+		if ca.w != cb.w {
+			if ca.w > cb.w {
+				return -1
+			}
+			return 1
+		}
+		return int(ca.state - cb.state)
+	})
+	return refs[:width]
+}
+
+// topCells returns the width best cells by running score.
+func (ar *arena) topCells(refs []int32, width int) []int32 {
+	cells := ar.cells
+	slices.SortFunc(refs, func(a, b int32) int {
+		ca, cb := &cells[a], &cells[b]
+		if ca.score != cb.score {
+			if ca.score > cb.score {
+				return -1
+			}
+			return 1
+		}
+		return int(ca.state - cb.state)
+	})
+	if len(refs) > width {
+		refs = refs[:width]
+	}
+	return refs
+}
+
+// materialize builds the Match for the path ending at arena ref ci. The
+// backpointer chain is walked twice — once to size the slices exactly,
+// once to fill them in temporal order.
+func (e *Engine) materialize(ci int32, ar *arena) Match {
+	n := 0
+	for x := ci; x != -1; x = ar.cells[x].prev {
+		n++
+	}
+	m := Match{
+		States:  make([]int, n),
+		Shots:   make([]videomodel.ShotID, n),
+		Videos:  make([]videomodel.VideoID, n),
+		Weights: make([]float64, n),
+		Score:   ar.cells[ci].score,
+	}
+	for x, i := ci, n-1; x != -1; x, i = ar.cells[x].prev, i-1 {
+		c := &ar.cells[x]
+		m.States[i] = int(c.state)
+		m.Shots[i] = e.m.States[c.state].Shot
+		m.Videos[i] = e.m.VideoIDs[c.vi]
+		m.Weights[i] = c.w
+	}
+	return m
+}
+
+// stepCandidates appends to buf the global state indices of video vi that
+// can serve the step after global state after (-1 for "any"). States
+// annotated with every step event are preferred and found through the
+// inverted event index; without AnnotatedOnly, all remaining states
+// compete when no annotated one exists. buf is the arena's reused
+// candidate buffer — callers pass it re-sliced to length zero.
+func (e *Engine) stepCandidates(buf []int, vi, after int, step Step, scope *Scope) []int {
+	lo, hi := e.m.VideoStates(vi)
+	start := lo
+	prevMS := -1
+	if after >= 0 {
+		start = after + 1
+		prevMS = e.m.States[after].StartMS
+	}
+
+	// Annotated candidates via the index: walk the (shortest) posting
+	// list of the step's events, filtering by position, conjunction, and
+	// gap constraints.
+	if len(step.Events) > 0 {
+		posting := e.shared.index[vi][step.Events[0].Index()]
+		for _, ev := range step.Events[1:] {
+			if alt := e.shared.index[vi][ev.Index()]; len(alt) < len(posting) {
+				posting = alt
+			}
+		}
+		// Binary search the first posting >= start.
+		i := sort.SearchInts(posting, start)
+		for ; i < len(posting); i++ {
+			s := posting[i]
+			if !scope.contains(e.m.States[s].StartMS) {
+				continue
+			}
+			if prevMS >= 0 && !step.gapOK(prevMS, e.m.States[s].StartMS) {
+				continue
+			}
+			if len(step.Events) > 1 && !stateHasStep(&e.m.States[s], step) {
+				continue
+			}
+			buf = append(buf, s)
+		}
+	}
+	if len(buf) > 0 || e.opts.AnnotatedOnly {
+		return buf
+	}
+	// Similarity fallback: every remaining state that is NOT a full
+	// annotation match (those were exhausted above) competes by features.
+	for s := start; s < hi; s++ {
+		if !scope.contains(e.m.States[s].StartMS) {
+			continue
+		}
+		if prevMS >= 0 && !step.gapOK(prevMS, e.m.States[s].StartMS) {
+			continue
+		}
+		if !stateHasStep(&e.m.States[s], step) {
+			buf = append(buf, s)
+		}
+	}
+	return buf
+}

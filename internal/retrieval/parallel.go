@@ -1,0 +1,119 @@
+package retrieval
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// retrieveParallel fans the per-video lattice searches out over
+// Options.Parallel workers as an ordered pipeline: workers pull entry
+// videos from the Π2/A2 affinity order, and finished results are
+// committed strictly in that order. Commit-order determinism is what
+// makes the combined result — matches, scores, and cost counters —
+// bit-identical to a serial run.
+//
+// StopAfterMatches composes with the pipeline: the raw-match threshold is
+// evaluated on the committed in-order prefix exactly as the serial loop
+// evaluates it, so the same videos contribute and the same early-stop
+// point is reached. Videos searched speculatively past that point are
+// cancelled (workers check the flag between lattice stages) and their
+// results discarded without touching matches or cost.
+//
+// Workers prune with a racy snapshot of the accumulator's admission
+// threshold. The threshold only ever rises, so a stale snapshot admits a
+// superset; the commit step re-filters against the authoritative
+// accumulator, preserving exact serial semantics.
+func (e *Engine) retrieveParallel(order []int, q Query, steps []Step, res *Result, acc *topAccum) {
+	type videoResult struct {
+		matches []Match
+		raw     int
+		cost    Cost
+		done    bool
+	}
+	stopAt := 0
+	if e.opts.StopAfterMatches {
+		stopAt = 3 * e.opts.TopK
+	}
+	workers := e.opts.Parallel
+	if workers > len(order) {
+		workers = len(order)
+	}
+	var (
+		mu        sync.Mutex
+		results   = make([]videoResult, len(order))
+		nextIdx   int
+		committed int
+		stopped   bool
+		cancel    atomic.Bool
+		hintBits  atomic.Uint64 // Float64bits of the last published threshold
+		hintOn    atomic.Bool
+	)
+	// commitLocked advances the in-order commit frontier over finished
+	// results. Caller holds mu.
+	commitLocked := func() {
+		for !stopped && committed < len(results) && results[committed].done {
+			vr := &results[committed]
+			res.Cost.add(vr.cost)
+			for _, m := range vr.matches {
+				if acc.admit(m.Score) {
+					acc.add(m)
+				}
+			}
+			acc.raw += vr.raw
+			vr.matches = nil
+			committed++
+			if stopAt > 0 && acc.raw >= stopAt {
+				stopped = true
+				cancel.Store(true)
+				e.emit(TraceEvent{Kind: TraceEarlyStop, N: acc.raw})
+			}
+		}
+		if acc.pruning {
+			hintBits.Store(math.Float64bits(acc.thresh))
+			hintOn.Store(true)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ar := e.getArena()
+			defer e.putArena(ar)
+			ctx := &searchCtx{
+				steps:  steps,
+				scope:  q.Scope,
+				ar:     ar,
+				cancel: &cancel,
+				admit: func(score float64) bool {
+					return !hintOn.Load() || score >= math.Float64frombits(hintBits.Load())
+				},
+			}
+			for {
+				mu.Lock()
+				if stopped || nextIdx >= len(order) {
+					mu.Unlock()
+					return
+				}
+				oi := nextIdx
+				nextIdx++
+				mu.Unlock()
+
+				vi := order[oi]
+				var c Cost
+				c.VideosSeen = 1
+				ctx.cost = &c
+				e.emit(TraceEvent{Kind: TraceVideoEnter, Video: vi, N: oi})
+				ar.beginVideo()
+				matches, raw := e.searchVideo(vi, ctx)
+
+				mu.Lock()
+				results[oi] = videoResult{matches: matches, raw: raw, cost: c, done: true}
+				commitLocked()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,178 @@
+package retrieval
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/videodb/hmmm/internal/dataset"
+	"github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/videomodel"
+)
+
+// equivSuite caches a moderate synthetic corpus for the equivalence
+// tests: large enough that beams fill, cross-video hops and early
+// stopping actually trigger, small enough for -race runs.
+var equivSuite struct {
+	once  sync.Once
+	model *hmmm.Model
+	err   error
+}
+
+func equivModel(t *testing.T) *hmmm.Model {
+	t.Helper()
+	equivSuite.once.Do(func() {
+		corpus, err := dataset.Build(dataset.Config{
+			Seed: 7, Videos: 12, Shots: 600, Annotated: 96, Fast: true,
+		})
+		if err != nil {
+			equivSuite.err = err
+			return
+		}
+		equivSuite.model, equivSuite.err = hmmm.Build(
+			corpus.Archive, corpus.Features, hmmm.BuildOptions{LearnP12: true})
+	})
+	if equivSuite.err != nil {
+		t.Fatal(equivSuite.err)
+	}
+	return equivSuite.model
+}
+
+func equivQueries(m *hmmm.Model) []Query {
+	qs := []Query{
+		NewQuery(videomodel.EventGoal, videomodel.EventFreeKick),
+		NewQuery(videomodel.EventCornerKick, videomodel.EventGoal, videomodel.EventFoul),
+	}
+	scoped := NewQuery(videomodel.EventGoal, videomodel.EventFreeKick)
+	scoped.Scope = &Scope{Video: m.VideoIDs[0]}
+	qs = append(qs, scoped)
+	return qs
+}
+
+// mustRetrieve builds an engine and runs the query.
+func mustRetrieve(t *testing.T, m *hmmm.Model, opts Options, q Query) *Result {
+	t.Helper()
+	eng, err := NewEngine(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Retrieve(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func requireEqualResults(t *testing.T, want, got *Result) {
+	t.Helper()
+	if len(want.Matches) != len(got.Matches) {
+		t.Fatalf("match count: want %d, got %d", len(want.Matches), len(got.Matches))
+	}
+	for i := range want.Matches {
+		w, g := want.Matches[i], got.Matches[i]
+		if w.Score != g.Score {
+			t.Fatalf("match %d score: want %v, got %v", i, w.Score, g.Score)
+		}
+		if !reflect.DeepEqual(w.States, g.States) || !reflect.DeepEqual(w.Shots, g.Shots) ||
+			!reflect.DeepEqual(w.Videos, g.Videos) || !reflect.DeepEqual(w.Weights, g.Weights) {
+			t.Fatalf("match %d differs:\nwant %+v\ngot  %+v", i, w, g)
+		}
+	}
+	if want.Cost != got.Cost {
+		t.Fatalf("cost: want %+v, got %+v", want.Cost, got.Cost)
+	}
+}
+
+// TestParallelEquivalenceMatrix checks the tentpole guarantee: the
+// parallel pipeline returns bit-identical matches, scores, and cost
+// counters to a serial run across beams, cross-video settings, scopes,
+// and — critically — with early stopping enabled, where workers search
+// speculatively and results commit in affinity order.
+func TestParallelEquivalenceMatrix(t *testing.T) {
+	m := equivModel(t)
+	for _, beam := range []int{1, 4, 16} {
+		for _, cross := range []bool{false, true} {
+			for _, stop := range []bool{false, true} {
+				for qi, q := range equivQueries(m) {
+					name := fmt.Sprintf("beam=%d/cross=%v/stop=%v/q=%d", beam, cross, stop, qi)
+					t.Run(name, func(t *testing.T) {
+						base := Options{
+							TopK: 5, Beam: beam, CrossVideo: cross,
+							AnnotatedOnly: true, StopAfterMatches: stop,
+						}
+						serial := mustRetrieve(t, m, base, q)
+						for _, workers := range []int{2, 4} {
+							par := base
+							par.Parallel = workers
+							got := mustRetrieve(t, m, par, q)
+							requireEqualResults(t, serial, got)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestParallelEquivalenceSimilarityMode repeats the core check with the
+// unannotated similarity fallback active (AnnotatedOnly off), which
+// exercises the dense candidate scan and much larger beams of work.
+func TestParallelEquivalenceSimilarityMode(t *testing.T) {
+	m := equivModel(t)
+	q := NewQuery(videomodel.EventGoal, videomodel.EventFreeKick)
+	base := Options{TopK: 5, Beam: 4, CrossVideo: true}
+	serial := mustRetrieve(t, m, base, q)
+	par := base
+	par.Parallel = 4
+	requireEqualResults(t, serial, mustRetrieve(t, m, par, q))
+}
+
+// TestEarlyStopParallelMatchesSerialTopK is the acceptance check from the
+// issue: for the paper's goal -> free-kick query, parallel early-stop
+// returns the same top-K as serial early-stop.
+func TestEarlyStopParallelMatchesSerialTopK(t *testing.T) {
+	m := equivModel(t)
+	q := NewQuery(videomodel.EventGoal, videomodel.EventFreeKick)
+	triggered := false
+	for _, topK := range []int{1, 2, 3} {
+		base := Options{TopK: topK, Beam: 4, AnnotatedOnly: true, StopAfterMatches: true}
+		serial := mustRetrieve(t, m, base, q)
+		if len(serial.Matches) == 0 {
+			t.Fatal("fixture query returned no matches")
+		}
+		par := base
+		par.Parallel = 4
+		requireEqualResults(t, serial, mustRetrieve(t, m, par, q))
+
+		full := base
+		full.StopAfterMatches = false
+		if mustRetrieve(t, m, full, q).Cost.VideosSeen > serial.Cost.VideosSeen {
+			triggered = true
+		}
+	}
+	// Early stop must actually stop early for at least one K, or the
+	// equivalence above is vacuous.
+	if !triggered {
+		t.Error("early stop never triggered on this corpus")
+	}
+}
+
+// TestEarlyStopEmitsTrace checks the TraceEarlyStop event fires exactly
+// once in both execution modes when the threshold is crossed.
+func TestEarlyStopEmitsTrace(t *testing.T) {
+	m := equivModel(t)
+	q := NewQuery(videomodel.EventGoal, videomodel.EventFreeKick)
+	for _, workers := range []int{0, 4} {
+		tracer := &CollectTracer{}
+		opts := Options{TopK: 1, Beam: 4, AnnotatedOnly: true, StopAfterMatches: true,
+			Parallel: workers, Tracer: tracer}
+		res := mustRetrieve(t, m, opts, q)
+		if res.Cost.VideosSeen == m.NumVideos() {
+			t.Skip("early stop did not trigger on this corpus")
+		}
+		if n := tracer.Count(TraceEarlyStop); n != 1 {
+			t.Errorf("workers=%d: %d early-stop events, want 1", workers, n)
+		}
+	}
+}

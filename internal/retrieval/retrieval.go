@@ -4,12 +4,24 @@
 // the Eq. 12-13 edge weights, the Eq. 14 similarity function, and the
 // Eq. 15 pattern score, plus an exhaustive baseline used by the
 // evaluation to quantify the paper's "lower computational costs" claim.
+//
+// # Query execution path
+//
+// The engine is built once per model and reused across queries. Two
+// derived caches make the hot path cheap: an inverted event index
+// (video × concept → annotated state postings) and a dense similarity
+// table holding every Eq. 14 sim(s, e) value, both computed at NewEngine
+// time. During retrieval the lattice runs on a pooled arena — cells are
+// indices into a reusable slab, Viterbi relaxation is a dense per-state
+// slot array, and candidate/stage scratch is recycled — so a Retrieve
+// performs no per-edge heap allocation. See DESIGN.md §"Query execution
+// path" for cache lifetimes and invalidation rules.
 package retrieval
 
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"strconv"
 	"sync"
 
@@ -167,9 +179,16 @@ type Match struct {
 // Cost counts the work a retrieval performed; the X1 experiment compares
 // these between the HMMM traversal and the exhaustive baseline.
 type Cost struct {
-	SimEvals   int // Eq. 14 similarity evaluations
+	SimEvals   int // Eq. 14 similarity evaluations (table lookups count too)
 	EdgeEvals  int // state-transition edges considered
 	VideosSeen int // level-2 states expanded
+}
+
+// add accumulates another cost counter into c.
+func (c *Cost) add(o Cost) {
+	c.SimEvals += o.SimEvals
+	c.EdgeEvals += o.EdgeEvals
+	c.VideosSeen += o.VideosSeen
 }
 
 // Result is a ranked retrieval outcome.
@@ -200,21 +219,38 @@ type Options struct {
 	// feature similarity ("or similar to event e_j", Step 3).
 	AnnotatedOnly bool
 	// Parallel fans the per-video lattice searches out over this many
-	// goroutines (the model is read-only during retrieval). Values <= 1
-	// search serially. Parallel retrieval ignores StopAfterMatches and
-	// returns exactly the serial result set.
+	// worker goroutines (the model is read-only during retrieval).
+	// Values <= 1 search serially. Workers pull videos in the Π2/A2
+	// affinity order and results are committed in that order, so the
+	// returned matches and cost counters are identical to a serial run.
+	// Composes with StopAfterMatches: once the committed in-order prefix
+	// has accumulated 3×TopK matches, outstanding workers are cancelled
+	// and their speculative results discarded, returning exactly the
+	// serial early-stop result set.
 	Parallel int
 	// Tracer, when non-nil, receives TraceEvent s during retrieval: the
 	// EXPLAIN ANALYZE view of the traversal. Must be concurrency-safe
-	// when combined with Parallel.
+	// when combined with Parallel. With Parallel > 1, events from
+	// different videos interleave, and under StopAfterMatches cancelled
+	// speculative videos may emit events even though their results are
+	// discarded.
 	Tracer Tracer
 	// StopAfterMatches stops expanding further videos once 3×TopK matches
 	// have been collected (a margin that keeps the final top-K ranking
 	// close to exhaustive). Videos are visited in Π2/A2 affinity order
 	// (most promising first), so this is the paper's "traverse the right
 	// path ... with lower computational costs" mode; the returned set can
-	// miss high-scoring patterns hiding in low-affinity videos.
+	// miss high-scoring patterns hiding in low-affinity videos. Works
+	// with Parallel: the pipeline commits results in affinity order and
+	// cancels outstanding workers once the threshold is reached, so the
+	// result set equals the serial early-stop run.
 	StopAfterMatches bool
+	// NoSimCache disables the engine's precomputed sim(s, e) table and
+	// recomputes Eq. 14 from the raw B1/B1'/P12 rows on every evaluation.
+	// The cached and uncached paths produce bit-identical scores; the
+	// escape hatch exists for memory-constrained deployments (the table
+	// is NumStates × NumConcepts float64s) and for verification tests.
+	NoSimCache bool
 }
 
 // Default engine parameters.
@@ -241,15 +277,39 @@ func (o Options) withDefaults() Options {
 type Engine struct {
 	m    *hmmm.Model
 	opts Options
+	// shared holds the read-only derived caches (event index, similarity
+	// table, arena pool). Engines derived via WithOptions share it.
+	shared *engineShared
+}
+
+// engineShared bundles the caches that depend only on the model and the
+// cache-affecting options (SimEpsilon, NoSimCache), not on per-query
+// tuning. It is immutable after construction; Invalidate swaps in a
+// freshly built instance.
+type engineShared struct {
 	// index[vi][ci] holds the ascending global state indices of video vi
 	// annotated with concept ci: the inverted event index behind Step 3's
 	// candidate lookups.
 	index [][][]int
+	// sim is the dense NumStates × NumConcepts Eq. 14 table (row-major by
+	// state); nil when Options.NoSimCache is set.
+	sim      []float64
+	concepts int
+	// modelVersion is hmmm.Model.Version() at build time; Stale compares
+	// against it.
+	modelVersion uint64
+	// nVideos / maxLocal size the pooled search arenas.
+	nVideos  int
+	maxLocal int
+	arenas   sync.Pool
 }
 
-// NewEngine returns an engine over the model. The model is not copied;
-// training it re-tunes subsequent retrievals, but structural changes
-// (AddVideo) require a new engine so the event index matches the states.
+// NewEngine returns an engine over the model. The model is not copied.
+// Retrieval reads A1/A2/Π1/Π2 live, so feedback training the model
+// re-tunes subsequent retrievals without any cache work; mutations that
+// touch B1, B1', P12, or the state set (RefreshDerived, LearnP12,
+// AddVideo) require Invalidate (or a new engine) so the event index and
+// similarity table match the model again.
 func NewEngine(m *hmmm.Model, opts Options) (*Engine, error) {
 	if m == nil {
 		return nil, errors.New("retrieval: nil model")
@@ -258,66 +318,124 @@ func NewEngine(m *hmmm.Model, opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("retrieval: invalid model: %w", err)
 	}
 	e := &Engine{m: m, opts: opts.withDefaults()}
-	e.index = make([][][]int, m.NumVideos())
-	for vi := range e.index {
-		e.index[vi] = make([][]int, m.NumConcepts())
+	e.shared = buildShared(m, e.opts)
+	return e, nil
+}
+
+// buildShared computes the derived caches for the model under the given
+// (defaulted) options.
+func buildShared(m *hmmm.Model, opts Options) *engineShared {
+	sh := &engineShared{
+		concepts:     m.NumConcepts(),
+		modelVersion: m.Version(),
+		nVideos:      m.NumVideos(),
+	}
+	sh.index = make([][][]int, m.NumVideos())
+	for vi := range sh.index {
+		sh.index[vi] = make([][]int, m.NumConcepts())
 		lo, hi := m.VideoStates(vi)
+		if n := hi - lo; n > sh.maxLocal {
+			sh.maxLocal = n
+		}
 		for s := lo; s < hi; s++ {
 			for _, ev := range m.States[s].Events {
 				if ev.Valid() {
 					ci := ev.Index()
-					e.index[vi][ci] = append(e.index[vi][ci], s)
+					sh.index[vi][ci] = append(sh.index[vi][ci], s)
 				}
 			}
 		}
 	}
-	return e, nil
+	if !opts.NoSimCache {
+		sh.sim = buildSimTable(m, opts.SimEpsilon)
+	}
+	sh.arenas.New = func() any { return new(arena) }
+	return sh
 }
+
+// WithOptions returns an engine over the same model with different
+// per-query options, sharing this engine's derived caches. The caches are
+// reused when the cache-affecting options (SimEpsilon, NoSimCache) are
+// unchanged; otherwise they are rebuilt. The server uses this to apply
+// per-request TopK/Beam/CrossVideo/AnnotatedOnly overrides without
+// paying the cache build on every request.
+func (e *Engine) WithOptions(opts Options) *Engine {
+	opts = opts.withDefaults()
+	ne := &Engine{m: e.m, opts: opts, shared: e.shared}
+	if opts.NoSimCache != e.opts.NoSimCache || opts.SimEpsilon != e.opts.SimEpsilon {
+		ne.shared = buildShared(e.m, opts)
+	}
+	return ne
+}
+
+// Invalidate rebuilds the engine's derived caches (event index, similarity
+// table, arena sizing) from the model's current contents, re-validating
+// the model first. It must be called after mutations that change B1, B1',
+// P12, or the state set: RefreshDerived, LearnP12, and AddVideo. Feedback
+// retraining (feedback.Trainer.Retrain) only mutates A1, A2, Π1, and Π2 —
+// which the engine reads live — so retraining alone does not strictly
+// require it; calling it after every retrain is cheap and always safe.
+// Invalidate is not safe concurrently with Retrieve; callers serialize
+// (the server holds its write lock). Engines previously derived via
+// WithOptions keep the old caches — re-derive them afterwards.
+func (e *Engine) Invalidate() error {
+	if err := e.m.Validate(1e-6); err != nil {
+		return fmt.Errorf("retrieval: invalid model: %w", err)
+	}
+	e.shared = buildShared(e.m, e.opts)
+	return nil
+}
+
+// Stale reports whether the model has been mutated since the engine's
+// caches were built. A stale engine still retrieves safely as long as the
+// state set is unchanged, but its similarity table may no longer reflect
+// B1/B1'/P12; see Invalidate.
+func (e *Engine) Stale() bool { return e.m.Version() != e.shared.modelVersion }
 
 // Model returns the engine's underlying model.
 func (e *Engine) Model() *hmmm.Model { return e.m }
 
-// Sim computes the Eq. 14 similarity between global state s and event
-// concept ev over the non-zero features of the concept:
-//
-//	sim(s,e) = Σ_y P12(e,fy) · (1 - |B1(s,fy) - B1'(e,fy)|) / B1'(e,fy)
-func (e *Engine) Sim(s int, ev videomodel.Event) float64 {
-	ci := ev.Index()
-	bRow := e.m.B1.Row(s)
-	meanRow := e.m.B1Prime.Row(ci)
-	pRow := e.m.P12.Row(ci)
-	var sim float64
-	for y, mean := range meanRow {
-		if mean <= e.opts.SimEpsilon {
-			continue
-		}
-		d := bRow[y] - mean
-		if d < 0 {
-			d = -d
-		}
-		sim += pRow[y] * (1 - d) / mean
-	}
-	return sim
+// topAccum accumulates candidate matches while pruning ones that can no
+// longer reach the final top-limit ranking: once limit matches are held,
+// any candidate scoring strictly below the limit-th best score is
+// rejected before materialization. Pruning never changes the final
+// ranked output — it only avoids building matches that the closing
+// sort-and-truncate would discard anyway.
+type topAccum struct {
+	limit   int
+	matches []Match
+	// raw counts every completed candidate sequence, including pruned
+	// ones: the StopAfterMatches threshold semantics predate pruning and
+	// count raw completions.
+	raw     int
+	thresh  float64
+	pruning bool
 }
 
-// path is a partial candidate during traversal.
-type path struct {
-	states  []int
-	videos  []int // video index per step
-	weights []float64
-	w       float64 // current w_j
-	score   float64 // running SS
+// admit reports whether a candidate with the score can still make the
+// final ranking. Ties with the current threshold are admitted (the lex
+// tie-break on states may still place them).
+func (a *topAccum) admit(score float64) bool { return !a.pruning || score >= a.thresh }
+
+// add appends an admitted match, compacting to the top-limit set once
+// enough accumulate.
+func (a *topAccum) add(m Match) {
+	a.matches = append(a.matches, m)
+	if len(a.matches) >= 2*a.limit {
+		sortMatches(a.matches)
+		a.matches = a.matches[:a.limit]
+		a.thresh = a.matches[a.limit-1].Score
+		a.pruning = true
+	}
 }
 
-func (p *path) extend(state, video int, w float64) *path {
-	np := &path{
-		states:  append(append([]int(nil), p.states...), state),
-		videos:  append(append([]int(nil), p.videos...), video),
-		weights: append(append([]float64(nil), p.weights...), w),
-		w:       w,
-		score:   p.score + w,
+// finalize ranks and truncates the accumulated matches.
+func (a *topAccum) finalize(topK int) []Match {
+	sortMatches(a.matches)
+	if len(a.matches) > topK {
+		a.matches = a.matches[:topK]
 	}
-	return np
+	return a.matches
 }
 
 // Retrieve runs the Figure-2 process: traverse the video level (Step 2)
@@ -328,7 +446,8 @@ func (e *Engine) Retrieve(q Query) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{}
-	order := e.videoOrder(q.steps()[0], &res.Cost)
+	steps := q.steps()
+	order := e.videoOrder(steps[0], &res.Cost)
 	if q.Scope != nil && q.Scope.Video != 0 {
 		scoped := order[:0:0]
 		for _, vi := range order {
@@ -348,110 +467,88 @@ func (e *Engine) Retrieve(q Query) (*Result, error) {
 		}
 		order = scoped
 	}
-	if e.opts.Parallel > 1 && !e.opts.StopAfterMatches {
-		e.retrieveParallel(order, q, res)
+	acc := &topAccum{limit: e.opts.TopK}
+	if e.opts.Parallel > 1 {
+		e.retrieveParallel(order, q, steps, res, acc)
 	} else {
+		stopAt := 0
+		if e.opts.StopAfterMatches {
+			stopAt = 3 * e.opts.TopK
+		}
+		ar := e.getArena()
+		ctx := &searchCtx{steps: steps, scope: q.Scope, cost: &res.Cost, ar: ar, admit: acc.admit}
 		for oi, vi := range order {
 			res.Cost.VideosSeen++
 			e.emit(TraceEvent{Kind: TraceVideoEnter, Video: vi, N: oi})
-			for _, m := range e.searchVideo(vi, q, &res.Cost) {
-				e.emit(TraceEvent{Kind: TraceComplete, Video: vi, State: m.States[len(m.States)-1], Value: m.Score})
-				res.Matches = append(res.Matches, m)
+			ar.beginVideo()
+			matches, raw := e.searchVideo(vi, ctx)
+			for _, m := range matches {
+				acc.add(m)
 			}
-			if e.opts.StopAfterMatches && len(res.Matches) >= 3*e.opts.TopK {
+			acc.raw += raw
+			if stopAt > 0 && acc.raw >= stopAt {
+				e.emit(TraceEvent{Kind: TraceEarlyStop, N: acc.raw})
 				break
 			}
 		}
+		e.putArena(ar)
 	}
-	sortMatches(res.Matches)
-	if len(res.Matches) > e.opts.TopK {
-		res.Matches = res.Matches[:e.opts.TopK]
-	}
+	res.Matches = acc.finalize(e.opts.TopK)
 	return res, nil
-}
-
-// retrieveParallel searches the ordered videos concurrently. Each worker
-// accumulates its own cost counters; matches are assembled in video order
-// so the result is bit-identical to a serial run.
-func (e *Engine) retrieveParallel(order []int, q Query, res *Result) {
-	type videoResult struct {
-		matches []Match
-		cost    Cost
-	}
-	results := make([]videoResult, len(order))
-	sem := make(chan struct{}, e.opts.Parallel)
-	var wg sync.WaitGroup
-	for oi, vi := range order {
-		wg.Add(1)
-		go func(oi, vi int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			var c Cost
-			c.VideosSeen = 1
-			e.emit(TraceEvent{Kind: TraceVideoEnter, Video: vi, N: oi})
-			matches := e.searchVideo(vi, q, &c)
-			for _, m := range matches {
-				e.emit(TraceEvent{Kind: TraceComplete, Video: vi, State: m.States[len(m.States)-1], Value: m.Score})
-			}
-			results[oi] = videoResult{matches: matches, cost: c}
-		}(oi, vi)
-	}
-	wg.Wait()
-	for _, vr := range results {
-		res.Matches = append(res.Matches, vr.matches...)
-		res.Cost.SimEvals += vr.cost.SimEvals
-		res.Cost.EdgeEvals += vr.cost.EdgeEvals
-		res.Cost.VideosSeen += vr.cost.VideosSeen
-	}
 }
 
 // videoOrder implements Step 2: start from the highest-Π2 video containing
 // the first step's events (checking B2), then repeatedly hop to the
-// unvisited video with the strongest A2 affinity to the previous one.
-// Videos lacking the events entirely are appended last (they can still
-// host similar shots when AnnotatedOnly is false).
+// remaining video with the strongest A2 affinity to the previous one.
+// Chosen candidates are swap-removed from the working set so the greedy
+// walk scans only the still-unvisited suffix; ties break toward the
+// smallest video index, matching the ascending first-max scan the removal
+// replaced. Videos lacking the events entirely are appended last (they can
+// still host similar shots when AnnotatedOnly is false).
 func (e *Engine) videoOrder(first Step, cost *Cost) []int {
 	mv := e.m.NumVideos()
-	var candidates []int
+	candidates := make([]int, 0, mv)
+	isCandidate := make([]bool, mv)
 	for v := 0; v < mv; v++ {
 		if e.videoHasStep(v, first) {
 			candidates = append(candidates, v)
+			isCandidate[v] = true
 		}
 	}
-	var order []int
-	visited := make([]bool, mv)
+	order := make([]int, 0, mv)
 	if len(candidates) > 0 {
-		// Seed with the max-Π2 candidate.
-		best := candidates[0]
-		for _, v := range candidates[1:] {
-			if e.m.Pi2[v] > e.m.Pi2[best] {
-				best = v
+		// Seed with the max-Π2 candidate (smallest index on ties).
+		bi := 0
+		for i, v := range candidates[1:] {
+			if e.m.Pi2[v] > e.m.Pi2[candidates[bi]] {
+				bi = i + 1
 			}
 		}
-		cur := best
-		for {
-			visited[cur] = true
-			order = append(order, cur)
-			next := -1
-			for _, v := range candidates {
-				if visited[v] {
-					continue
-				}
+		cur := candidates[bi]
+		candidates[bi] = candidates[len(candidates)-1]
+		candidates = candidates[:len(candidates)-1]
+		order = append(order, cur)
+		for len(candidates) > 0 {
+			row := e.m.A2.Row(cur)
+			bi = 0
+			best := row[candidates[0]]
+			cost.EdgeEvals++
+			for i := 1; i < len(candidates); i++ {
 				cost.EdgeEvals++
-				if next == -1 || e.m.A2.At(cur, v) > e.m.A2.At(cur, next) {
-					next = v
+				v := candidates[i]
+				if aff := row[v]; aff > best || (aff == best && v < candidates[bi]) {
+					bi, best = i, aff
 				}
 			}
-			if next == -1 {
-				break
-			}
-			cur = next
+			cur = candidates[bi]
+			candidates[bi] = candidates[len(candidates)-1]
+			candidates = candidates[:len(candidates)-1]
+			order = append(order, cur)
 		}
 	}
 	if !e.opts.AnnotatedOnly {
 		for v := 0; v < mv; v++ {
-			if !visited[v] {
+			if !isCandidate[v] {
 				order = append(order, v)
 			}
 		}
@@ -470,232 +567,6 @@ func (e *Engine) videoHasStep(v int, step Step) bool {
 	return true
 }
 
-// cell is one node of the Figure-3 lattice: the best-known path reaching a
-// given state at a given query stage. Backpointers materialize the path.
-type cell struct {
-	state int     // global state index
-	vi    int     // video index of the state
-	w     float64 // w_j of the best path into this cell (Eqs. 12-13)
-	score float64 // running SS of that path (Eq. 15 prefix)
-	prev  *cell
-}
-
-// searchVideo runs the Figure-3 lattice over one video: every stage keeps
-// every reachable candidate state with its best incoming path (Viterbi-style
-// max over transitions), which is what lets the traversal "always try the
-// right path" without dying on a locally attractive but non-continuable
-// start. It returns up to Beam complete candidate sequences.
-func (e *Engine) searchVideo(vi int, q Query, cost *Cost) []Match {
-	visited := map[int]bool{vi: true}
-	cells := e.lattice(vi, q, 0, nil, visited, cost)
-	cells = topCells(cells, e.opts.Beam)
-	matches := make([]Match, 0, len(cells))
-	for _, c := range cells {
-		matches = append(matches, e.matchFromCell(c))
-	}
-	return matches
-}
-
-// lattice expands video vi over query stages j0..C-1. entry, when non-nil,
-// holds stage j0-1 cells in a previous video (cross-video continuation);
-// otherwise stage j0 starts fresh with the Eq. 12 weight. It returns the
-// final-stage cells, possibly from deeper videos reached by hops.
-func (e *Engine) lattice(vi int, q Query, j0 int, entry []*cell, visited map[int]bool, cost *Cost) []*cell {
-	var cur []*cell
-	steps := q.steps()
-
-	// Stage j0: enter the video.
-	st := steps[j0]
-	for _, s := range e.stepCandidates(vi, -1, st, q.Scope, cost) {
-		sim := e.simCounted(s, st, cost)
-		if entry == nil {
-			// Eq. 12: w1 = Π1(s1) · sim(s1, e1).
-			w := e.m.Pi1[s] * sim
-			cur = append(cur, &cell{state: s, vi: vi, w: w, score: w})
-			continue
-		}
-		// Cross-video entry: the transition factor is the level-2
-		// affinity A2(prev video, this video).
-		var best *cell
-		var bestW float64
-		for _, c := range entry {
-			cost.EdgeEvals++
-			w := c.w * e.m.A2.At(c.vi, vi) * sim
-			if best == nil || w > bestW {
-				best, bestW = c, w
-			}
-		}
-		if best != nil {
-			cur = append(cur, &cell{state: s, vi: vi, w: bestW, score: best.score + bestW, prev: best})
-		}
-	}
-	if len(cur) == 0 {
-		e.emit(TraceEvent{Kind: TraceDeadEnd, Video: vi, Stage: j0})
-		return nil
-	}
-	cur = trimByWeight(cur, e.opts.Beam)
-	e.emit(TraceEvent{Kind: TraceStage, Video: vi, Stage: j0, N: len(cur)})
-
-	// Stages j0+1..C-1 within this video (Eq. 13), hopping by A2 when the
-	// video runs out of candidates (Figure 3's "end of one video").
-	for j := j0 + 1; j < len(steps); j++ {
-		st := steps[j]
-		var next []*cell
-		for _, c := range cur {
-			for _, s := range e.stepCandidates(vi, c.state, st, q.Scope, cost) {
-				cost.EdgeEvals++
-				w := c.w * e.transition(vi, c.state, s) * e.simCounted(s, st, cost)
-				next = appendRelax(next, &cell{state: s, vi: vi, w: w, score: c.score + w, prev: c})
-			}
-		}
-		if len(next) == 0 {
-			if !e.opts.CrossVideo || st.MaxGapMS > 0 || (q.Scope != nil && q.Scope.Video != 0) {
-				e.emit(TraceEvent{Kind: TraceDeadEnd, Video: vi, Stage: j})
-				return nil
-			}
-			nv := e.nextVideo(vi, visited, st, cost)
-			if nv < 0 {
-				e.emit(TraceEvent{Kind: TraceDeadEnd, Video: vi, Stage: j})
-				return nil
-			}
-			visited[nv] = true
-			e.emit(TraceEvent{Kind: TraceHop, Video: nv, Stage: j})
-			return e.lattice(nv, q, j, topCells(cur, e.opts.Beam), visited, cost)
-		}
-		cur = trimByWeight(next, e.opts.Beam)
-		e.emit(TraceEvent{Kind: TraceStage, Video: vi, Stage: j, N: len(cur)})
-	}
-	return cur
-}
-
-// trimByWeight keeps the width best cells by current edge weight w — the
-// per-stage beam of the traversal. Beam 1 reproduces the paper's greedy
-// single-path walk.
-func trimByWeight(cells []*cell, width int) []*cell {
-	if len(cells) <= width {
-		return cells
-	}
-	sort.Slice(cells, func(i, j int) bool {
-		if cells[i].w != cells[j].w {
-			return cells[i].w > cells[j].w
-		}
-		return cells[i].state < cells[j].state
-	})
-	return cells[:width]
-}
-
-// appendRelax inserts a cell, keeping only the best cell per state
-// (the Viterbi relaxation).
-func appendRelax(cells []*cell, c *cell) []*cell {
-	for i, old := range cells {
-		if old.state == c.state {
-			if c.w > old.w {
-				cells[i] = c
-			}
-			return cells
-		}
-	}
-	return append(cells, c)
-}
-
-// topCells returns the width best cells by running score.
-func topCells(cells []*cell, width int) []*cell {
-	sort.Slice(cells, func(i, j int) bool {
-		if cells[i].score != cells[j].score {
-			return cells[i].score > cells[j].score
-		}
-		return cells[i].state < cells[j].state
-	})
-	if len(cells) > width {
-		cells = cells[:width]
-	}
-	return cells
-}
-
-// matchFromCell materializes the path ending at c.
-func (e *Engine) matchFromCell(c *cell) Match {
-	var chain []*cell
-	for x := c; x != nil; x = x.prev {
-		chain = append(chain, x)
-	}
-	// Reverse into temporal order.
-	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
-		chain[i], chain[j] = chain[j], chain[i]
-	}
-	m := Match{Score: c.score}
-	for _, x := range chain {
-		m.States = append(m.States, x.state)
-		m.Shots = append(m.Shots, e.m.States[x.state].Shot)
-		m.Videos = append(m.Videos, e.m.VideoIDs[x.vi])
-		m.Weights = append(m.Weights, x.w)
-	}
-	return m
-}
-
-// stepCandidates returns the global state indices of video vi that can
-// serve the step after global state after (-1 for "any"). States annotated
-// with every step event are preferred and found through the inverted event
-// index; without AnnotatedOnly, all remaining states compete when no
-// annotated one exists.
-func (e *Engine) stepCandidates(vi, after int, step Step, scope *Scope, cost *Cost) []int {
-	lo, hi := e.m.VideoStates(vi)
-	start := lo
-	prevMS := -1
-	if after >= 0 {
-		start = after + 1
-		prevMS = e.m.States[after].StartMS
-	}
-
-	// Annotated candidates via the index: walk the (shortest) posting
-	// list of the step's events, filtering by position, conjunction, and
-	// gap constraints.
-	var annotated []int
-	if len(step.Events) > 0 {
-		posting := e.index[vi][step.Events[0].Index()]
-		for _, ev := range step.Events[1:] {
-			if alt := e.index[vi][ev.Index()]; len(alt) < len(posting) {
-				posting = alt
-			}
-		}
-		// Binary search the first posting >= start.
-		i := sort.SearchInts(posting, start)
-		for ; i < len(posting); i++ {
-			s := posting[i]
-			if !scope.contains(e.m.States[s].StartMS) {
-				continue
-			}
-			if prevMS >= 0 && !step.gapOK(prevMS, e.m.States[s].StartMS) {
-				continue
-			}
-			if len(step.Events) > 1 && !stateHasStep(&e.m.States[s], step) {
-				continue
-			}
-			annotated = append(annotated, s)
-		}
-	}
-	if len(annotated) > 0 {
-		return annotated
-	}
-	if e.opts.AnnotatedOnly {
-		return nil
-	}
-	// Similarity fallback: every remaining state that is NOT a full
-	// annotation match (those were exhausted above) competes by features.
-	var plain []int
-	for s := start; s < hi; s++ {
-		if !scope.contains(e.m.States[s].StartMS) {
-			continue
-		}
-		if prevMS >= 0 && !step.gapOK(prevMS, e.m.States[s].StartMS) {
-			continue
-		}
-		if !stateHasStep(&e.m.States[s], step) {
-			plain = append(plain, s)
-		}
-	}
-	return plain
-}
-
 // transition returns the A1 factor between two states of the same video.
 func (e *Engine) transition(vi, from, to int) float64 {
 	a := e.m.LocalA[vi]
@@ -705,7 +576,7 @@ func (e *Engine) transition(vi, from, to int) float64 {
 // nextVideo picks the not-yet-visited video with the highest A2 affinity
 // to cur among those containing ev (B2 check). It returns -1 when none
 // qualifies.
-func (e *Engine) nextVideo(cur int, used map[int]bool, step Step, cost *Cost) int {
+func (e *Engine) nextVideo(cur int, used []bool, step Step, cost *Cost) int {
 	best := -1
 	for v := 0; v < e.m.NumVideos(); v++ {
 		if used[v] || !e.videoHasStep(v, step) {
@@ -736,33 +607,20 @@ func (e *Engine) SimStep(s int, step Step) float64 {
 	return sum / float64(len(step.Events))
 }
 
-func (e *Engine) finishMatch(p *path) Match {
-	m := Match{
-		States:  p.states,
-		Weights: p.weights,
-		Score:   p.score,
-	}
-	for i, s := range p.states {
-		m.Shots = append(m.Shots, e.m.States[s].Shot)
-		m.Videos = append(m.Videos, e.m.VideoIDs[p.videos[i]])
-	}
-	return m
-}
-
 // sortMatches orders matches by score descending with a deterministic
 // tie-break on state indices.
 func sortMatches(ms []Match) {
-	sort.Slice(ms, func(i, j int) bool {
-		if ms[i].Score != ms[j].Score {
-			return ms[i].Score > ms[j].Score
-		}
-		a, b := ms[i].States, ms[j].States
-		for k := 0; k < len(a) && k < len(b); k++ {
-			if a[k] != b[k] {
-				return a[k] < b[k]
+	slices.SortFunc(ms, func(x, y Match) int {
+		if x.Score != y.Score {
+			if x.Score > y.Score {
+				return -1
 			}
+			return 1
 		}
-		return len(a) < len(b)
+		if c := slices.Compare(x.States, y.States); c != 0 {
+			return c
+		}
+		return 0
 	})
 }
 

@@ -1,0 +1,86 @@
+package retrieval
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/videomodel"
+)
+
+// Sim evaluates the Eq. 14 feature-weighted similarity between state s and
+// event concept ev:
+//
+//	sim(s, e) = Σ_y P1,2(e, f_y) · (1 - |B1(s, f_y) - B1'(e, f_y)|) / B1'(e, f_y)
+//
+// over the features whose per-event mean B1'(e, f_y) exceeds SimEpsilon.
+// With the engine's similarity cache (the default) this is a single table
+// lookup; under Options.NoSimCache it recomputes the sum from the raw
+// matrix rows. Both paths produce bit-identical values — the table is
+// filled by the same kernel.
+func (e *Engine) Sim(s int, ev videomodel.Event) float64 {
+	if sh := e.shared; sh.sim != nil {
+		return sh.sim[s*sh.concepts+ev.Index()]
+	}
+	ci := ev.Index()
+	return simKernel(e.m.B1.Row(s), e.m.B1Prime.Row(ci), e.m.P12.Row(ci), e.opts.SimEpsilon)
+}
+
+// simKernel is the shared Eq. 14 evaluation over one state row and one
+// concept's mean/importance rows. The cached table and the direct path
+// both call it, which is what guarantees bit-identical scores.
+func simKernel(bRow, meanRow, pRow []float64, eps float64) float64 {
+	var sim float64
+	for y, mean := range meanRow {
+		if mean <= eps {
+			continue
+		}
+		d := bRow[y] - mean
+		if d < 0 {
+			d = -d
+		}
+		sim += pRow[y] * (1 - d) / mean
+	}
+	return sim
+}
+
+// buildSimTable precomputes sim(s, e) for every (state, concept) pair into
+// a row-major NumStates × NumConcepts table. States are independent, so
+// the fill fans out over GOMAXPROCS workers in contiguous chunks.
+func buildSimTable(m *hmmm.Model, eps float64) []float64 {
+	n, c, k := m.NumStates(), m.NumConcepts(), m.K()
+	table := make([]float64, n*c)
+	b1, bp, p12 := m.B1.Flat(), m.B1Prime.Flat(), m.P12.Flat()
+	fill := func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			bRow := b1[s*k : (s+1)*k]
+			out := table[s*c : (s+1)*c]
+			for ci := 0; ci < c; ci++ {
+				out[ci] = simKernel(bRow, bp[ci*k:(ci+1)*k], p12[ci*k:(ci+1)*k], eps)
+			}
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fill(0, n)
+		return table
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fill(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return table
+}

@@ -28,6 +28,7 @@ const (
 	TraceHop                         // cross-video continuation; Video = target video
 	TraceComplete                    // a candidate sequence completed; Value = SS score
 	TraceDeadEnd                     // a video's lattice died before the final stage
+	TraceEarlyStop                   // StopAfterMatches threshold reached; N = raw matches collected
 )
 
 func (k TraceKind) String() string {
@@ -42,6 +43,8 @@ func (k TraceKind) String() string {
 		return "complete"
 	case TraceDeadEnd:
 		return "dead-end"
+	case TraceEarlyStop:
+		return "early-stop"
 	default:
 		return fmt.Sprintf("trace(%d)", int(k))
 	}
@@ -107,6 +110,8 @@ func (w *WriterTracer) Event(ev TraceEvent) {
 		fmt.Fprintf(w.W, "  complete: state %d score %.5f\n", ev.State, ev.Value)
 	case TraceDeadEnd:
 		fmt.Fprintf(w.W, "  dead end in video %d at stage %d\n", ev.Video, ev.Stage)
+	case TraceEarlyStop:
+		fmt.Fprintf(w.W, "early stop after %d raw matches\n", ev.N)
 	}
 }
 

@@ -28,11 +28,16 @@ import (
 // Server serves the retrieval API over one HMMM model.
 //
 // Retrieval runs under a read lock; feedback retraining mutates the model
-// under the write lock, so queries always observe a consistent model.
+// under the write lock, so queries always observe a consistent model. The
+// retrieval engine — and its derived caches (inverted event index,
+// similarity table) — is built once at startup and shared across
+// requests; per-request option overrides derive a view via WithOptions,
+// and retrains invalidate the caches under the write lock.
 type Server struct {
 	mu      sync.RWMutex
 	model   *hmmm.Model
 	opts    retrieval.Options
+	engine  *retrieval.Engine
 	log     *feedback.Log
 	trainer *feedback.Trainer
 	logPath string
@@ -61,9 +66,14 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.Model.Validate(1e-6); err != nil {
 		return nil, fmt.Errorf("server: invalid model: %w", err)
 	}
+	engine, err := retrieval.NewEngine(cfg.Model, cfg.Options)
+	if err != nil {
+		return nil, fmt.Errorf("server: building engine: %w", err)
+	}
 	s := &Server{
 		model:   cfg.Model,
 		opts:    cfg.Options,
+		engine:  engine,
 		log:     feedback.NewLog(),
 		trainer: feedback.NewTrainer(cfg.RetrainThreshold),
 		logPath: cfg.FeedbackLogPath,
@@ -206,11 +216,7 @@ func (s *Server) handleRankVideos(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	engine, err := retrieval.NewEngine(s.model, s.opts)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
+	engine := s.engine
 	// Merge alternation branches by max score per video.
 	best := make(map[int]float64)
 	for _, q := range queries {
@@ -266,12 +272,7 @@ func (s *Server) handleSimilarVideos(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("video %d not found", id))
 		return
 	}
-	engine, err := retrieval.NewEngine(s.model, s.opts)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	ranks, err := engine.SimilarVideos(vi, 0.7, retrieval.DefaultTopK)
+	ranks, err := s.engine.SimilarVideos(vi, 0.7, retrieval.DefaultTopK)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -372,11 +373,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	opts.CrossVideo = opts.CrossVideo || req.CrossVideo
 	opts.AnnotatedOnly = !req.SimilarShots
-	engine, err := retrieval.NewEngine(s.model, opts)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
+	// Per-request tuning shares the startup engine's caches: none of the
+	// overridable options affect the similarity table or event index.
+	engine := s.engine.WithOptions(opts)
 
 	// An MATN may compile to several linear patterns (alternation,
 	// optional steps); results are merged and deduplicated by state
@@ -496,6 +495,12 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
+		if retrained {
+			if err := s.engine.Invalidate(); err != nil {
+				writeError(w, http.StatusInternalServerError, fmt.Errorf("refreshing engine: %w", err))
+				return
+			}
+		}
 	}
 	if err := s.persistLog(); err != nil {
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("persisting feedback log: %w", err))
@@ -509,6 +514,10 @@ func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
 	defer s.mu.Unlock()
 	if err := s.trainer.Retrain(s.model, s.log); err != nil {
 		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if err := s.engine.Invalidate(); err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("refreshing engine: %w", err))
 		return
 	}
 	if err := s.persistLog(); err != nil {
