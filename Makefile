@@ -5,8 +5,10 @@ GO ?= go
 
 # Hot-path benchmarks captured into BENCH_retrieval.json.
 BENCH_PATTERN := BenchmarkF2RetrievalGreedy$$|BenchmarkF5PaperQuery$$|BenchmarkParallelRetrieval|BenchmarkSimCache
+# Offline-pipeline benchmarks captured into BENCH_build.json.
+BENCH_BUILD_PATTERN := BenchmarkBuildPaperScale|BenchmarkRetrainPaperScale
 
-.PHONY: build vet test race verify bench clean
+.PHONY: build vet test race race-server verify bench bench-build clean
 
 build:
 	$(GO) build ./...
@@ -20,12 +22,22 @@ test:
 race:
 	$(GO) test -race ./internal/retrieval/...
 
-verify: vet build test race
+race-server:
+	$(GO) test -race ./internal/server/...
+
+verify: vet build test race race-server
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=200x -count=1 . \
-		| $(GO) run ./cmd/benchjson > BENCH_retrieval.json
-	@echo "wrote BENCH_retrieval.json"
+		| $(GO) run ./cmd/benchjson -out BENCH_retrieval.json
+	@echo "appended to BENCH_retrieval.json"
+
+bench-build:
+	$(GO) test -run '^$$' -bench '$(BENCH_BUILD_PATTERN)' -benchmem -benchtime=50x -count=1 . \
+		| $(GO) run ./cmd/benchjson -out BENCH_build.json
+	$(GO) test -run '^$$' -bench 'BenchmarkQueryUnderRetrain' -benchtime=200x -count=1 ./internal/server/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_build.json -note "query p99 under retrain"
+	@echo "appended to BENCH_build.json"
 
 clean:
 	$(GO) clean ./...

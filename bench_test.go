@@ -289,19 +289,93 @@ func BenchmarkModelBuild(b *testing.B) {
 }
 
 // BenchmarkParallelRetrieval measures the fan-out retrieval path against
-// the serial engine on the paper-scale archive.
+// the serial engine on the paper-scale archive. "workers=N" forces the
+// pipeline (the heuristic disabled); "workers=N/auto" lets the per-query
+// work estimate pick the effective count — for this small query it falls
+// back to the serial loop, which is the fix for fan-out costing more
+// than it saves on small work.
 func BenchmarkParallelRetrieval(b *testing.B) {
 	_, m := paperModel(b)
 	q := retrieval.NewQuery(videomodel.EventGoal, videomodel.EventFreeKick)
-	for _, par := range []int{1, 4} {
-		eng, err := retrieval.NewEngine(m, retrieval.Options{AnnotatedOnly: true, Beam: 4, TopK: 10, Parallel: par})
+	run := func(name string, opts retrieval.Options) {
+		eng, err := retrieval.NewEngine(m, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.Run(fmt.Sprintf("workers=%d", par), func(b *testing.B) {
+		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := eng.Retrieve(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	base := retrieval.Options{AnnotatedOnly: true, Beam: 4, TopK: 10}
+	for _, par := range []int{1, 4} {
+		opts := base
+		opts.Parallel = par
+		opts.MinParallelWork = -1
+		run(fmt.Sprintf("workers=%d", par), opts)
+	}
+	auto := base
+	auto.Parallel = 4
+	run("workers=4/auto", auto)
+}
+
+// BenchmarkBuildPaperScale measures the parallel offline model build
+// (per-video A1/B1/B2 fill, P1,2 learning, B1') across worker counts at
+// paper scale. Output is bit-identical for every count, so the sweep is
+// a pure wall-clock comparison; interpret it against the run's recorded
+// GOMAXPROCS (on a single-core budget all counts degenerate to serial).
+func BenchmarkBuildPaperScale(b *testing.B) {
+	corpus, _ := paperModel(b)
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Build(corpus.Archive, corpus.Features,
+					core.BuildOptions{LearnP12: true, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRetrainPaperScale measures one full copy-on-write retrain
+// cycle as the server performs it: clone the model, train the clone on
+// the feedback log, and rebuild the retrieval engine (with its derived
+// caches) over it — the work that now happens off the query path.
+func BenchmarkRetrainPaperScale(b *testing.B) {
+	_, m := paperModel(b)
+	log := feedback.NewLog()
+	rng := xrand.New(11)
+	for i := 0; i < 50; i++ {
+		s := rng.Intn(m.NumStates() - 1)
+		if err := log.MarkPositive(m, []int{s, s + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	trainer := feedback.NewTrainer(1)
+	for _, workers := range []int{1, 0} {
+		name := fmt.Sprintf("buildworkers=%d", workers)
+		if workers == 0 {
+			name = "buildworkers=gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				next, err := trainer.RetrainSnapshot(m, log)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := retrieval.NewEngine(next, retrieval.Options{
+					AnnotatedOnly: true, BuildWorkers: workers}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -316,14 +390,17 @@ func BenchmarkParallelRetrieval(b *testing.B) {
 // engine is reused.
 func BenchmarkSimCache(b *testing.B) {
 	_, m := paperModel(b)
-	b.Run("cold-build", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := retrieval.NewEngine(m, retrieval.Options{AnnotatedOnly: true}); err != nil {
-				b.Fatal(err)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("cold-build/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := retrieval.NewEngine(m, retrieval.Options{
+					AnnotatedOnly: true, BuildWorkers: workers}); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	})
+		})
+	}
 	eng, err := retrieval.NewEngine(m, retrieval.Options{AnnotatedOnly: true})
 	if err != nil {
 		b.Fatal(err)

@@ -1,63 +1,191 @@
-// Command benchjson converts `go test -bench` output on stdin into a JSON
-// map keyed by benchmark name. The raw lines are echoed to stderr so the
-// run stays observable while the machine-readable file is captured:
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable benchmark record and maintains a trajectory of runs:
+// each invocation appends one record — run metadata plus the parsed
+// measurements — to the -out file instead of overwriting it, so
+// regressions stay diagnosable across commits. The raw lines are echoed
+// to stderr so the run stays observable while the file is captured:
 //
-//	go test -run '^$' -bench 'BenchmarkF2.*' -benchmem . | benchjson > BENCH.json
+//	go test -run '^$' -bench 'BenchmarkF2.*' -benchmem . | benchjson -out BENCH.json
+//
+// Without -out the single record is written to stdout. Custom metrics
+// emitted via b.ReportMetric (e.g. "p99-ns/op") are preserved under the
+// entry's "extra" map. A pre-trajectory -out file holding a bare
+// name→entry map is converted to a one-record trajectory on first
+// append.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
-	"regexp"
+	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Entry is one benchmark measurement.
 type Entry struct {
-	Iterations int     `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units, keyed by unit name.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
-// benchLine matches e.g.
-//
-//	BenchmarkF2RetrievalGreedy-8   200   31415 ns/op   2048 B/op   12 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+// Meta identifies the environment of one benchmark run. GOMAXPROCS and
+// NumCPU matter most here: the parallel build/retrieval numbers are only
+// comparable between runs with the same effective core budget.
+type Meta struct {
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GitSHA     string `json:"git_sha,omitempty"`
+	Note       string `json:"note,omitempty"`
+}
+
+// Record is one run: its environment and its measurements.
+type Record struct {
+	Meta       Meta             `json:"meta"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
 
 func main() {
-	out := make(map[string]Entry)
+	out := flag.String("out", "", "trajectory file to append this run's record to (stdout if empty)")
+	note := flag.String("note", "", "free-form note stored in the record's metadata")
+	flag.Parse()
+
+	rec := Record{Meta: collectMeta(*note), Benchmarks: make(map[string]Entry)}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Fprintln(os.Stderr, line)
-		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
-		if m == nil {
-			continue
+		if name, e, ok := parseBenchLine(line); ok {
+			rec.Benchmarks[name] = e
 		}
-		iters, _ := strconv.Atoi(m[2])
-		e := Entry{Iterations: iters}
-		e.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			e.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
-		}
-		if m[5] != "" {
-			e.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
-		}
-		out[m[1]] = e
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+
+	if *out == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rec); err != nil {
+			fatal(err)
+		}
+		return
 	}
+	trajectory, err := loadTrajectory(*out)
+	if err != nil {
+		fatal(err)
+	}
+	trajectory = append(trajectory, rec)
+	buf, err := json.MarshalIndent(trajectory, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: appended record %d to %s\n", len(trajectory), *out)
+}
+
+// parseBenchLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkFoo/w=4-8  200  31415 ns/op  99 p99-ns/op  2048 B/op  12 allocs/op
+//
+// into its entry. Unknown units land in Extra, which is how
+// b.ReportMetric values survive.
+func parseBenchLine(line string) (string, Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Entry{}, false
+	}
+	name := fields[0]
+	// Strip the trailing -GOMAXPROCS tag go test appends to the name.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return "", Entry{}, false
+	}
+	e := Entry{Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Entry{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp, seen = v, true
+		case "B/op":
+			e.BytesPerOp = v
+		case "allocs/op":
+			e.AllocsPerOp = v
+		default:
+			if e.Extra == nil {
+				e.Extra = make(map[string]float64)
+			}
+			e.Extra[unit] = v
+		}
+	}
+	return name, e, seen
+}
+
+// collectMeta gathers the run environment. The git SHA is best-effort:
+// benchmarks may run from an exported tree.
+func collectMeta(note string) Meta {
+	m := Meta{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note:       note,
+	}
+	if sha, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		m.GitSHA = strings.TrimSpace(string(sha))
+	}
+	return m
+}
+
+// loadTrajectory reads an existing -out file: a record array, or the
+// legacy bare name→entry map which becomes a single metadata-less
+// record. A missing file is an empty trajectory.
+func loadTrajectory(path string) ([]Record, error) {
+	buf, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var trajectory []Record
+	if err := json.Unmarshal(buf, &trajectory); err == nil {
+		return trajectory, nil
+	}
+	var legacy map[string]Entry
+	if err := json.Unmarshal(buf, &legacy); err == nil {
+		return []Record{{Benchmarks: legacy}}, nil
+	}
+	return nil, fmt.Errorf("%s: neither a record array nor a legacy benchmark map", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
 }

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	name, e, ok := parseBenchLine(
+		"BenchmarkQueryUnderRetrain/during-retrain-8   200   31415 ns/op   99000 p99-ns/op   2048 B/op   12 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if name != "BenchmarkQueryUnderRetrain/during-retrain" {
+		t.Errorf("name = %q", name)
+	}
+	if e.Iterations != 200 || e.NsPerOp != 31415 || e.BytesPerOp != 2048 || e.AllocsPerOp != 12 {
+		t.Errorf("entry = %+v", e)
+	}
+	if e.Extra["p99-ns/op"] != 99000 {
+		t.Errorf("extra = %v, want p99-ns/op=99000", e.Extra)
+	}
+
+	if _, _, ok := parseBenchLine("ok  \tgithub.com/videodb/hmmm\t2.1s"); ok {
+		t.Error("non-benchmark line parsed")
+	}
+	if _, _, ok := parseBenchLine("BenchmarkNoResult-8   200"); ok {
+		t.Error("line without ns/op accepted")
+	}
+	// Sub-benchmark names keep their /suffix but lose only the -P tag.
+	name, _, ok = parseBenchLine("BenchmarkBuildPaperScale/workers=4-16  10  123.5 ns/op")
+	if !ok || name != "BenchmarkBuildPaperScale/workers=4" {
+		t.Errorf("name = %q, ok = %v", name, ok)
+	}
+}
+
+func TestTrajectoryAppendAndLegacyConversion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+
+	// Legacy format: bare name -> entry map.
+	legacy := map[string]Entry{"BenchmarkOld": {Iterations: 5, NsPerOp: 100}}
+	buf, err := json.Marshal(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	trajectory, err := loadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trajectory) != 1 || trajectory[0].Benchmarks["BenchmarkOld"].NsPerOp != 100 {
+		t.Fatalf("legacy conversion = %+v", trajectory)
+	}
+
+	// Append a second record and reload: both survive, in order.
+	trajectory = append(trajectory, Record{
+		Meta:       collectMeta("test"),
+		Benchmarks: map[string]Entry{"BenchmarkNew": {Iterations: 7, NsPerOp: 50}},
+	})
+	buf, err = json.MarshalIndent(trajectory, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := loadTrajectory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reloaded) != 2 {
+		t.Fatalf("trajectory length = %d, want 2", len(reloaded))
+	}
+	if reloaded[1].Meta.Note != "test" || reloaded[1].Meta.GOMAXPROCS == 0 {
+		t.Errorf("meta not preserved: %+v", reloaded[1].Meta)
+	}
+	if _, err := loadTrajectory(filepath.Join(t.TempDir(), "absent.json")); err != nil {
+		t.Errorf("missing file should be empty trajectory, got %v", err)
+	}
+}

@@ -186,6 +186,24 @@ func (t *Trainer) Retrain(m *hmmm.Model, log *Log) error {
 	return nil
 }
 
+// RetrainSnapshot applies the accumulated feedback to a deep copy of the
+// model and returns the trained copy, leaving m untouched. This is the
+// copy-on-write half of the server's stall-free retrain: the clone
+// trains off to the side while queries keep reading the published model.
+// The pending counter is NOT reset — the caller resets it only after the
+// new model is published, so a failed publish leaves the feedback
+// eligible for the next retrain.
+func (t *Trainer) RetrainSnapshot(m *hmmm.Model, log *Log) (*hmmm.Model, error) {
+	next := m.Clone()
+	if err := next.TrainShotLevel(log.ShotPatterns(), t.Options); err != nil {
+		return nil, fmt.Errorf("feedback: shot level: %w", err)
+	}
+	if err := next.TrainVideoLevel(log.VideoPatterns(), t.Options); err != nil {
+		return nil, fmt.Errorf("feedback: video level: %w", err)
+	}
+	return next, nil
+}
+
 // SimulatedUser stands in for the paper's human feedback provider: it
 // marks a retrieved match positive iff the match exactly satisfies the
 // query annotations, flipping each judgment with probability Noise.

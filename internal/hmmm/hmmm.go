@@ -26,6 +26,7 @@ import (
 
 	"github.com/videodb/hmmm/internal/matrix"
 	"github.com/videodb/hmmm/internal/mmm"
+	"github.com/videodb/hmmm/internal/par"
 	"github.com/videodb/hmmm/internal/videomodel"
 )
 
@@ -150,92 +151,127 @@ type BuildOptions struct {
 	// of feature importance from the corpus annotations. When false, P1,2
 	// stays at the uniform Eq. 7 initialization.
 	LearnP12 bool
+	// Workers bounds construction parallelism: the per-video work (state
+	// collection, B1 row assembly, local A1 blocks, B2 rows) and the
+	// per-concept work (P1,2 learning, B1') fan out over this many
+	// goroutines. 0 means GOMAXPROCS; 1 forces the serial path. The
+	// built model is bit-identical for every worker count — each worker
+	// writes only disjoint, preassigned rows/slots and no reduction
+	// crosses a worker boundary.
+	Workers int
 }
 
 // Build constructs a two-level HMMM from an archive and the raw (pre-
 // normalization) feature vectors of its annotated shots. Feature vectors
 // must all share one length K >= 1; every annotated shot needs one.
+//
+// Construction runs in two passes: a cheap serial pass fixes the state
+// layout (per-video annotated shot lists, global offsets, K), then the
+// per-video and per-concept fills fan out over BuildOptions.Workers.
 func Build(archive *videomodel.Archive, feats map[videomodel.ShotID][]float64, opts BuildOptions) (*Model, error) {
 	if archive == nil || len(archive.Videos) == 0 {
 		return nil, errors.New("hmmm: empty archive")
 	}
 	m := &Model{}
 
-	// Collect states video by video, shots in temporal order.
+	// Pass 1 (serial): fix the state layout. Collect each video's
+	// annotated shots in temporal order, assign global offsets, and
+	// determine K from the first annotated shot.
+	perVideo := make([][]*videomodel.Shot, len(archive.Videos))
 	k := -1
-	var rawRows [][]float64
+	total := 0
 	for vi, v := range archive.Videos {
 		m.VideoIDs = append(m.VideoIDs, v.ID)
-		m.offsets = append(m.offsets, len(m.States))
-		local := 0
-		var ne []int
+		m.offsets = append(m.offsets, total)
 		for _, s := range v.Shots {
 			if !s.Annotated() {
 				continue
 			}
-			f, ok := feats[s.ID]
-			if !ok {
-				return nil, fmt.Errorf("hmmm: annotated shot %d has no feature vector", s.ID)
-			}
 			if k == -1 {
+				f, ok := feats[s.ID]
+				if !ok {
+					return nil, fmt.Errorf("hmmm: annotated shot %d has no feature vector", s.ID)
+				}
 				k = len(f)
 				if k == 0 {
 					return nil, errors.New("hmmm: zero-length feature vectors")
 				}
-			} else if len(f) != k {
-				return nil, fmt.Errorf("hmmm: shot %d has %d features, want %d", s.ID, len(f), k)
 			}
-			m.States = append(m.States, State{
-				Shot:     s.ID,
-				VideoIdx: vi,
-				LocalIdx: local,
-				Events:   append([]videomodel.Event(nil), s.Events...),
-				StartMS:  s.StartMS,
-			})
-			rawRows = append(rawRows, f)
-			ne = append(ne, s.NE())
-			local++
+			perVideo[vi] = append(perVideo[vi], s)
+			total++
 		}
-		if len(ne) == 0 {
-			// A video with no annotated shots contributes no level-1
-			// states; its local MMM is empty.
-			m.LocalA = append(m.LocalA, matrix.NewDense(0, 0))
-			continue
-		}
-		a1, err := mmm.InitTemporalA(ne)
-		if err != nil {
-			return nil, fmt.Errorf("hmmm: video %d: %w", v.ID, err)
-		}
-		m.LocalA = append(m.LocalA, a1)
 	}
-	if len(m.States) == 0 {
+	if total == 0 {
 		return nil, errors.New("hmmm: archive has no annotated shots")
 	}
 
-	// B1: global Eq. 3 min-max normalization across all states.
-	bb1, err := matrix.FromRows(rawRows)
-	if err != nil {
-		return nil, fmt.Errorf("hmmm: assembling BB1: %w", err)
+	// Pass 2 (parallel across videos): states, raw B1 rows, local A1
+	// blocks, and B2 rows. Every video writes only its own state range,
+	// matrix rows, and error slot, so the fill is order-independent.
+	mVideos := len(m.VideoIDs)
+	c := videomodel.NumEvents
+	m.States = make([]State, total)
+	m.LocalA = make([]*matrix.Dense, mVideos)
+	m.B2 = matrix.NewDense(mVideos, c)
+	bb1 := matrix.NewDense(total, k)
+	errs := make([]error, mVideos)
+	par.For(opts.Workers, mVideos, func(vi int) {
+		v := archive.Videos[vi]
+		for ci, cnt := range v.EventCounts() {
+			m.B2.Set(vi, ci, float64(cnt))
+		}
+		shots := perVideo[vi]
+		if len(shots) == 0 {
+			// A video with no annotated shots contributes no level-1
+			// states; its local MMM is empty.
+			m.LocalA[vi] = matrix.NewDense(0, 0)
+			return
+		}
+		base := m.offsets[vi]
+		ne := make([]int, len(shots))
+		for li, s := range shots {
+			f, ok := feats[s.ID]
+			if !ok {
+				errs[vi] = fmt.Errorf("hmmm: annotated shot %d has no feature vector", s.ID)
+				return
+			}
+			if len(f) != k {
+				errs[vi] = fmt.Errorf("hmmm: shot %d has %d features, want %d", s.ID, len(f), k)
+				return
+			}
+			m.States[base+li] = State{
+				Shot:     s.ID,
+				VideoIdx: vi,
+				LocalIdx: li,
+				Events:   append([]videomodel.Event(nil), s.Events...),
+				StartMS:  s.StartMS,
+			}
+			copy(bb1.Row(base+li), f)
+			ne[li] = s.NE()
+		}
+		a1, err := mmm.InitTemporalA(ne)
+		if err != nil {
+			errs[vi] = fmt.Errorf("hmmm: video %d: %w", v.ID, err)
+			return
+		}
+		m.LocalA[vi] = a1
+	})
+	if err := par.FirstErr(errs); err != nil {
+		return nil, err
 	}
+
+	// B1: global Eq. 3 min-max normalization across all states.
 	m.B1 = m.Scaler.FitTransform(bb1)
 
 	// Π1: uniform before any training data exists (Eq. 4 with an empty
 	// training set); feedback training reshapes it.
-	n := len(m.States)
-	m.Pi1 = make([]float64, n)
+	m.Pi1 = make([]float64, total)
 	for i := range m.Pi1 {
-		m.Pi1[i] = 1 / float64(n)
+		m.Pi1[i] = 1 / float64(total)
 	}
 
 	// Level 2.
-	mVideos := len(m.VideoIDs)
-	c := videomodel.NumEvents
-	m.B2 = matrix.NewDense(mVideos, c)
-	for vi, v := range archive.Videos {
-		for ci, cnt := range v.EventCounts() {
-			m.B2.Set(vi, ci, float64(cnt))
-		}
-	}
+	var err error
 	m.A2, err = mmm.BuildAffinityA(nil, mVideos)
 	if err != nil {
 		return nil, fmt.Errorf("hmmm: building A2: %w", err)
@@ -245,25 +281,35 @@ func Build(archive *videomodel.Archive, feats map[videomodel.ShotID][]float64, o
 		m.Pi2[i] = 1 / float64(mVideos)
 	}
 
-	// Cross-level matrices.
+	// Cross-level matrices (parallel across concepts).
 	m.P12 = matrix.NewDense(c, k)
 	m.P12.Fill(1 / float64(k)) // Eq. 7
+	posts := m.eventPostings()
 	if opts.LearnP12 {
-		m.LearnP12()
+		m.learnP12(opts.Workers, posts)
 	}
-	m.B1Prime = m.computeB1Prime()
+	m.B1Prime = m.computeB1Prime(opts.Workers, posts)
 	return m, nil
 }
 
-// statesWithEvent returns the global indices of states annotated with e.
-func (m *Model) statesWithEvent(e videomodel.Event) []int {
-	var out []int
+// eventPostings returns, per concept index, the ascending global state
+// indices annotated with that concept — the shared input of the
+// per-concept P1,2 and B1' fills, computed in one pass over the states.
+func (m *Model) eventPostings() [][]int {
+	posts := make([][]int, videomodel.NumEvents)
 	for i := range m.States {
-		if m.States[i].HasEvent(e) {
-			out = append(out, i)
+		for _, e := range m.States[i].Events {
+			if !e.Valid() {
+				continue
+			}
+			ci := e.Index()
+			if n := len(posts[ci]); n > 0 && posts[ci][n-1] == i {
+				continue // duplicate annotation on one shot
+			}
+			posts[ci] = append(posts[ci], i)
 		}
 	}
-	return out
+	return posts
 }
 
 // LearnP12 recomputes the feature-importance matrix from the current
@@ -272,15 +318,24 @@ func (m *Model) statesWithEvent(e videomodel.Event) []int {
 // feature across the shots annotated with the event. Concepts with fewer
 // than two annotated shots keep the uniform Eq. 7 row.
 func (m *Model) LearnP12() {
+	m.learnP12(0, m.eventPostings())
+}
+
+// learnP12 is the Eqs. 8-10 kernel over precomputed event postings,
+// fanned out across concepts: each concept reads shared B1 rows and
+// writes only its own P1,2 row, so the result is worker-count
+// independent (the per-row summation order never changes).
+func (m *Model) learnP12(workers int, posts [][]int) {
 	m.noteMutation()
 	k := m.K()
 	const minStd = 1e-6 // a zero std would make one weight infinite
-	for _, e := range videomodel.AllEvents() {
-		idx := m.statesWithEvent(e)
+	events := videomodel.AllEvents()
+	par.For(workers, len(events), func(ei int) {
+		idx := posts[events[ei].Index()]
 		if len(idx) < 2 {
-			continue
+			return
 		}
-		row := m.P12.Row(e.Index())
+		row := m.P12.Row(events[ei].Index())
 		var sum float64
 		for f := 0; f < k; f++ {
 			var mean float64
@@ -303,21 +358,23 @@ func (m *Model) LearnP12() {
 		for f := range row { // Eqs. 9-10
 			row[f] /= sum
 		}
-	}
+	})
 }
 
 // computeB1Prime builds the Eq. 11 per-event mean feature matrix over the
-// normalized B1 rows. Concepts with no annotated shots get a zero row.
-func (m *Model) computeB1Prime() *matrix.Dense {
+// normalized B1 rows, one concept (row) per work item. Concepts with no
+// annotated shots get a zero row.
+func (m *Model) computeB1Prime(workers int, posts [][]int) *matrix.Dense {
 	c := videomodel.NumEvents
 	k := m.K()
 	bp := matrix.NewDense(c, k)
-	for _, e := range videomodel.AllEvents() {
-		idx := m.statesWithEvent(e)
+	events := videomodel.AllEvents()
+	par.For(workers, len(events), func(ei int) {
+		idx := posts[events[ei].Index()]
 		if len(idx) == 0 {
-			continue
+			return
 		}
-		row := bp.Row(e.Index())
+		row := bp.Row(events[ei].Index())
 		for _, si := range idx {
 			for f := 0; f < k; f++ {
 				row[f] += m.B1.At(si, f)
@@ -326,7 +383,7 @@ func (m *Model) computeB1Prime() *matrix.Dense {
 		for f := range row {
 			row[f] /= float64(len(idx))
 		}
-	}
+	})
 	return bp
 }
 
@@ -334,10 +391,11 @@ func (m *Model) computeB1Prime() *matrix.Dense {
 // annotations or B1 change.
 func (m *Model) RefreshDerived(learn bool) {
 	m.noteMutation()
+	posts := m.eventPostings()
 	if learn {
-		m.LearnP12()
+		m.learnP12(0, posts)
 	}
-	m.B1Prime = m.computeB1Prime()
+	m.B1Prime = m.computeB1Prime(0, posts)
 }
 
 // Validate checks every structural and stochastic invariant of the model.

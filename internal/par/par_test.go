@@ -1,0 +1,91 @@
+package par
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Clamp(0, 100) = %d, want GOMAXPROCS", got)
+	}
+	if got := Clamp(-3, 100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Clamp(-3, 100) = %d, want GOMAXPROCS", got)
+	}
+	if got := Clamp(8, 3); got != 3 {
+		t.Errorf("Clamp(8, 3) = %d, want 3", got)
+	}
+	if got := Clamp(8, 0); got != 1 {
+		t.Errorf("Clamp(8, 0) = %d, want 1", got)
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 64} {
+		const n = 100
+		hits := make([]int32, n)
+		For(workers, n, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForChunksPartition(t *testing.T) {
+	const n = 17
+	covered := make([]int32, n)
+	ForChunks(4, n, func(lo, hi int) {
+		if lo >= hi || lo < 0 || hi > n {
+			t.Errorf("bad chunk [%d, %d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&covered[i], 1)
+		}
+	})
+	for i, h := range covered {
+		if h != 1 {
+			t.Fatalf("index %d covered %d times", i, h)
+		}
+	}
+}
+
+func TestForZeroItems(t *testing.T) {
+	called := false
+	ForChunks(4, 0, func(lo, hi int) { called = true })
+	if called {
+		t.Error("ForChunks ran a chunk for zero items")
+	}
+}
+
+// TestForDeterministicOutput is the package contract: disjoint-slot
+// writes produce identical output for every worker count.
+func TestForDeterministicOutput(t *testing.T) {
+	const n = 257
+	ref := make([]int, n)
+	For(1, n, func(i int) { ref[i] = i * i })
+	for _, workers := range []int{2, 5, 16} {
+		out := make([]int, n)
+		For(workers, n, func(i int) { out[i] = i * i })
+		for i := range ref {
+			if out[i] != ref[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, out[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestFirstErr(t *testing.T) {
+	e1, e2 := errors.New("one"), errors.New("two")
+	if err := FirstErr([]error{nil, nil}); err != nil {
+		t.Errorf("FirstErr(all nil) = %v", err)
+	}
+	if err := FirstErr([]error{nil, e1, e2}); err != e1 {
+		t.Errorf("FirstErr = %v, want first non-nil", err)
+	}
+}

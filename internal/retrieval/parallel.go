@@ -6,8 +6,75 @@ import (
 	"sync/atomic"
 )
 
-// retrieveParallel fans the per-video lattice searches out over
-// Options.Parallel workers as an ordered pipeline: workers pull entry
+// estimateParallelWork approximates the edge evaluations a retrieval
+// over the given entry videos will perform: per video, each step
+// contributes its candidate count — the length of the shortest posting
+// list among the step's events, or the video's whole local state count
+// when the similarity fallback would scan it (no annotated candidates
+// and !AnnotatedOnly) — and the sum is scaled by the beam width, since
+// each surviving cell rescans the next stage's candidates. The estimate
+// reads only the engine's immutable index, so it is deterministic for a
+// given model and query.
+func (e *Engine) estimateParallelWork(order []int, steps []Step) int {
+	work := 0
+	for _, vi := range order {
+		lo, hi := e.m.VideoStates(vi)
+		nLocal := hi - lo
+		perVideo := 0
+		for _, st := range steps {
+			cand := nLocal
+			if len(st.Events) > 0 {
+				n := len(e.shared.index[vi][st.Events[0].Index()])
+				for _, ev := range st.Events[1:] {
+					if alt := len(e.shared.index[vi][ev.Index()]); alt < n {
+						n = alt
+					}
+				}
+				if n > 0 || e.opts.AnnotatedOnly {
+					cand = n
+				}
+			}
+			perVideo += cand
+		}
+		work += perVideo * e.opts.Beam
+	}
+	return work
+}
+
+// effectiveParallel resolves the worker count for one query: the
+// Options.Parallel ceiling, lowered so each worker gets at least
+// MinParallelWork estimated edge evaluations, and falling back to the
+// serial loop (1) when the whole query is too small to amortize
+// goroutine spawn and ordered-commit overhead. The decision depends
+// only on the model and query — never on timing — and the serial and
+// parallel paths are bit-identical, so results are unaffected either
+// way.
+func (e *Engine) effectiveParallel(order []int, steps []Step) int {
+	workers := e.opts.Parallel
+	if workers <= 1 {
+		return 1
+	}
+	if workers > len(order) {
+		workers = len(order)
+	}
+	minWork := e.opts.MinParallelWork
+	if minWork < 0 {
+		return workers // heuristic disabled: always fan out
+	}
+	if minWork == 0 {
+		minWork = DefaultMinParallelWork
+	}
+	if byWork := e.estimateParallelWork(order, steps) / minWork; byWork < workers {
+		workers = byWork
+	}
+	if workers < 1 {
+		return 1
+	}
+	return workers
+}
+
+// retrieveParallel fans the per-video lattice searches out over the
+// given worker count as an ordered pipeline: workers pull entry
 // videos from the Π2/A2 affinity order, and finished results are
 // committed strictly in that order. Commit-order determinism is what
 // makes the combined result — matches, scores, and cost counters —
@@ -24,7 +91,7 @@ import (
 // threshold. The threshold only ever rises, so a stale snapshot admits a
 // superset; the commit step re-filters against the authoritative
 // accumulator, preserving exact serial semantics.
-func (e *Engine) retrieveParallel(order []int, q Query, steps []Step, res *Result, acc *topAccum) {
+func (e *Engine) retrieveParallel(workers int, order []int, q Query, steps []Step, res *Result, acc *topAccum) {
 	type videoResult struct {
 		matches []Match
 		raw     int
@@ -34,10 +101,6 @@ func (e *Engine) retrieveParallel(order []int, q Query, steps []Step, res *Resul
 	stopAt := 0
 	if e.opts.StopAfterMatches {
 		stopAt = 3 * e.opts.TopK
-	}
-	workers := e.opts.Parallel
-	if workers > len(order) {
-		workers = len(order)
 	}
 	var (
 		mu        sync.Mutex

@@ -105,6 +105,10 @@ func TestParallelEquivalenceMatrix(t *testing.T) {
 						for _, workers := range []int{2, 4} {
 							par := base
 							par.Parallel = workers
+							// Disable the small-work fallback: this corpus is
+							// below DefaultMinParallelWork, and the point here
+							// is to exercise the pipeline itself.
+							par.MinParallelWork = -1
 							got := mustRetrieve(t, m, par, q)
 							requireEqualResults(t, serial, got)
 						}
@@ -125,6 +129,7 @@ func TestParallelEquivalenceSimilarityMode(t *testing.T) {
 	serial := mustRetrieve(t, m, base, q)
 	par := base
 	par.Parallel = 4
+	par.MinParallelWork = -1
 	requireEqualResults(t, serial, mustRetrieve(t, m, par, q))
 }
 
@@ -143,6 +148,7 @@ func TestEarlyStopParallelMatchesSerialTopK(t *testing.T) {
 		}
 		par := base
 		par.Parallel = 4
+		par.MinParallelWork = -1
 		requireEqualResults(t, serial, mustRetrieve(t, m, par, q))
 
 		full := base
@@ -166,7 +172,7 @@ func TestEarlyStopEmitsTrace(t *testing.T) {
 	for _, workers := range []int{0, 4} {
 		tracer := &CollectTracer{}
 		opts := Options{TopK: 1, Beam: 4, AnnotatedOnly: true, StopAfterMatches: true,
-			Parallel: workers, Tracer: tracer}
+			Parallel: workers, MinParallelWork: -1, Tracer: tracer}
 		res := mustRetrieve(t, m, opts, q)
 		if res.Cost.VideosSeen == m.NumVideos() {
 			t.Skip("early stop did not trigger on this corpus")

@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/par"
 	"github.com/videodb/hmmm/internal/videomodel"
 )
 
@@ -218,8 +219,8 @@ type Options struct {
 	// the sought event. When false, unannotated states compete purely by
 	// feature similarity ("or similar to event e_j", Step 3).
 	AnnotatedOnly bool
-	// Parallel fans the per-video lattice searches out over this many
-	// worker goroutines (the model is read-only during retrieval).
+	// Parallel fans the per-video lattice searches out over up to this
+	// many worker goroutines (the model is read-only during retrieval).
 	// Values <= 1 search serially. Workers pull videos in the Π2/A2
 	// affinity order and results are committed in that order, so the
 	// returned matches and cost counters are identical to a serial run.
@@ -227,7 +228,28 @@ type Options struct {
 	// has accumulated 3×TopK matches, outstanding workers are cancelled
 	// and their speculative results discarded, returning exactly the
 	// serial early-stop result set.
+	//
+	// Parallel is a ceiling, not a mandate: per query, the engine
+	// estimates the lattice work from the candidate posting lists and
+	// uses only as many workers as have at least MinParallelWork
+	// estimated edge evaluations each — falling back to the serial loop
+	// when the query is too small for fan-out to pay for goroutine and
+	// commit overhead. The choice depends only on the model and query
+	// (never on timing), and both paths are bit-identical, so results
+	// are unaffected.
 	Parallel int
+	// MinParallelWork is the minimum estimated per-worker work (in edge
+	// evaluations) required before Retrieve fans out; see Parallel. 0
+	// means DefaultMinParallelWork; negative disables the estimate and
+	// always uses Parallel workers (tests use this to force the pipeline
+	// on small fixtures).
+	MinParallelWork int
+	// BuildWorkers bounds the parallelism of the derived-cache builds
+	// (the dense Eq. 14 similarity table and the inverted event index)
+	// at NewEngine / WithOptions / Invalidate time. 0 means GOMAXPROCS;
+	// 1 forces serial builds. Cache contents are bit-identical for every
+	// worker count.
+	BuildWorkers int
 	// Tracer, when non-nil, receives TraceEvent s during retrieval: the
 	// EXPLAIN ANALYZE view of the traversal. Must be concurrency-safe
 	// when combined with Parallel. With Parallel > 1, events from
@@ -258,6 +280,12 @@ const (
 	DefaultTopK       = 10
 	DefaultBeam       = 4
 	DefaultSimEpsilon = 1e-9
+	// DefaultMinParallelWork is the estimated per-worker edge-evaluation
+	// count below which Retrieve does not fan out; see
+	// Options.MinParallelWork. Calibrated against the parallel-retrieval
+	// benchmark: fan-out costs a few µs of goroutine + ordered-commit
+	// overhead, which a worker amortizes only over a few thousand edges.
+	DefaultMinParallelWork = 2048
 )
 
 func (o Options) withDefaults() Options {
@@ -332,22 +360,31 @@ func buildShared(m *hmmm.Model, opts Options) *engineShared {
 	}
 	sh.index = make([][][]int, m.NumVideos())
 	for vi := range sh.index {
-		sh.index[vi] = make([][]int, m.NumConcepts())
 		lo, hi := m.VideoStates(vi)
 		if n := hi - lo; n > sh.maxLocal {
 			sh.maxLocal = n
 		}
+	}
+	// Each video's posting lists are independent and land in the video's
+	// own index slot, so the fill fans out over BuildWorkers with
+	// bit-identical contents for any worker count (postings stay in
+	// ascending state order because each worker scans its video's state
+	// range forward).
+	par.For(opts.BuildWorkers, len(sh.index), func(vi int) {
+		idx := make([][]int, m.NumConcepts())
+		lo, hi := m.VideoStates(vi)
 		for s := lo; s < hi; s++ {
 			for _, ev := range m.States[s].Events {
 				if ev.Valid() {
 					ci := ev.Index()
-					sh.index[vi][ci] = append(sh.index[vi][ci], s)
+					idx[ci] = append(idx[ci], s)
 				}
 			}
 		}
-	}
+		sh.index[vi] = idx
+	})
 	if !opts.NoSimCache {
-		sh.sim = buildSimTable(m, opts.SimEpsilon)
+		sh.sim = buildSimTable(m, opts.SimEpsilon, opts.BuildWorkers)
 	}
 	sh.arenas.New = func() any { return new(arena) }
 	return sh
@@ -468,8 +505,8 @@ func (e *Engine) Retrieve(q Query) (*Result, error) {
 		order = scoped
 	}
 	acc := &topAccum{limit: e.opts.TopK}
-	if e.opts.Parallel > 1 {
-		e.retrieveParallel(order, q, steps, res, acc)
+	if workers := e.effectiveParallel(order, steps); workers > 1 {
+		e.retrieveParallel(workers, order, q, steps, res, acc)
 	} else {
 		stopAt := 0
 		if e.opts.StopAfterMatches {

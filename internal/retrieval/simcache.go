@@ -1,10 +1,8 @@
 package retrieval
 
 import (
-	"runtime"
-	"sync"
-
 	"github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/par"
 	"github.com/videodb/hmmm/internal/videomodel"
 )
 
@@ -45,13 +43,15 @@ func simKernel(bRow, meanRow, pRow []float64, eps float64) float64 {
 }
 
 // buildSimTable precomputes sim(s, e) for every (state, concept) pair into
-// a row-major NumStates × NumConcepts table. States are independent, so
-// the fill fans out over GOMAXPROCS workers in contiguous chunks.
-func buildSimTable(m *hmmm.Model, eps float64) []float64 {
+// a row-major NumStates × NumConcepts table. States are independent and
+// each writes only its own table row, so the fill fans out over the
+// requested worker count (0 = GOMAXPROCS) in contiguous chunks with
+// bit-identical output for any count.
+func buildSimTable(m *hmmm.Model, eps float64, workers int) []float64 {
 	n, c, k := m.NumStates(), m.NumConcepts(), m.K()
 	table := make([]float64, n*c)
 	b1, bp, p12 := m.B1.Flat(), m.B1Prime.Flat(), m.P12.Flat()
-	fill := func(lo, hi int) {
+	par.ForChunks(workers, n, func(lo, hi int) {
 		for s := lo; s < hi; s++ {
 			bRow := b1[s*k : (s+1)*k]
 			out := table[s*c : (s+1)*c]
@@ -59,28 +59,6 @@ func buildSimTable(m *hmmm.Model, eps float64) []float64 {
 				out[ci] = simKernel(bRow, bp[ci*k:(ci+1)*k], p12[ci*k:(ci+1)*k], eps)
 			}
 		}
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		fill(0, n)
-		return table
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fill(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 	return table
 }

@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/videodb/hmmm/internal/api"
 	"github.com/videodb/hmmm/internal/features"
@@ -27,20 +28,35 @@ import (
 
 // Server serves the retrieval API over one HMMM model.
 //
-// Retrieval runs under a read lock; feedback retraining mutates the model
-// under the write lock, so queries always observe a consistent model. The
-// retrieval engine — and its derived caches (inverted event index,
-// similarity table) — is built once at startup and shared across
-// requests; per-request option overrides derive a view via WithOptions,
-// and retrains invalidate the caches under the write lock.
+// Serving uses copy-on-write snapshots instead of a model lock: the
+// live (model, engine) pair is an immutable snapshot published through
+// an atomic pointer, so query handlers load it with one atomic read and
+// never block — not even while a retrain is running. Retraining clones
+// the model, applies the accumulated feedback to the clone, builds a
+// fresh engine (with its derived caches) over it, and atomically swaps
+// the new snapshot in; in-flight queries finish on the old snapshot.
+// retrainMu serializes retrains and log persistence only — it is never
+// taken on the query path. The feedback log has its own internal mutex.
 type Server struct {
-	mu      sync.RWMutex
-	model   *hmmm.Model
-	opts    retrieval.Options
-	engine  *retrieval.Engine
-	log     *feedback.Log
-	trainer *feedback.Trainer
-	logPath string
+	// current is the serving snapshot; handlers must Load it exactly once
+	// per request and use that pair throughout, so every response reflects
+	// one consistent model.
+	current atomic.Pointer[snapshot]
+	// retrainMu serializes model replacement (retrain + publish +
+	// persist). Query handlers never acquire it.
+	retrainMu sync.Mutex
+	opts      retrieval.Options
+	log       *feedback.Log
+	trainer   *feedback.Trainer
+	logPath   string
+}
+
+// snapshot is one immutable published generation: a trained model and
+// the engine whose caches were built from exactly that model. Neither is
+// mutated after publication.
+type snapshot struct {
+	model  *hmmm.Model
+	engine *retrieval.Engine
 }
 
 // Config bundles the server dependencies.
@@ -71,13 +87,12 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: building engine: %w", err)
 	}
 	s := &Server{
-		model:   cfg.Model,
 		opts:    cfg.Options,
-		engine:  engine,
 		log:     feedback.NewLog(),
 		trainer: feedback.NewTrainer(cfg.RetrainThreshold),
 		logPath: cfg.FeedbackLogPath,
 	}
+	s.current.Store(&snapshot{model: cfg.Model, engine: engine})
 	if s.logPath != "" {
 		f, err := os.Open(s.logPath)
 		switch {
@@ -95,8 +110,13 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// persistLog rewrites the feedback log snapshot if persistence is
-// configured. Called with the write lock held.
+// Model returns the currently published model. Tests and tools use it;
+// like any snapshot read it reflects the generation live at call time.
+func (s *Server) Model() *hmmm.Model { return s.current.Load().model }
+
+// persistLog rewrites the feedback log file if persistence is
+// configured. Called with retrainMu held (the log itself is internally
+// locked; retrainMu keeps file rewrites ordered).
 func (s *Server) persistLog() error {
 	if s.logPath == "" {
 		return nil
@@ -157,19 +177,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	m := s.current.Load().model
 	counts := make(map[string]int)
-	for _, st := range s.model.States {
+	for _, st := range m.States {
 		for _, e := range st.Events {
 			counts[e.String()]++
 		}
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Videos:           s.model.NumVideos(),
-		States:           s.model.NumStates(),
-		Concepts:         s.model.NumConcepts(),
-		Features:         s.model.K(),
+		Videos:           m.NumVideos(),
+		States:           m.NumStates(),
+		Concepts:         m.NumConcepts(),
+		Features:         m.K(),
 		DistinctPatterns: s.log.Len(),
 		PendingFeedback:  s.log.Pending(),
 		EventCounts:      counts,
@@ -185,18 +204,17 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleVideos(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]VideoJSON, s.model.NumVideos())
+	m := s.current.Load().model
+	out := make([]VideoJSON, m.NumVideos())
 	for vi := range out {
-		lo, hi := s.model.VideoStates(vi)
+		lo, hi := m.VideoStates(vi)
 		counts := make(map[string]int)
-		for ci := 0; ci < s.model.NumConcepts(); ci++ {
-			if n := int(s.model.B2.At(vi, ci)); n > 0 {
+		for ci := 0; ci < m.NumConcepts(); ci++ {
+			if n := int(m.B2.At(vi, ci)); n > 0 {
 				counts[videomodel.EventFromIndex(ci).String()] = n
 			}
 		}
-		out[vi] = VideoJSON{ID: int(s.model.VideoIDs[vi]), States: hi - lo, EventCounts: counts}
+		out[vi] = VideoJSON{ID: int(m.VideoIDs[vi]), States: hi - lo, EventCounts: counts}
 	}
 	writeJSON(w, http.StatusOK, map[string][]VideoJSON{"videos": out})
 }
@@ -214,9 +232,7 @@ func (s *Server) handleRankVideos(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	engine := s.engine
+	engine := s.current.Load().engine
 	// Merge alternation branches by max score per video.
 	best := make(map[int]float64)
 	for _, q := range queries {
@@ -259,10 +275,9 @@ func (s *Server) handleSimilarVideos(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad video id: %w", err))
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	snap := s.current.Load()
 	vi := -1
-	for i, vid := range s.model.VideoIDs {
+	for i, vid := range snap.model.VideoIDs {
 		if int(vid) == id {
 			vi = i
 			break
@@ -272,7 +287,7 @@ func (s *Server) handleSimilarVideos(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("video %d not found", id))
 		return
 	}
-	ranks, err := s.engine.SimilarVideos(vi, 0.7, retrieval.DefaultTopK)
+	ranks, err := snap.engine.SimilarVideos(vi, 0.7, retrieval.DefaultTopK)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -291,13 +306,12 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad state id: %w", err))
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if id < 0 || id >= s.model.NumStates() {
-		writeError(w, http.StatusNotFound, fmt.Errorf("state %d out of range (%d states)", id, s.model.NumStates()))
+	m := s.current.Load().model
+	if id < 0 || id >= m.NumStates() {
+		writeError(w, http.StatusNotFound, fmt.Errorf("state %d out of range (%d states)", id, m.NumStates()))
 		return
 	}
-	st := &s.model.States[id]
+	st := &m.States[id]
 	names := make([]string, len(st.Events))
 	for i, e := range st.Events {
 		names[i] = e.String()
@@ -305,11 +319,11 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ShotResponse{
 		State:   id,
 		Shot:    int(st.Shot),
-		Video:   int(s.model.VideoIDs[st.VideoIdx]),
+		Video:   int(m.VideoIDs[st.VideoIdx]),
 		StartMS: st.StartMS,
 		Events:  names,
-		Pi:      s.model.Pi1[id],
-		B1:      append([]float64(nil), s.model.B1.Row(id)...),
+		Pi:      m.Pi1[id],
+		B1:      append([]float64(nil), m.B1.Row(id)...),
 	})
 }
 
@@ -362,8 +376,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	// One snapshot load serves the whole request: the engine and the model
+	// read below are the same generation even if a retrain publishes a new
+	// one mid-request.
+	snap := s.current.Load()
 	opts := s.opts
 	if req.TopK > 0 {
 		opts.TopK = req.TopK
@@ -373,9 +389,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	opts.CrossVideo = opts.CrossVideo || req.CrossVideo
 	opts.AnnotatedOnly = !req.SimilarShots
-	// Per-request tuning shares the startup engine's caches: none of the
+	// Per-request tuning shares the snapshot engine's caches: none of the
 	// overridable options affect the similarity table or event index.
-	engine := s.engine.WithOptions(opts)
+	engine := snap.engine.WithOptions(opts)
 
 	// An MATN may compile to several linear patterns (alternation,
 	// optional steps); results are merged and deduplicated by state
@@ -462,7 +478,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		for _, st := range match.States {
 			var names []string
-			for _, e := range s.model.States[st].Events {
+			for _, e := range snap.model.States[st].Events {
 				names = append(names, e.String())
 			}
 			mj.Events = append(mj.Events, names)
@@ -481,47 +497,80 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.log.MarkPositive(s.model, req.States); err != nil {
+	// Validate states against the current snapshot; the log itself is
+	// internally synchronized, so no server-level lock is needed to
+	// record the mark.
+	if err := s.log.MarkPositive(s.current.Load().model, req.States); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	retrained := false
-	if s.trainer.Threshold > 0 {
+	if s.trainer.Threshold > 0 && s.log.Pending() >= s.trainer.Threshold {
 		var err error
-		retrained, err = s.trainer.MaybeRetrain(s.model, s.log)
+		retrained, err = s.maybeRetrain()
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
-		if retrained {
-			if err := s.engine.Invalidate(); err != nil {
-				writeError(w, http.StatusInternalServerError, fmt.Errorf("refreshing engine: %w", err))
-				return
-			}
-		}
 	}
-	if err := s.persistLog(); err != nil {
-		writeError(w, http.StatusInternalServerError, fmt.Errorf("persisting feedback log: %w", err))
-		return
+	if !retrained {
+		// retrain already persisted the log; otherwise persist the new mark.
+		s.retrainMu.Lock()
+		err := s.persistLog()
+		s.retrainMu.Unlock()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, fmt.Errorf("persisting feedback log: %w", err))
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, FeedbackResponse{Pending: s.log.Pending(), Retrained: retrained})
 }
 
-func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.trainer.Retrain(s.model, s.log); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
+// maybeRetrain retrains if the pending count still meets the threshold
+// once retrainMu is held (a concurrent feedback may have triggered the
+// retrain first), reporting whether a retrain ran.
+func (s *Server) maybeRetrain() (bool, error) {
+	s.retrainMu.Lock()
+	defer s.retrainMu.Unlock()
+	if s.log.Pending() < s.trainer.Threshold {
+		return false, nil
 	}
-	if err := s.engine.Invalidate(); err != nil {
-		writeError(w, http.StatusInternalServerError, fmt.Errorf("refreshing engine: %w", err))
-		return
+	if err := s.retrainLocked(); err != nil {
+		return false, err
 	}
+	return true, nil
+}
+
+// retrainLocked performs one copy-on-write retrain cycle with retrainMu
+// held: train a clone of the published model on the accumulated
+// feedback, build a fresh engine over it, publish the new snapshot
+// atomically, then reset the pending counter and persist the log.
+// Queries proceed on the old snapshot throughout and see the new one
+// only after the swap.
+func (s *Server) retrainLocked() error {
+	snap := s.current.Load()
+	next, err := s.trainer.RetrainSnapshot(snap.model, s.log)
+	if err != nil {
+		return err
+	}
+	engine, err := retrieval.NewEngine(next, s.opts)
+	if err != nil {
+		return fmt.Errorf("rebuilding engine: %w", err)
+	}
+	s.current.Store(&snapshot{model: next, engine: engine})
+	s.log.ResetPending()
 	if err := s.persistLog(); err != nil {
-		writeError(w, http.StatusInternalServerError, fmt.Errorf("persisting feedback log: %w", err))
+		return fmt.Errorf("persisting feedback log: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
+	s.retrainMu.Lock()
+	err := s.retrainLocked()
+	s.retrainMu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, FeedbackResponse{Pending: s.log.Pending(), Retrained: true})

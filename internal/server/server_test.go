@@ -204,7 +204,7 @@ func TestManualRetrain(t *testing.T) {
 	if !resp.Retrained || resp.Pending != 0 {
 		t.Errorf("retrain response: %+v", resp)
 	}
-	if err := s.model.Validate(1e-9); err != nil {
+	if err := s.Model().Validate(1e-9); err != nil {
 		t.Fatalf("model invalid after retrain: %v", err)
 	}
 }
@@ -441,7 +441,7 @@ func TestServerSoak(t *testing.T) {
 			}
 		}
 		if i%20 == 19 {
-			if err := s.model.Validate(1e-6); err != nil {
+			if err := s.Model().Validate(1e-6); err != nil {
 				t.Fatalf("model invariants broken after op %d: %v", i, err)
 			}
 		}
