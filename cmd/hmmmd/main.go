@@ -15,13 +15,34 @@
 //	-retrain   int     feedback count that triggers auto retraining
 //	                   (default 10; 0 disables)
 //	-feedback-log string  persist the feedback log across restarts
+//
+// Resilience flags:
+//
+//	-query-timeout  duration  per-query deadline; expired queries return
+//	                          their partial ranking with cost.truncated
+//	                          set (default 10s; 0 disables)
+//	-max-inflight   int       admission-control ceiling; excess requests
+//	                          are shed with 503 + Retry-After
+//	                          (default 64; 0 disables)
+//	-max-body       int       request body cap in bytes
+//	                          (default 1 MiB; -1 disables)
+//	-shutdown-grace duration  how long SIGINT/SIGTERM waits for in-flight
+//	                          requests before exiting (default 10s)
+//
+// On SIGINT/SIGTERM the daemon flips /api/health to 503 "draining",
+// waits up to -shutdown-grace for in-flight requests, persists the
+// feedback log a final time, and exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/videodb/hmmm/internal/dataset"
@@ -44,18 +65,27 @@ func main() {
 		annotated = flag.Int("annotated", 506, "generated corpus annotated shots")
 		retrain   = flag.Int("retrain", 10, "feedback threshold for auto retraining (0 disables)")
 		fbLog     = flag.String("feedback-log", "", "persist the feedback log to this path")
+
+		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "per-query deadline (0 disables)")
+		maxInflight  = flag.Int("max-inflight", 64, "max concurrently served requests (0 disables shedding)")
+		maxBody      = flag.Int64("max-body", server.DefaultMaxRequestBytes, "request body cap in bytes (-1 disables)")
+		grace        = flag.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown drain window")
 	)
 	flag.Parse()
 
 	var model *hmmm.Model
 	if *modelPath != "" {
 		var err error
-		model, err = store.LoadModel(*modelPath)
+		var from string
+		model, from, err = store.LoadModelRecover(*modelPath)
 		if err != nil {
 			log.Fatalf("loading model: %v", err)
 		}
+		if from != *modelPath {
+			log.Printf("WARNING: model %s unreadable; recovered from %s", *modelPath, from)
+		}
 		fmt.Printf("loaded model from %s: %d states across %d videos\n",
-			*modelPath, model.NumStates(), model.NumVideos())
+			from, model.NumStates(), model.NumVideos())
 	} else {
 		start := time.Now()
 		corpus, err := dataset.Build(dataset.Config{
@@ -77,12 +107,30 @@ func main() {
 		Options:          retrieval.Options{Beam: 4, TopK: 10},
 		RetrainThreshold: *retrain,
 		FeedbackLogPath:  *fbLog,
+		QueryTimeout:     *queryTimeout,
+		MaxInflight:      *maxInflight,
+		MaxRequestBytes:  *maxBody,
 	})
 	if err != nil {
 		log.Fatalf("starting server: %v", err)
 	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Printf("listening on %s\n", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
 		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("signal received; draining for up to %v", *grace)
+		if err := srv.Shutdown(hs, *grace); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Fatalf("shutdown: %v", err)
+		}
+		log.Printf("drained and persisted; bye")
 	}
 }

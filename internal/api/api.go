@@ -22,6 +22,11 @@ type QueryRequest struct {
 	// ScopeFromMS / ScopeToMS bound shot start times (0 = unbounded end).
 	ScopeFromMS int `json:"scope_from_ms,omitempty"`
 	ScopeToMS   int `json:"scope_to_ms,omitempty"`
+	// TimeoutMS bounds this query's execution in milliseconds; the server
+	// clamps it to its configured maximum. On expiry the response carries
+	// the matches ranked so far with cost.truncated set. 0 means the
+	// server default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // MatchJSON is one retrieved pattern.
@@ -68,6 +73,10 @@ type CostJSON struct {
 	SimEvals   int `json:"sim_evals"`
 	EdgeEvals  int `json:"edge_evals"`
 	VideosSeen int `json:"videos_seen"`
+	// Truncated reports that the query hit its deadline (or the client
+	// disconnected) before the traversal finished: the matches are a
+	// valid ranking of the part of the archive that was searched.
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 // FeedbackRequest marks one retrieved pattern positive.
@@ -129,6 +138,26 @@ type ParseResponse struct {
 	States   int      `json:"states"`
 	Arcs     int      `json:"arcs"`
 	Expanded []string `json:"expanded"`
+}
+
+// HealthResponse is the liveness + readiness report. Liveness is the 200
+// itself; readiness is the Ready flag (false while draining), and the
+// rest is the operational signal a balancer or operator keys off.
+type HealthResponse struct {
+	// Status is "ok" or "draining".
+	Status string `json:"status"`
+	// Ready reports whether the server should receive new traffic.
+	Ready bool `json:"ready"`
+	// ModelGeneration counts published model snapshots (1 = the boot
+	// model; each retrain publishes the next generation).
+	ModelGeneration uint64 `json:"model_generation"`
+	// PendingFeedback is the feedback count accumulated toward the next
+	// retrain.
+	PendingFeedback int `json:"pending_feedback"`
+	// Inflight is the number of requests currently being served.
+	Inflight int `json:"inflight"`
+	// MaxInflight is the admission-control ceiling (0 = unlimited).
+	MaxInflight int `json:"max_inflight,omitempty"`
 }
 
 // ErrorResponse is the JSON error envelope.

@@ -1,0 +1,91 @@
+package atomicwrite
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func writeString(s string) func(io.Writer) error {
+	return func(w io.Writer) error {
+		_, err := io.WriteString(w, s)
+		return err
+	}
+}
+
+func TestWriteCreatesAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data")
+	if err := Write(OS, path, writeString("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, path); got != "v1" {
+		t.Fatalf("first write = %q", got)
+	}
+	if _, err := os.Stat(BakPath(path)); !os.IsNotExist(err) {
+		t.Errorf("first write left a backup: %v", err)
+	}
+	if err := Write(OS, path, writeString("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, path); got != "v2" {
+		t.Fatalf("second write = %q", got)
+	}
+	if got := readFile(t, BakPath(path)); got != "v1" {
+		t.Fatalf("backup = %q, want previous version", got)
+	}
+	if _, err := os.Stat(TmpPath(path)); !os.IsNotExist(err) {
+		t.Errorf("temp file left behind: %v", err)
+	}
+}
+
+func TestWriteNilFSDefaultsToOS(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data")
+	if err := Write(nil, path, writeString("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, path); got != "x" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestWriteCallbackErrorLeavesTargetIntact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data")
+	if err := Write(OS, path, writeString("good")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := Write(OS, path, func(io.Writer) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := readFile(t, path); got != "good" {
+		t.Fatalf("target corrupted: %q", got)
+	}
+	if _, err := os.Stat(TmpPath(path)); !os.IsNotExist(err) {
+		t.Errorf("failed write left temp file: %v", err)
+	}
+}
+
+func TestRecoveryCandidatesOrder(t *testing.T) {
+	got := RecoveryCandidates("x")
+	want := []string{"x", "x.tmp", "x.bak"}
+	if len(got) != len(want) {
+		t.Fatalf("candidates = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("candidates = %v, want %v", got, want)
+		}
+	}
+}

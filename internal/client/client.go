@@ -32,10 +32,20 @@ func New(baseURL string, httpClient *http.Client) *Client {
 	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
 }
 
-// Health checks server liveness.
+// Health checks server liveness. A draining server answers 503, which
+// surfaces here as an *APIError.
 func (c *Client) Health(ctx context.Context) error {
-	var out map[string]string
+	var out api.HealthResponse
 	return c.do(ctx, http.MethodGet, "/api/health", nil, &out)
+}
+
+// HealthDetail fetches the full liveness + readiness report.
+func (c *Client) HealthDetail(ctx context.Context) (*api.HealthResponse, error) {
+	var out api.HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/api/health", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Stats fetches model and feedback-log statistics.

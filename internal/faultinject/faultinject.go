@@ -1,0 +1,203 @@
+// Package faultinject is the test harness behind the resilience suite:
+// it wraps the persistence filesystem with injectable failures and
+// latency, slows lattice traversal through a Tracer, and provides a
+// panicking HTTP handler. Production code never imports it; the server,
+// store, and retrieval tests drive their failure paths with it.
+package faultinject
+
+import (
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/videodb/hmmm/internal/atomicwrite"
+	"github.com/videodb/hmmm/internal/retrieval"
+)
+
+// Op names one filesystem operation for failure matching.
+type Op string
+
+// Filesystem operations that can fail.
+const (
+	OpCreate Op = "create"
+	OpWrite  Op = "write"
+	OpSync   Op = "sync"
+	OpClose  Op = "close"
+	OpRename Op = "rename"
+	OpRemove Op = "remove"
+	OpOpen   Op = "open"
+)
+
+// FS wraps another atomicwrite.FS and injects failures and latency.
+// Configure before use; the failure check itself is concurrency-safe.
+type FS struct {
+	// Base is the wrapped filesystem; nil means atomicwrite.OS.
+	Base atomicwrite.FS
+	// SlowWrite delays every Write call (a slow disk).
+	SlowWrite time.Duration
+
+	mu    sync.Mutex
+	rules map[Op]*rule
+	count map[Op]int
+}
+
+type rule struct {
+	after int // fail calls with op ordinal > after (0 = fail from the first)
+	err   error
+}
+
+// FailAfter arranges for the op to return err on every call after the
+// first n successful ones (n = 0 fails immediately). One rule per op;
+// later calls replace earlier ones.
+func (f *FS) FailAfter(op Op, n int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rules == nil {
+		f.rules = make(map[Op]*rule)
+	}
+	f.rules[op] = &rule{after: n, err: err}
+}
+
+// Reset clears all failure rules and op counters.
+func (f *FS) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+	f.count = nil
+}
+
+// Calls reports how many times the op has been attempted.
+func (f *FS) Calls(op Op) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.count[op]
+}
+
+// check counts the attempt and returns the injected error, if any.
+func (f *FS) check(op Op) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.count == nil {
+		f.count = make(map[Op]int)
+	}
+	n := f.count[op]
+	f.count[op] = n + 1
+	if r, ok := f.rules[op]; ok && n >= r.after {
+		return r.err
+	}
+	return nil
+}
+
+func (f *FS) base() atomicwrite.FS {
+	if f.Base != nil {
+		return f.Base
+	}
+	return atomicwrite.OS
+}
+
+// Create implements atomicwrite.FS.
+func (f *FS) Create(name string) (atomicwrite.File, error) {
+	if err := f.check(OpCreate); err != nil {
+		return nil, err
+	}
+	file, err := f.base().Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+// Open implements atomicwrite.FS.
+func (f *FS) Open(name string) (atomicwrite.File, error) {
+	if err := f.check(OpOpen); err != nil {
+		return nil, err
+	}
+	file, err := f.base().Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+// Rename implements atomicwrite.FS.
+func (f *FS) Rename(oldpath, newpath string) error {
+	if err := f.check(OpRename); err != nil {
+		return err
+	}
+	return f.base().Rename(oldpath, newpath)
+}
+
+// Remove implements atomicwrite.FS.
+func (f *FS) Remove(name string) error {
+	if err := f.check(OpRemove); err != nil {
+		return err
+	}
+	return f.base().Remove(name)
+}
+
+// faultFile routes the per-file operations back through the FS rules.
+type faultFile struct {
+	atomicwrite.File
+	fs *FS
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if err := ff.fs.check(OpWrite); err != nil {
+		return 0, err
+	}
+	if d := ff.fs.SlowWrite; d > 0 {
+		time.Sleep(d)
+	}
+	return ff.File.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if err := ff.fs.check(OpSync); err != nil {
+		return err
+	}
+	return ff.File.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	if err := ff.fs.check(OpClose); err != nil {
+		ff.File.Close()
+		return err
+	}
+	return ff.File.Close()
+}
+
+var _ atomicwrite.FS = (*FS)(nil)
+var _ io.Writer = (*faultFile)(nil)
+
+// SlowTracer implements retrieval.Tracer by sleeping on every trace
+// event, turning any query into an artificially slow one: the way the
+// resilience tests make deadlines expire mid-lattice deterministically.
+type SlowTracer struct {
+	// PerEvent is the sleep added to each lattice trace event.
+	PerEvent time.Duration
+	// events counts the delivered events.
+	events atomic.Int64
+}
+
+// Event implements retrieval.Tracer.
+func (t *SlowTracer) Event(retrieval.TraceEvent) {
+	t.events.Add(1)
+	if t.PerEvent > 0 {
+		time.Sleep(t.PerEvent)
+	}
+}
+
+// Events reports how many trace events were delivered.
+func (t *SlowTracer) Events() int64 { return t.events.Load() }
+
+var _ retrieval.Tracer = (*SlowTracer)(nil)
+
+// PanicHandler returns an http.Handler that panics with the given value:
+// the induced-handler-panic probe for the server's recovery middleware.
+func PanicHandler(v any) http.Handler {
+	return http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(v)
+	})
+}

@@ -1,0 +1,62 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/videodb/hmmm/internal/atomicwrite"
+)
+
+func TestFailAfterCountsAndFires(t *testing.T) {
+	fs := &FS{}
+	boom := errors.New("disk on fire")
+	fs.FailAfter(OpRename, 1, boom)
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	if err := os.WriteFile(a, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(a, b); err != nil {
+		t.Fatalf("first rename should pass: %v", err)
+	}
+	if err := fs.Rename(b, a); !errors.Is(err, boom) {
+		t.Fatalf("second rename err = %v, want boom", err)
+	}
+	if fs.Calls(OpRename) != 2 {
+		t.Errorf("rename calls = %d, want 2", fs.Calls(OpRename))
+	}
+	fs.Reset()
+	if err := fs.Rename(b, a); err != nil {
+		t.Fatalf("rename after Reset: %v", err)
+	}
+}
+
+func TestInjectedSyncFailureSurfacesThroughAtomicWrite(t *testing.T) {
+	fs := &FS{}
+	boom := errors.New("fsync lost")
+	fs.FailAfter(OpSync, 0, boom)
+	path := filepath.Join(t.TempDir(), "data")
+	err := atomicwrite.Write(fs, path, func(w io.Writer) error {
+		_, werr := io.WriteString(w, "payload")
+		return werr
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected sync failure", err)
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Errorf("target created despite failed sync: %v", serr)
+	}
+}
+
+func TestPanicHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("handler did not panic")
+		}
+	}()
+	PanicHandler("boom").ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+}

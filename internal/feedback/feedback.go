@@ -105,6 +105,27 @@ func (l *Log) ResetPending() {
 	l.pending = 0
 }
 
+// TakePending zeroes the pending counter and returns the count it held.
+// The server's retrain cycle uses it with AddPending to make the counter
+// transactional: taken before persisting the post-retrain log, restored
+// if the persist fails so the feedback stays eligible for the next
+// retrain attempt.
+func (l *Log) TakePending() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.pending
+	l.pending = 0
+	return n
+}
+
+// AddPending raises the pending counter by n, preserving marks recorded
+// concurrently since the matching TakePending.
+func (l *Log) AddPending(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pending += n
+}
+
 // ShotPatterns returns the accumulated shot-level access patterns in a
 // deterministic order.
 func (l *Log) ShotPatterns() []mmm.AccessPattern {

@@ -1,10 +1,33 @@
 package feedback
 
 import (
+	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
+
+// Log file format: a gob-encoded logHeader carrying a CRC-32 of the
+// gob-encoded payload that follows it. The checksum is what lets startup
+// distinguish a torn or bit-rotted log from a healthy one and fall back
+// to the .tmp/.bak recovery chain instead of training on garbage.
+const (
+	logMagic   = "HMMMFLOG"
+	logVersion = 1
+)
+
+// ErrCorrupt is returned when a log file fails integrity verification:
+// wrong magic, unsupported version, or checksum mismatch.
+var ErrCorrupt = errors.New("feedback: corrupt log")
+
+// logHeader prefixes every persisted log.
+type logHeader struct {
+	Magic    string
+	Version  int
+	Checksum uint32 // IEEE CRC-32 of the gob-encoded payload
+}
 
 // logPayload is the wire form of a Log.
 type logPayload struct {
@@ -18,12 +41,12 @@ type patternPayload struct {
 	Freq   int
 }
 
-// Save writes the log to w in gob form. The accumulated access patterns
-// are the system's learned user knowledge — the paper's training data —
-// so they must survive restarts alongside the model snapshot.
+// Save writes the log to w as a checksummed snapshot. The accumulated
+// access patterns are the system's learned user knowledge — the paper's
+// training data — so they must survive restarts alongside the model
+// snapshot, and a half-written file must be detectable as such.
 func (l *Log) Save(w io.Writer) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	payload := logPayload{Pending: l.pending}
 	for _, e := range l.shots {
 		payload.Shots = append(payload.Shots, patternPayload{States: e.states, Freq: e.freq})
@@ -31,14 +54,49 @@ func (l *Log) Save(w io.Writer) error {
 	for _, e := range l.videos {
 		payload.Videos = append(payload.Videos, patternPayload{States: e.states, Freq: e.freq})
 	}
-	return gob.NewEncoder(w).Encode(payload)
+	l.mu.Unlock()
+
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(payload); err != nil {
+		return fmt.Errorf("feedback: encoding log: %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(logHeader{
+		Magic: logMagic, Version: logVersion, Checksum: crc32.ChecksumIEEE(body.Bytes()),
+	}); err != nil {
+		return fmt.Errorf("feedback: encoding log header: %w", err)
+	}
+	_, err := w.Write(body.Bytes())
+	return err
 }
 
-// LoadLog reads a log written by Save.
+// LoadLog reads a log written by Save, verifying the header and payload
+// checksum. Integrity failures are reported as ErrCorrupt so callers can
+// distinguish a damaged file (fall back to a backup) from an I/O error.
 func LoadLog(r io.Reader) (*Log, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("feedback: reading log: %w", err)
+	}
+	// Decoding from a bytes.Reader (an io.ByteReader) makes gob consume
+	// exactly the header message, leaving precisely the payload bytes.
+	br := bytes.NewReader(data)
+	var h logHeader
+	if err := gob.NewDecoder(br).Decode(&h); err != nil {
+		return nil, fmt.Errorf("%w: bad header: %v", ErrCorrupt, err)
+	}
+	if h.Magic != logMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, h.Magic)
+	}
+	if h.Version != logVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrCorrupt, h.Version, logVersion)
+	}
+	body := data[len(data)-br.Len():]
+	if crc32.ChecksumIEEE(body) != h.Checksum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
 	var payload logPayload
-	if err := gob.NewDecoder(r).Decode(&payload); err != nil {
-		return nil, fmt.Errorf("feedback: decoding log: %w", err)
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("%w: decoding payload: %v", ErrCorrupt, err)
 	}
 	l := NewLog()
 	for _, p := range payload.Shots {

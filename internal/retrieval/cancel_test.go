@@ -1,0 +1,210 @@
+// Cancellation and deadline semantics of RetrieveContext. These live in
+// an external test package so they can drive the engine through the
+// fault-injection harness (faultinject imports retrieval for the Tracer
+// type, which would cycle with an in-package test).
+package retrieval_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/videodb/hmmm/internal/dataset"
+	"github.com/videodb/hmmm/internal/faultinject"
+	"github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/retrieval"
+	"github.com/videodb/hmmm/internal/videomodel"
+)
+
+// cancelModel builds a mid-size archive: enough lattice work that a
+// slowed traversal overruns any millisecond deadline, small enough that
+// the -race runs stay quick.
+func cancelModel(t testing.TB) *hmmm.Model {
+	t.Helper()
+	c, err := dataset.Build(dataset.Config{Seed: 77, Videos: 12, Shots: 1200, Annotated: 120, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := hmmm.Build(c.Archive, c.Features, hmmm.BuildOptions{LearnP12: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func cancelQuery() retrieval.Query {
+	return retrieval.NewQuery(videomodel.EventGoal, videomodel.EventFreeKick)
+}
+
+// TestRetrieveContextBackgroundIdentical pins the zero-cost property: a
+// never-cancelled context changes nothing about the result.
+func TestRetrieveContextBackgroundIdentical(t *testing.T) {
+	m := cancelModel(t)
+	eng, err := retrieval.NewEngine(m, retrieval.Options{Beam: 4, TopK: 10, AnnotatedOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := cancelQuery()
+	plain, err := eng.Retrieve(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := eng.RetrieveContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctxed.Cost != plain.Cost {
+		t.Errorf("cost differs: %+v vs %+v", ctxed.Cost, plain.Cost)
+	}
+	if ctxed.Cost.Truncated {
+		t.Error("background context marked truncated")
+	}
+	if len(ctxed.Matches) != len(plain.Matches) {
+		t.Fatalf("match count differs: %d vs %d", len(ctxed.Matches), len(plain.Matches))
+	}
+	for i := range plain.Matches {
+		if ctxed.Matches[i].Score != plain.Matches[i].Score {
+			t.Errorf("match %d score %v vs %v", i, ctxed.Matches[i].Score, plain.Matches[i].Score)
+		}
+	}
+}
+
+// TestRetrieveContextDeadline is the headline resilience property: a
+// query that would otherwise run for a long time (each lattice trace
+// event is slowed artificially) honors a 1ms deadline, returning a valid
+// partial ranking with Truncated set within a small multiple of the
+// deadline instead of running to completion.
+func TestRetrieveContextDeadline(t *testing.T) {
+	m := cancelModel(t)
+	slow := &faultinject.SlowTracer{PerEvent: time.Millisecond}
+	eng, err := retrieval.NewEngine(m, retrieval.Options{
+		Beam: 8, TopK: 10, CrossVideo: true, Tracer: slow,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := eng.RetrieveContext(ctx, cancelQuery())
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("expired context must not error: %v", err)
+	}
+	if !res.Cost.Truncated {
+		t.Error("Truncated not set on deadline expiry")
+	}
+	// ~10ms is the intent; allow generous slack for loaded CI machines.
+	if elapsed > 500*time.Millisecond {
+		t.Errorf("deadline overrun: took %v", elapsed)
+	}
+	for i := 1; i < len(res.Matches); i++ {
+		if res.Matches[i].Score > res.Matches[i-1].Score {
+			t.Error("partial result not ranked")
+		}
+	}
+	for _, match := range res.Matches {
+		for _, s := range match.States {
+			if s < 0 || s >= m.NumStates() {
+				t.Fatalf("partial result holds invalid state %d", s)
+			}
+		}
+	}
+	t.Logf("deadline 1ms: returned in %v after %d trace events, %d matches",
+		elapsed, slow.Events(), len(res.Matches))
+}
+
+// TestRetrieveContextPreCancelled: a context dead on arrival yields an
+// empty truncated result, not an error or a full search.
+func TestRetrieveContextPreCancelled(t *testing.T) {
+	m := cancelModel(t)
+	eng, err := retrieval.NewEngine(m, retrieval.Options{Beam: 4, TopK: 10, AnnotatedOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := eng.RetrieveContext(ctx, cancelQuery())
+	if err != nil {
+		t.Fatalf("cancelled context must not error: %v", err)
+	}
+	if !res.Cost.Truncated {
+		t.Error("Truncated not set")
+	}
+	if len(res.Matches) != 0 {
+		t.Errorf("pre-cancelled query returned %d matches", len(res.Matches))
+	}
+	if res.Cost.VideosSeen != 0 {
+		t.Errorf("pre-cancelled query expanded %d videos", res.Cost.VideosSeen)
+	}
+}
+
+// TestRetrieveContextCancelParallel cancels a fanned-out retrieval
+// mid-flight; under -race this asserts the workers' context polling and
+// the committed-prefix bookkeeping are data-race free, and that the
+// pipeline unwinds promptly.
+func TestRetrieveContextCancelParallel(t *testing.T) {
+	m := cancelModel(t)
+	slow := &faultinject.SlowTracer{PerEvent: 200 * time.Microsecond}
+	eng, err := retrieval.NewEngine(m, retrieval.Options{
+		Beam: 8, TopK: 10, CrossVideo: true, Tracer: slow,
+		Parallel: 4, MinParallelWork: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := eng.RetrieveContext(ctx, cancelQuery())
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("cancelled parallel retrieve errored: %v", err)
+	}
+	if !res.Cost.Truncated {
+		t.Error("Truncated not set after mid-flight cancel")
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("parallel cancel unwound too slowly: %v", elapsed)
+	}
+	for i := 1; i < len(res.Matches); i++ {
+		if res.Matches[i].Score > res.Matches[i-1].Score {
+			t.Error("partial result not ranked")
+		}
+	}
+}
+
+// TestRetrieveContextDeadlineSerialLargeBeam drives the serial path with
+// a wide beam and the similarity fallback (the pathological query class
+// the admission/timeout story exists for) and asserts the per-edge tick
+// polling aborts it.
+func TestRetrieveContextDeadlineSerialLargeBeam(t *testing.T) {
+	m := cancelModel(t)
+	slow := &faultinject.SlowTracer{PerEvent: 500 * time.Microsecond}
+	eng, err := retrieval.NewEngine(m, retrieval.Options{
+		Beam: 64, TopK: 50, CrossVideo: true, AnnotatedOnly: false, Tracer: slow,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := retrieval.Query{Events: []videomodel.Event{
+		videomodel.EventGoal, videomodel.EventFreeKick, videomodel.EventFoul,
+	}}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := eng.RetrieveContext(ctx, q)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cost.Truncated {
+		t.Error("Truncated not set")
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Errorf("pathological query overran its deadline by too much: %v", elapsed)
+	}
+}

@@ -1,6 +1,7 @@
 package retrieval
 
 import (
+	"context"
 	"slices"
 	"sort"
 	"sync/atomic"
@@ -84,10 +85,18 @@ func (e *Engine) getArena() *arena {
 
 func (e *Engine) putArena(ar *arena) { e.shared.arenas.Put(ar) }
 
+// ctxPollEdges bounds how many lattice edge relaxations may run between
+// request-context polls: the worst-case extra work after a deadline
+// expires or a client disconnects. Polling costs one predictable-branch
+// counter test per edge plus a ctx.Err() call every interval, which is
+// noise next to the ~100ns edge relaxation itself.
+const ctxPollEdges = 512
+
 // searchCtx carries one retrieval's per-search state: the normalized
 // steps, scope, cost counters, the arena, the top-K admission filter
 // (prunes materialization of matches that cannot reach the final
-// ranking), and the parallel pipeline's cancellation flag.
+// ranking), the parallel pipeline's cancellation flag, and the request
+// context honored at bounded intervals.
 type searchCtx struct {
 	steps  []Step
 	scope  *Scope
@@ -95,6 +104,36 @@ type searchCtx struct {
 	ar     *arena
 	admit  func(score float64) bool
 	cancel *atomic.Bool
+	// ctx, when non-nil, is the per-request context; expired() polls it.
+	ctx   context.Context
+	polls int
+}
+
+// expired reports whether the request context has been cancelled (query
+// deadline hit or client gone). Called at video and stage boundaries.
+func (sc *searchCtx) expired() bool {
+	return sc.ctx != nil && sc.ctx.Err() != nil
+}
+
+// stopped reports whether the search should abandon further lattice work:
+// the parallel pipeline's speculative-work cancellation, or the request
+// context having expired.
+func (sc *searchCtx) stopped() bool {
+	if sc.cancel != nil && sc.cancel.Load() {
+		return true
+	}
+	return sc.expired()
+}
+
+// tick is the per-edge-relaxation check: a cheap counter that polls the
+// full stop conditions every ctxPollEdges calls, bounding both the poll
+// overhead and the post-cancellation overrun.
+func (sc *searchCtx) tick() bool {
+	sc.polls++
+	if sc.polls%ctxPollEdges != 0 {
+		return false
+	}
+	return sc.stopped()
 }
 
 // searchVideo runs the Figure-3 lattice over one entry video: every stage
@@ -136,7 +175,7 @@ func (e *Engine) lattice(vi, j0 int, entry []int32, ctx *searchCtx) []int32 {
 	save := func() { ar.bufA, ar.bufB = cur, next }
 
 	for {
-		if ctx.cancel != nil && ctx.cancel.Load() {
+		if ctx.stopped() {
 			save()
 			return nil
 		}
@@ -146,6 +185,10 @@ func (e *Engine) lattice(vi, j0 int, entry []int32, ctx *searchCtx) []int32 {
 		cur = cur[:0]
 		ar.cand = e.stepCandidates(ar.cand[:0], vi, -1, st, ctx.scope)
 		for _, s := range ar.cand {
+			if ctx.tick() {
+				save()
+				return nil
+			}
 			sim := e.simCounted(s, st, cost)
 			if entry == nil {
 				// Eq. 12: w1 = Π1(s1) · sim(s1, e1).
@@ -181,7 +224,7 @@ func (e *Engine) lattice(vi, j0 int, entry []int32, ctx *searchCtx) []int32 {
 		// the video runs out of candidates (Figure 3's "end of one video").
 		hopped := false
 		for j := j0 + 1; j < len(ctx.steps); j++ {
-			if ctx.cancel != nil && ctx.cancel.Load() {
+			if ctx.stopped() {
 				save()
 				return nil
 			}
@@ -195,6 +238,10 @@ func (e *Engine) lattice(vi, j0 int, entry []int32, ctx *searchCtx) []int32 {
 				// lookups index the row directly.
 				aRow := e.m.LocalA[vi].Row(e.m.States[c.state].LocalIdx)
 				for _, s := range ar.cand {
+					if ctx.tick() {
+						save()
+						return nil
+					}
 					cost.EdgeEvals++
 					li := e.m.States[s].LocalIdx
 					w := c.w * aRow[li] * e.simCounted(s, st, cost)

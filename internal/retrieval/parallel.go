@@ -1,6 +1,7 @@
 package retrieval
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -91,7 +92,12 @@ func (e *Engine) effectiveParallel(order []int, steps []Step) int {
 // threshold. The threshold only ever rises, so a stale snapshot admits a
 // superset; the commit step re-filters against the authoritative
 // accumulator, preserving exact serial semantics.
-func (e *Engine) retrieveParallel(workers int, order []int, q Query, steps []Step, res *Result, acc *topAccum) {
+// Request-context cancellation composes too: workers poll ctx inside the
+// lattice (searchCtx.tick) and before pulling the next video, so an
+// expired deadline or a vanished client stops the fan-out within a
+// bounded amount of work; whatever the commit frontier had accepted by
+// then is returned as the truncated partial result.
+func (e *Engine) retrieveParallel(ctx context.Context, workers int, order []int, q Query, steps []Step, res *Result, acc *topAccum) {
 	type videoResult struct {
 		matches []Match
 		raw     int
@@ -144,16 +150,20 @@ func (e *Engine) retrieveParallel(workers int, order []int, q Query, steps []Ste
 			defer wg.Done()
 			ar := e.getArena()
 			defer e.putArena(ar)
-			ctx := &searchCtx{
+			sctx := &searchCtx{
 				steps:  steps,
 				scope:  q.Scope,
 				ar:     ar,
 				cancel: &cancel,
+				ctx:    ctx,
 				admit: func(score float64) bool {
 					return !hintOn.Load() || score >= math.Float64frombits(hintBits.Load())
 				},
 			}
 			for {
+				if sctx.expired() {
+					return
+				}
 				mu.Lock()
 				if stopped || nextIdx >= len(order) {
 					mu.Unlock()
@@ -166,10 +176,10 @@ func (e *Engine) retrieveParallel(workers int, order []int, q Query, steps []Ste
 				vi := order[oi]
 				var c Cost
 				c.VideosSeen = 1
-				ctx.cost = &c
+				sctx.cost = &c
 				e.emit(TraceEvent{Kind: TraceVideoEnter, Video: vi, N: oi})
 				ar.beginVideo()
-				matches, raw := e.searchVideo(vi, ctx)
+				matches, raw := e.searchVideo(vi, sctx)
 
 				mu.Lock()
 				results[oi] = videoResult{matches: matches, raw: raw, cost: c, done: true}

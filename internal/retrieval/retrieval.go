@@ -19,6 +19,7 @@
 package retrieval
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"slices"
@@ -183,6 +184,10 @@ type Cost struct {
 	SimEvals   int // Eq. 14 similarity evaluations (table lookups count too)
 	EdgeEvals  int // state-transition edges considered
 	VideosSeen int // level-2 states expanded
+	// Truncated reports that the request context expired (deadline or
+	// client disconnect) before the traversal finished: the matches are a
+	// valid ranking of what was searched, not of the whole archive.
+	Truncated bool
 }
 
 // add accumulates another cost counter into c.
@@ -190,6 +195,7 @@ func (c *Cost) add(o Cost) {
 	c.SimEvals += o.SimEvals
 	c.EdgeEvals += o.EdgeEvals
 	c.VideosSeen += o.VideosSeen
+	c.Truncated = c.Truncated || o.Truncated
 }
 
 // Result is a ranked retrieval outcome.
@@ -479,6 +485,18 @@ func (a *topAccum) finalize(topK int) []Match {
 // selecting candidate videos, walk the shot lattice per video (Steps 3-5),
 // score candidate sequences (Step 6), and rank them (Steps 7-9).
 func (e *Engine) Retrieve(q Query) (*Result, error) {
+	return e.RetrieveContext(context.Background(), q)
+}
+
+// RetrieveContext is Retrieve honoring a request context: the traversal
+// polls ctx at video boundaries and every ctxPollEdges lattice edge
+// relaxations, so a deadline or client disconnect stops the search within
+// a bounded amount of further work. An expired context is not an error —
+// the matches ranked so far are returned with Cost.Truncated set, turning
+// a pathological query into a fast partial answer instead of unbounded
+// work. With a background (never-cancelled) context the result is
+// bit-identical to Retrieve.
+func (e *Engine) RetrieveContext(ctx context.Context, q Query) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -506,19 +524,22 @@ func (e *Engine) Retrieve(q Query) (*Result, error) {
 	}
 	acc := &topAccum{limit: e.opts.TopK}
 	if workers := e.effectiveParallel(order, steps); workers > 1 {
-		e.retrieveParallel(workers, order, q, steps, res, acc)
+		e.retrieveParallel(ctx, workers, order, q, steps, res, acc)
 	} else {
 		stopAt := 0
 		if e.opts.StopAfterMatches {
 			stopAt = 3 * e.opts.TopK
 		}
 		ar := e.getArena()
-		ctx := &searchCtx{steps: steps, scope: q.Scope, cost: &res.Cost, ar: ar, admit: acc.admit}
+		sctx := &searchCtx{steps: steps, scope: q.Scope, cost: &res.Cost, ar: ar, admit: acc.admit, ctx: ctx}
 		for oi, vi := range order {
+			if sctx.expired() {
+				break
+			}
 			res.Cost.VideosSeen++
 			e.emit(TraceEvent{Kind: TraceVideoEnter, Video: vi, N: oi})
 			ar.beginVideo()
-			matches, raw := e.searchVideo(vi, ctx)
+			matches, raw := e.searchVideo(vi, sctx)
 			for _, m := range matches {
 				acc.add(m)
 			}
@@ -531,6 +552,9 @@ func (e *Engine) Retrieve(q Query) (*Result, error) {
 		e.putArena(ar)
 	}
 	res.Matches = acc.finalize(e.opts.TopK)
+	if ctx.Err() != nil {
+		res.Cost.Truncated = true
+	}
 	return res, nil
 }
 

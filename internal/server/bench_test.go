@@ -60,6 +60,48 @@ func reportP99(b *testing.B, lat []time.Duration) {
 	b.ReportMetric(float64(lat[idx].Nanoseconds()), "p99-ns/op")
 }
 
+// BenchmarkQueryWithMiddleware prices the resilience middleware: the
+// same query through the bare route mux versus the full production
+// stack (panic recovery + admission semaphore + body cap + query
+// deadline). Recorded into BENCH_retrieval.json alongside F5PaperQuery
+// so the per-request overhead can be read against the raw engine cost.
+func BenchmarkQueryWithMiddleware(b *testing.B) {
+	c, err := dataset.Build(dataset.Config{Seed: 41, Videos: 20, Shots: 4000, Annotated: 240, Fast: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := hmmm.Build(c.Archive, c.Features, hmmm.BuildOptions{LearnP12: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(Config{Model: m, MaxInflight: 64, QueryTimeout: 10 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := json.Marshal(QueryRequest{Pattern: "goal -> free_kick", TopK: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	bare := http.NewServeMux()
+	bare.HandleFunc("POST /api/query", s.handleQuery)
+	for _, bench := range []struct {
+		name string
+		h    http.Handler
+	}{
+		{"bare-mux", bare},
+		{"middleware", s.Handler()},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				postQuery(b, bench.h, body)
+			}
+		})
+	}
+}
+
 // BenchmarkQueryUnderRetrain quantifies the tentpole's stall-free
 // serving claim: query latency (mean and p99) with no retraining versus
 // with a goroutine continuously retraining and swapping snapshots. With

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+)
+
+// wrap layers the resilience middleware around the API mux, outermost
+// first: panic recovery (a handler bug costs one 500, never the
+// process), then admission control (load shedding with 503 +
+// Retry-After once MaxInflight requests are in flight), then the
+// request-body size cap. Recovery sits outside admission so a panic in
+// the admission path itself is also contained, and so the semaphore
+// slot is released before the recovery handler writes the 500.
+func (s *Server) wrap(h http.Handler) http.Handler {
+	return s.withRecovery(s.withAdmission(s.withMaxBytes(h)))
+}
+
+// withRecovery converts a handler panic into a 500 JSON error and a
+// logged stack trace. The response write is best-effort: if the handler
+// already wrote a partial body, the 500 header is lost but the process
+// still survives to serve the next request.
+func (s *Server) withRecovery(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.logf("server: PANIC serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				writeError(w, http.StatusInternalServerError,
+					fmt.Errorf("internal error serving %s", r.URL.Path))
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// withAdmission sheds load once MaxInflight requests are being served:
+// excess requests get an immediate 503 with Retry-After instead of
+// queueing behind work the server cannot keep up with. The health
+// endpoint bypasses the gate so liveness/readiness probes keep working
+// exactly when the signal matters most — under overload. The inflight
+// counter is maintained here even when shedding is disabled, feeding
+// the health report.
+func (s *Server) withAdmission(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/api/health" {
+			h.ServeHTTP(w, r)
+			return
+		}
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable,
+					fmt.Errorf("server at capacity (%d requests in flight), retry shortly", s.maxInflight))
+				return
+			}
+		}
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		h.ServeHTTP(w, r)
+	})
+}
+
+// withMaxBytes caps request body size. MaxBytesReader makes the
+// handler's decode fail with *http.MaxBytesError, which decodeJSON
+// maps to 413.
+func (s *Server) withMaxBytes(h http.Handler) http.Handler {
+	if s.maxBytes < 0 {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.maxBytes)
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// decodeJSON decodes a request body into v, writing the error response
+// itself on failure: 413 when the body blew the size cap, 400 for
+// malformed JSON. Returns false when the caller should stop.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %s bytes", strconv.FormatInt(tooBig.Limit, 10)))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}

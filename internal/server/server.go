@@ -6,9 +6,11 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"sort"
@@ -16,8 +18,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/videodb/hmmm/internal/api"
+	"github.com/videodb/hmmm/internal/atomicwrite"
 	"github.com/videodb/hmmm/internal/features"
 	"github.com/videodb/hmmm/internal/feedback"
 	"github.com/videodb/hmmm/internal/hmmm"
@@ -49,14 +53,29 @@ type Server struct {
 	log       *feedback.Log
 	trainer   *feedback.Trainer
 	logPath   string
+
+	// Resilience knobs (see Config).
+	fs           atomicwrite.FS
+	logf         func(format string, args ...any)
+	maxBytes     int64
+	maxInflight  int
+	queryTimeout time.Duration
+	// inflight counts requests currently inside the admission gate;
+	// draining flips readiness off during graceful shutdown.
+	inflight atomic.Int64
+	draining atomic.Bool
+	// sem is the admission semaphore (nil = unlimited).
+	sem chan struct{}
 }
 
 // snapshot is one immutable published generation: a trained model and
 // the engine whose caches were built from exactly that model. Neither is
-// mutated after publication.
+// mutated after publication. gen counts generations for the health
+// endpoint (1 = boot model).
 type snapshot struct {
 	model  *hmmm.Model
 	engine *retrieval.Engine
+	gen    uint64
 }
 
 // Config bundles the server dependencies.
@@ -72,7 +91,30 @@ type Config struct {
 	// retrain. The accumulated positive patterns are the system's learned
 	// user knowledge and must survive restarts.
 	FeedbackLogPath string
+	// MaxRequestBytes caps request body size; oversized bodies get 413.
+	// 0 means DefaultMaxRequestBytes; negative disables the limit.
+	MaxRequestBytes int64
+	// MaxInflight caps concurrently served requests; excess requests are
+	// shed immediately with 503 + Retry-After (the health endpoint is
+	// exempt so probes keep working under overload). 0 disables shedding.
+	MaxInflight int
+	// QueryTimeout bounds each /api/query execution; on expiry the
+	// response carries the matches ranked so far with cost.truncated
+	// set. 0 disables the server-side deadline (a request may still set
+	// its own via timeout_ms, clamped to this value when configured).
+	QueryTimeout time.Duration
+	// FS is the filesystem used for feedback-log persistence; nil means
+	// the real one. Tests inject failures through it.
+	FS atomicwrite.FS
+	// Logf receives operational warnings (corrupt-log recovery, handler
+	// panics). nil means the standard logger.
+	Logf func(format string, args ...any)
 }
+
+// DefaultMaxRequestBytes caps request bodies when Config.MaxRequestBytes
+// is zero. Every legitimate API body is tiny (a pattern string, a list
+// of state ids); 1 MiB is generous.
+const DefaultMaxRequestBytes = 1 << 20
 
 // New validates the model and returns a server.
 func New(cfg Config) (*Server, error) {
@@ -87,27 +129,81 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: building engine: %w", err)
 	}
 	s := &Server{
-		opts:    cfg.Options,
-		log:     feedback.NewLog(),
-		trainer: feedback.NewTrainer(cfg.RetrainThreshold),
-		logPath: cfg.FeedbackLogPath,
+		opts:         cfg.Options,
+		log:          feedback.NewLog(),
+		trainer:      feedback.NewTrainer(cfg.RetrainThreshold),
+		logPath:      cfg.FeedbackLogPath,
+		fs:           cfg.FS,
+		logf:         cfg.Logf,
+		maxBytes:     cfg.MaxRequestBytes,
+		maxInflight:  cfg.MaxInflight,
+		queryTimeout: cfg.QueryTimeout,
 	}
-	s.current.Store(&snapshot{model: cfg.Model, engine: engine})
+	if s.fs == nil {
+		s.fs = atomicwrite.OS
+	}
+	if s.logf == nil {
+		s.logf = log.Printf
+	}
+	if s.maxBytes == 0 {
+		s.maxBytes = DefaultMaxRequestBytes
+	}
+	if s.maxInflight > 0 {
+		s.sem = make(chan struct{}, s.maxInflight)
+	}
+	s.current.Store(&snapshot{model: cfg.Model, engine: engine, gen: 1})
 	if s.logPath != "" {
-		f, err := os.Open(s.logPath)
-		switch {
-		case err == nil:
-			loaded, lerr := feedback.LoadLog(f)
-			f.Close()
-			if lerr != nil {
-				return nil, fmt.Errorf("server: loading feedback log: %w", lerr)
-			}
+		loaded, err := loadLogRecover(s.logPath, s.logf)
+		if err != nil {
+			return nil, err
+		}
+		if loaded != nil {
 			s.log = loaded
-		case !os.IsNotExist(err):
-			return nil, fmt.Errorf("server: opening feedback log: %w", err)
 		}
 	}
 	return s, nil
+}
+
+// loadLogRecover loads the feedback log, walking the atomicwrite
+// recovery chain when the primary file is torn or fails its checksum:
+// the file itself, then the fsynced-but-unrenamed .tmp a crash may have
+// left (newer than the file when present), then the .bak previous
+// version. Corruption never fails startup — the last good version wins,
+// with a clear warning; only a real I/O error (permissions, etc.) does.
+// A nil, nil return means "no log on disk, start fresh".
+func loadLogRecover(path string, logf func(string, ...any)) (*feedback.Log, error) {
+	var firstCorrupt error
+	for _, p := range atomicwrite.RecoveryCandidates(path) {
+		f, err := os.Open(p)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("server: opening feedback log: %w", err)
+		}
+		l, lerr := feedback.LoadLog(f)
+		f.Close()
+		if lerr != nil {
+			if !errors.Is(lerr, feedback.ErrCorrupt) {
+				return nil, fmt.Errorf("server: loading feedback log: %w", lerr)
+			}
+			if firstCorrupt == nil {
+				firstCorrupt = lerr
+			}
+			logf("server: feedback log %s unusable (%v), trying next recovery candidate", p, lerr)
+			continue
+		}
+		if p != path {
+			logf("server: WARNING: feedback log %s corrupt or missing; recovered %d patterns from %s",
+				path, l.Len(), p)
+		}
+		return l, nil
+	}
+	if firstCorrupt != nil {
+		logf("server: WARNING: feedback log %s corrupt with no usable recovery candidate (%v); starting with an empty log",
+			path, firstCorrupt)
+	}
+	return nil, nil
 }
 
 // Model returns the currently published model. Tests and tools use it;
@@ -115,30 +211,20 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Model() *hmmm.Model { return s.current.Load().model }
 
 // persistLog rewrites the feedback log file if persistence is
-// configured. Called with retrainMu held (the log itself is internally
-// locked; retrainMu keeps file rewrites ordered).
+// configured: a checksummed snapshot through the durable atomic-replace
+// helper (temp file fsync, previous version kept as .bak, rename,
+// directory fsync), so a crash at any point leaves a loadable log.
+// Called with retrainMu held (the log itself is internally locked;
+// retrainMu keeps file rewrites ordered).
 func (s *Server) persistLog() error {
 	if s.logPath == "" {
 		return nil
 	}
-	tmp := s.logPath + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := s.log.Save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, s.logPath)
+	return atomicwrite.Write(s.fs, s.logPath, s.log.Save)
 }
 
-// Handler returns the HTTP routes.
+// Handler returns the HTTP routes wrapped in the resilience middleware
+// (panic recovery, admission control, request-size limits); see wrap.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/health", s.handleHealth)
@@ -152,7 +238,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/query", s.handleQuery)
 	mux.HandleFunc("POST /api/feedback", s.handleFeedback)
 	mux.HandleFunc("POST /api/retrain", s.handleRetrain)
-	return mux
+	return s.wrap(mux)
 }
 
 // API payload types are defined in package api and aliased here for
@@ -172,8 +258,26 @@ type (
 	ErrorResponse    = api.ErrorResponse
 )
 
+// handleHealth reports liveness and readiness in one response: any
+// answer at all is liveness; the Ready flag (and a 503 while draining)
+// is what a load balancer keys off to stop routing new traffic during
+// graceful shutdown while in-flight requests finish.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := api.HealthResponse{
+		Status:          "ok",
+		Ready:           true,
+		ModelGeneration: s.current.Load().gen,
+		PendingFeedback: s.log.Pending(),
+		Inflight:        int(s.inflight.Load()),
+		MaxInflight:     s.maxInflight,
+	}
+	status := http.StatusOK
+	if s.draining.Load() {
+		resp.Status = "draining"
+		resp.Ready = false
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -223,8 +327,7 @@ func (s *Server) handleVideos(w http.ResponseWriter, r *http.Request) {
 // matrices only (the Step-2 browsing signal).
 func (s *Server) handleRankVideos(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	queries, err := matn.CompileString(req.Pattern)
@@ -330,8 +433,7 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 // handleParse validates and renders an MATN query without executing it.
 func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	network, err := matn.Parse(req.Pattern)
@@ -366,14 +468,23 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	queries, err := matn.CompileString(req.Pattern)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+
+	// Per-request deadline: the server ceiling, tightened by the client's
+	// timeout_ms. The context also carries the client-disconnect signal,
+	// so an abandoned query stops consuming CPU at the next poll.
+	ctx := r.Context()
+	if d := s.effectiveQueryTimeout(req.TimeoutMS); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
 	}
 
 	// One snapshot load serves the whole request: the engine and the model
@@ -414,7 +525,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var cost retrieval.Cost
 	for _, q := range queries {
 		q.Scope = scope
-		res, err := engine.Retrieve(q)
+		res, err := engine.RetrieveContext(ctx, q)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return
@@ -423,6 +534,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		cost.SimEvals += res.Cost.SimEvals
 		cost.EdgeEvals += res.Cost.EdgeEvals
 		cost.VideosSeen += res.Cost.VideosSeen
+		cost.Truncated = cost.Truncated || res.Cost.Truncated
+		if cost.Truncated {
+			// The deadline is spent; later alternation branches would each
+			// pay a poll round-trip just to return empty.
+			break
+		}
 	}
 	merged := retrieval.MergeRanked(all, opts.TopK)
 
@@ -463,7 +580,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp := QueryResponse{
 		Pattern:  req.Pattern,
 		Expanded: len(queries),
-		Cost:     CostJSON{SimEvals: cost.SimEvals, EdgeEvals: cost.EdgeEvals, VideosSeen: cost.VideosSeen},
+		Cost: CostJSON{
+			SimEvals: cost.SimEvals, EdgeEvals: cost.EdgeEvals,
+			VideosSeen: cost.VideosSeen, Truncated: cost.Truncated,
+		},
 	}
 	for i, match := range merged {
 		mj := MatchJSON{
@@ -493,8 +613,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	var req FeedbackRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	// Validate states against the current snapshot; the log itself is
@@ -543,10 +662,14 @@ func (s *Server) maybeRetrain() (bool, error) {
 
 // retrainLocked performs one copy-on-write retrain cycle with retrainMu
 // held: train a clone of the published model on the accumulated
-// feedback, build a fresh engine over it, publish the new snapshot
-// atomically, then reset the pending counter and persist the log.
-// Queries proceed on the old snapshot throughout and see the new one
-// only after the swap.
+// feedback, build a fresh engine over it, persist the log, and only
+// then publish the new snapshot atomically. Persist-before-publish
+// keeps the error response consistent with observable state: a failed
+// persist leaves the old snapshot serving and the pending counter
+// restored, so the caller's 500 means "nothing changed", never "the
+// model advanced but its feedback evaporated on disk". Queries proceed
+// on the old snapshot throughout and see the new one only after the
+// swap.
 func (s *Server) retrainLocked() error {
 	snap := s.current.Load()
 	next, err := s.trainer.RetrainSnapshot(snap.model, s.log)
@@ -557,11 +680,14 @@ func (s *Server) retrainLocked() error {
 	if err != nil {
 		return fmt.Errorf("rebuilding engine: %w", err)
 	}
-	s.current.Store(&snapshot{model: next, engine: engine})
-	s.log.ResetPending()
+	taken := s.log.TakePending()
 	if err := s.persistLog(); err != nil {
+		// Feedback marked concurrently during the persist attempt added to
+		// the zeroed counter; AddPending folds the taken count back in.
+		s.log.AddPending(taken)
 		return fmt.Errorf("persisting feedback log: %w", err)
 	}
+	s.current.Store(&snapshot{model: next, engine: engine, gen: snap.gen + 1})
 	return nil
 }
 
@@ -574,6 +700,50 @@ func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, FeedbackResponse{Pending: s.log.Pending(), Retrained: true})
+}
+
+// effectiveQueryTimeout resolves one query's deadline from the server
+// ceiling and the request's timeout_ms: the request may only tighten
+// the configured ceiling, never widen it. 0 means no deadline.
+func (s *Server) effectiveQueryTimeout(reqMS int) time.Duration {
+	d := s.queryTimeout
+	if reqMS > 0 {
+		if req := time.Duration(reqMS) * time.Millisecond; d == 0 || req < d {
+			d = req
+		}
+	}
+	return d
+}
+
+// BeginDrain flips readiness off: /api/health starts answering 503
+// "draining" so load balancers stop routing new traffic, while
+// in-flight and straggler requests are still served. It does not block.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// PersistNow flushes the feedback log to disk (a no-op without a
+// configured log path). Shutdown calls it after the drain so marks
+// accepted up to the last request survive the restart.
+func (s *Server) PersistNow() error {
+	s.retrainMu.Lock()
+	defer s.retrainMu.Unlock()
+	return s.persistLog()
+}
+
+// Shutdown gracefully stops the given http.Server serving this Server's
+// handler: readiness goes false, in-flight requests get up to grace to
+// finish, then the feedback log is persisted one final time. Both the
+// drain error (deadline exceeded with requests still running) and the
+// persist error matter; the persist always runs.
+func (s *Server) Shutdown(hs *http.Server, grace time.Duration) error {
+	s.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	drainErr := hs.Shutdown(ctx)
+	persistErr := s.PersistNow()
+	if persistErr != nil {
+		return fmt.Errorf("final feedback-log persist: %w", persistErr)
+	}
+	return drainErr
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,112 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/videodb/hmmm/internal/atomicwrite"
+	"github.com/videodb/hmmm/internal/dataset"
+	"github.com/videodb/hmmm/internal/hmmm"
+)
+
+func recoverTestModel(t *testing.T) *hmmm.Model {
+	t.Helper()
+	c, err := dataset.Build(dataset.Config{Seed: 9, Videos: 3, Shots: 60, Annotated: 15, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := hmmm.Build(c.Archive, c.Features, hmmm.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// corrupt flips a byte near the end of the file (inside the payload, so
+// the CRC check — not the header parse — must catch it).
+func corrupt(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-5] ^= 0x5a
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadModelRecoverFromBackup(t *testing.T) {
+	m := recoverTestModel(t)
+	path := filepath.Join(t.TempDir(), "model.gob")
+	// Two saves: the second's rename chain leaves the first as .bak.
+	if err := SaveModel(path, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveModel(path, m); err != nil {
+		t.Fatal(err)
+	}
+	corrupt(t, path)
+
+	if _, err := LoadModel(path); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted primary: err = %v, want ErrChecksum", err)
+	}
+	got, used, err := LoadModelRecover(path)
+	if err != nil {
+		t.Fatalf("recover failed: %v", err)
+	}
+	if used != atomicwrite.BakPath(path) {
+		t.Errorf("recovered from %q, want backup", used)
+	}
+	if got.NumStates() != m.NumStates() || got.NumVideos() != m.NumVideos() {
+		t.Errorf("recovered model shape %d/%d, want %d/%d",
+			got.NumStates(), got.NumVideos(), m.NumStates(), m.NumVideos())
+	}
+}
+
+func TestLoadModelRecoverFromTmp(t *testing.T) {
+	m := recoverTestModel(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.gob")
+	// Simulate a crash between the tmp fsync and the rename: only the
+	// temp file exists.
+	other := filepath.Join(dir, "staging.gob")
+	if err := SaveModel(other, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(other, atomicwrite.TmpPath(path)); err != nil {
+		t.Fatal(err)
+	}
+	got, used, err := LoadModelRecover(path)
+	if err != nil {
+		t.Fatalf("recover failed: %v", err)
+	}
+	if used != atomicwrite.TmpPath(path) {
+		t.Errorf("recovered from %q, want tmp", used)
+	}
+	if got.NumStates() != m.NumStates() {
+		t.Errorf("recovered model has %d states, want %d", got.NumStates(), m.NumStates())
+	}
+}
+
+func TestLoadModelRecoverAllMissing(t *testing.T) {
+	if _, _, err := LoadModelRecover(filepath.Join(t.TempDir(), "nope.gob")); !os.IsNotExist(err) {
+		t.Fatalf("err = %v, want not-exist", err)
+	}
+}
+
+func TestSaveModelKeepsBackup(t *testing.T) {
+	m := recoverTestModel(t)
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := SaveModel(path, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveModel(path, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModel(atomicwrite.BakPath(path)); err != nil {
+		t.Errorf("backup not loadable: %v", err)
+	}
+}

@@ -17,8 +17,8 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
-	"path/filepath"
 
+	"github.com/videodb/hmmm/internal/atomicwrite"
 	"github.com/videodb/hmmm/internal/dataset"
 	"github.com/videodb/hmmm/internal/hmmm"
 	"github.com/videodb/hmmm/internal/videomodel"
@@ -136,6 +136,27 @@ func LoadModel(path string) (*hmmm.Model, error) {
 	return hmmm.FromSnapshot(&s)
 }
 
+// LoadModelRecover loads a model snapshot, falling back along the
+// atomicwrite recovery chain when the primary file is missing, torn, or
+// fails its checksum: path itself, then path.tmp (a fully written
+// replacement a crash left un-renamed), then path.bak (the previous good
+// version). It returns the path actually loaded so callers can warn when
+// it differs from the one asked for. The returned error is the primary
+// path's when every candidate fails.
+func LoadModelRecover(path string) (*hmmm.Model, string, error) {
+	var firstErr error
+	for _, p := range atomicwrite.RecoveryCandidates(path) {
+		m, err := LoadModel(p)
+		if err == nil {
+			return m, p, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, "", firstErr
+}
+
 func checkHeader(dec *gob.Decoder, kind string) (header, error) {
 	var h header
 	if err := dec.Decode(&h); err != nil {
@@ -153,23 +174,12 @@ func checkHeader(dec *gob.Decoder, kind string) (header, error) {
 	return h, nil
 }
 
-// atomically writes via a temp file in the target directory and renames
-// into place, so readers never observe a torn snapshot.
+// atomically writes through the shared durable-replacement helper: temp
+// file + fsync + backup + rename + directory fsync, so readers never
+// observe a torn snapshot and a crash at any point leaves a recoverable
+// file (see atomicwrite and LoadModelRecover).
 func atomically(path string, write func(io.Writer) error) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".hmmm-snapshot-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if err := write(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return atomicwrite.Write(atomicwrite.OS, path, write)
 }
 
 // modelJSON is the JSON export shape: a human-inspectable summary plus the
