@@ -8,7 +8,7 @@ BENCH_PATTERN := BenchmarkF2RetrievalGreedy$$|BenchmarkF5PaperQuery$$|BenchmarkP
 # Offline-pipeline benchmarks captured into BENCH_build.json.
 BENCH_BUILD_PATTERN := BenchmarkBuildPaperScale|BenchmarkRetrainPaperScale
 
-.PHONY: build vet test race race-server race-all verify bench bench-build clean
+.PHONY: build vet test race race-server race-obs race-all verify bench bench-build clean
 
 build:
 	$(GO) build ./...
@@ -25,18 +25,24 @@ race:
 race-server:
 	$(GO) test -race ./internal/server/...
 
-# Full-repo race sweep; slower than the targeted race/race-server pair,
-# meant for CI and pre-release checks.
+# The metrics registry and histogram invariants under concurrency.
+race-obs:
+	$(GO) test -race ./internal/obs/...
+
+# Full-repo race sweep; slower than the targeted race targets, meant
+# for CI and pre-release checks.
 race-all:
 	$(GO) test -race ./...
 
-verify: vet build test race race-server
+verify: vet build test race race-server race-obs
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=200x -count=1 . \
 		| $(GO) run ./cmd/benchjson -out BENCH_retrieval.json
 	$(GO) test -run '^$$' -bench 'BenchmarkQueryWithMiddleware' -benchmem -benchtime=200x -count=1 ./internal/server/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_retrieval.json -note "resilience middleware overhead vs F5PaperQuery"
+	$(GO) test -run '^$$' -bench 'BenchmarkQueryWithObs' -benchmem -benchtime=200x -count=1 ./internal/server/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_retrieval.json -note "observability overhead vs QueryWithMiddleware baseline (budget <=5%)"
 	@echo "appended to BENCH_retrieval.json"
 
 bench-build:

@@ -7,7 +7,10 @@
 //
 // Commands:
 //
-//	stats                      model and feedback-log statistics
+//	stats                      model, feedback-log, and runtime statistics
+//	                           (QPS, latency percentiles, cache hit rate,
+//	                           inflight, model generation, pending feedback)
+//	metrics                    dump the raw Prometheus /metrics text
 //	events                     list the event taxonomy
 //	videos                     list archive videos and their events
 //	query  <pattern> [flags]   run an MATN temporal pattern query, e.g.
@@ -56,6 +59,8 @@ func main() {
 	switch args[0] {
 	case "stats":
 		err = runStats(ctx, cl)
+	case "metrics":
+		err = runMetrics(ctx, cl)
 	case "events":
 		err = runEvents(ctx, cl)
 	case "videos":
@@ -87,7 +92,8 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage: hmmmctl [-server URL] <command> [args]
 
 commands:
-  stats                    model and feedback-log statistics
+  stats                    model, feedback-log, and runtime statistics
+  metrics                  dump the raw Prometheus /metrics text
   events                   list the event taxonomy
   videos                   list archive videos and their events
   query <pattern> [flags]  run an MATN query ("goal -> free_kick")
@@ -117,10 +123,33 @@ func runStats(ctx context.Context, cl *client.Client) error {
 	fmt.Printf("features:          %d\n", st.Features)
 	fmt.Printf("distinct patterns: %d\n", st.DistinctPatterns)
 	fmt.Printf("pending feedback:  %d\n", st.PendingFeedback)
+	if rt := st.Runtime; rt != nil {
+		fmt.Printf("runtime:\n")
+		fmt.Printf("  uptime:           %.0fs\n", rt.UptimeSeconds)
+		fmt.Printf("  requests:         %d (%.2f qps)\n", rt.Requests, rt.QPS)
+		fmt.Printf("  query latency:    p50=%.2fms p95=%.2fms p99=%.2fms\n",
+			rt.QueryP50MS, rt.QueryP95MS, rt.QueryP99MS)
+		fmt.Printf("  sim cache hits:   %.1f%%\n", rt.SimCacheHitRate*100)
+		fmt.Printf("  inflight:         %d\n", rt.Inflight)
+		fmt.Printf("  shed / panics:    %d / %d\n", rt.Shed, rt.Panics)
+		fmt.Printf("  slow / truncated: %d / %d\n", rt.SlowQueries, rt.TruncatedQueries)
+		fmt.Printf("  model generation: %d\n", rt.ModelGeneration)
+		fmt.Printf("  retrains:         %d (%d failed)\n", rt.Retrains, rt.RetrainFailures)
+		fmt.Printf("  persist failures: %d\n", rt.PersistFailures)
+	}
 	fmt.Printf("events:\n")
 	for name, n := range st.EventCounts {
 		fmt.Printf("  %-14s %d\n", name, n)
 	}
+	return nil
+}
+
+func runMetrics(ctx context.Context, cl *client.Client) error {
+	text, err := cl.MetricsText(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Print(text)
 	return nil
 }
 

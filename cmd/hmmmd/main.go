@@ -29,6 +29,19 @@
 //	-shutdown-grace duration  how long SIGINT/SIGTERM waits for in-flight
 //	                          requests before exiting (default 10s)
 //
+// Observability flags:
+//
+//	-debug-addr duration  serve pprof, expvar, and a /metrics mirror on a
+//	                      second listener (default off; keep it off the
+//	                      production port — the endpoints are
+//	                      unauthenticated)
+//	-slow-query duration  log queries taking at least this long as JSON
+//	                      lines on stderr (default 0 = disabled)
+//
+// The main listener always serves Prometheus metrics at /metrics and the
+// operational roll-up inside GET /api/stats ("runtime" section; also
+// `hmmmctl stats`).
+//
 // On SIGINT/SIGTERM the daemon flips /api/health to 503 "draining",
 // waits up to -shutdown-grace for in-flight requests, persists the
 // feedback log a final time, and exits.
@@ -39,14 +52,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"github.com/videodb/hmmm/internal/dataset"
 	"github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/obs"
 	"github.com/videodb/hmmm/internal/retrieval"
 	"github.com/videodb/hmmm/internal/server"
 	"github.com/videodb/hmmm/internal/store"
@@ -70,8 +86,16 @@ func main() {
 		maxInflight  = flag.Int("max-inflight", 64, "max concurrently served requests (0 disables shedding)")
 		maxBody      = flag.Int64("max-body", server.DefaultMaxRequestBytes, "request body cap in bytes (-1 disables)")
 		grace        = flag.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown drain window")
+
+		debugAddr = flag.String("debug-addr", "", "serve pprof/expvar/metrics on this second listener (empty disables)")
+		slowQuery = flag.Duration("slow-query", 0, "log queries taking at least this long to stderr as JSON lines (0 disables)")
 	)
 	flag.Parse()
+
+	// The registry exists before the model loads so the store's
+	// recovery-chain counters cover the boot load itself.
+	reg := obs.NewRegistry()
+	store.SetMetrics(store.NewMetrics(reg))
 
 	var model *hmmm.Model
 	if *modelPath != "" {
@@ -102,17 +126,36 @@ func main() {
 			time.Since(start).Seconds(), model.NumStates(), model.NumVideos())
 	}
 
+	var slowWriter io.Writer
+	if *slowQuery > 0 {
+		slowWriter = os.Stderr
+	}
 	srv, err := server.New(server.Config{
-		Model:            model,
-		Options:          retrieval.Options{Beam: 4, TopK: 10},
-		RetrainThreshold: *retrain,
-		FeedbackLogPath:  *fbLog,
-		QueryTimeout:     *queryTimeout,
-		MaxInflight:      *maxInflight,
-		MaxRequestBytes:  *maxBody,
+		Model:              model,
+		Options:            retrieval.Options{Beam: 4, TopK: 10},
+		RetrainThreshold:   *retrain,
+		FeedbackLogPath:    *fbLog,
+		QueryTimeout:       *queryTimeout,
+		MaxInflight:        *maxInflight,
+		MaxRequestBytes:    *maxBody,
+		Registry:           reg,
+		SlowQueryThreshold: *slowQuery,
+		SlowQueryWriter:    slowWriter,
 	})
 	if err != nil {
 		log.Fatalf("starting server: %v", err)
+	}
+
+	if *debugAddr != "" {
+		// pprof and expvar stay off the production listener: they are
+		// unauthenticated and can be expensive to serve.
+		ds := &http.Server{Addr: *debugAddr, Handler: obs.DebugHandler(reg)}
+		go func() {
+			if err := ds.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+		fmt.Printf("debug endpoints (pprof, expvar, metrics) on %s\n", *debugAddr)
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -99,6 +99,33 @@ type StatsResponse struct {
 	DistinctPatterns int            `json:"distinct_patterns"`
 	PendingFeedback  int            `json:"pending_feedback"`
 	EventCounts      map[string]int `json:"event_counts"`
+	// Runtime is the operational roll-up (request rates, latency
+	// percentiles, cache hit rate) read from the server's metrics at
+	// response time.
+	Runtime *RuntimeStatsJSON `json:"runtime,omitempty"`
+}
+
+// RuntimeStatsJSON is the operational section of /api/stats: the same
+// numbers /metrics exposes in Prometheus format, rolled up for humans
+// and the CLI. Latency percentiles are estimated from the request
+// histogram's fixed buckets (linear interpolation within a bucket).
+type RuntimeStatsJSON struct {
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	Requests         uint64  `json:"requests"`
+	QPS              float64 `json:"qps"`
+	QueryP50MS       float64 `json:"query_p50_ms"`
+	QueryP95MS       float64 `json:"query_p95_ms"`
+	QueryP99MS       float64 `json:"query_p99_ms"`
+	SimCacheHitRate  float64 `json:"sim_cache_hit_rate"`
+	Inflight         int     `json:"inflight"`
+	Shed             uint64  `json:"shed"`
+	Panics           uint64  `json:"panics"`
+	SlowQueries      uint64  `json:"slow_queries"`
+	TruncatedQueries uint64  `json:"truncated_queries"`
+	ModelGeneration  uint64  `json:"model_generation"`
+	Retrains         uint64  `json:"retrains"`
+	RetrainFailures  uint64  `json:"retrain_failures"`
+	PersistFailures  uint64  `json:"persist_failures"`
 }
 
 // VideoJSON describes one archive video.

@@ -138,6 +138,27 @@ func (c *Client) Retrain(ctx context.Context) (*api.FeedbackResponse, error) {
 	return &out, nil
 }
 
+// MetricsText fetches the raw Prometheus text exposition from /metrics.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("client: reading metrics: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		return "", &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(body))}
+	}
+	return string(body), nil
+}
+
 // APIError is a non-2xx response from the server.
 type APIError struct {
 	Status  int

@@ -17,9 +17,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/videodb/hmmm/internal/hmmm"
 	"github.com/videodb/hmmm/internal/mmm"
+	"github.com/videodb/hmmm/internal/obs"
 	"github.com/videodb/hmmm/internal/retrieval"
 	"github.com/videodb/hmmm/internal/xrand"
 )
@@ -170,6 +172,30 @@ func (l *Log) Len() int {
 type Trainer struct {
 	Threshold int // retrain when Log.Pending() >= Threshold; <= 0 means 1
 	Options   hmmm.TrainOptions
+	// Metrics, when set, receives retrain outcomes and durations. nil
+	// disables instrumentation.
+	Metrics *TrainerMetrics
+}
+
+// TrainerMetrics counts retrain cycles and times them. The server wires
+// it to its registry; all fields are nil-safe obs metrics.
+type TrainerMetrics struct {
+	Retrains *obs.Counter   // completed retrains
+	Failures *obs.Counter   // retrains that returned an error
+	Seconds  *obs.Histogram // durations of completed retrains
+}
+
+// observe records one retrain attempt's outcome.
+func (tm *TrainerMetrics) observe(d time.Duration, err error) {
+	if tm == nil {
+		return
+	}
+	if err != nil {
+		tm.Failures.Inc()
+		return
+	}
+	tm.Retrains.Inc()
+	tm.Seconds.ObserveDuration(d)
 }
 
 // NewTrainer returns a trainer with the default HMMM training options.
@@ -197,6 +223,13 @@ func (t *Trainer) MaybeRetrain(m *hmmm.Model, log *Log) (bool, error) {
 // the shot level per Eqs. (1)-(2) and (4), the video level per
 // Eqs. (5)-(6). The pending counter is reset on success.
 func (t *Trainer) Retrain(m *hmmm.Model, log *Log) error {
+	start := time.Now()
+	err := t.retrain(m, log)
+	t.Metrics.observe(time.Since(start), err)
+	return err
+}
+
+func (t *Trainer) retrain(m *hmmm.Model, log *Log) error {
 	if err := m.TrainShotLevel(log.ShotPatterns(), t.Options); err != nil {
 		return fmt.Errorf("feedback: shot level: %w", err)
 	}
@@ -215,6 +248,13 @@ func (t *Trainer) Retrain(m *hmmm.Model, log *Log) error {
 // new model is published, so a failed publish leaves the feedback
 // eligible for the next retrain.
 func (t *Trainer) RetrainSnapshot(m *hmmm.Model, log *Log) (*hmmm.Model, error) {
+	start := time.Now()
+	next, err := t.retrainSnapshot(m, log)
+	t.Metrics.observe(time.Since(start), err)
+	return next, err
+}
+
+func (t *Trainer) retrainSnapshot(m *hmmm.Model, log *Log) (*hmmm.Model, error) {
 	next := m.Clone()
 	if err := next.TrainShotLevel(log.ShotPatterns(), t.Options); err != nil {
 		return nil, fmt.Errorf("feedback: shot level: %w", err)

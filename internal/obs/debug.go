@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the ops-only debug mux: net/http/pprof under
+// /debug/pprof/, expvar under /debug/vars, and (when a registry is
+// given) the Prometheus exposition under /metrics. It is meant to be
+// served on a separate listener (hmmmd's -debug-addr) that is never
+// exposed to query traffic: profiles are expensive to produce and the
+// endpoints have no auth, so binding them to localhost keeps the
+// production port's attack and load surface unchanged.
+func DebugHandler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "hmmm debug endpoints:\n"+
+			"  /debug/pprof/   cpu, heap, goroutine, block profiles\n"+
+			"  /debug/vars     expvar (runtime memstats, cmdline)\n"+
+			"  /metrics        Prometheus text exposition\n")
+	})
+	return mux
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramObserveAndCount(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// le semantics: 0.5 and 1 land in le=1; 1.5 in le=2; 3 in le=4; 100 overflows.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	if math.Abs(s.Sum-106) > 1e-9 {
+		t.Errorf("sum = %v, want 106", s.Sum)
+	}
+	if got := s.Mean(); math.Abs(got-106.0/5) > 1e-9 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram(nil) // LatencyBuckets
+	h.ObserveDuration(30 * time.Microsecond)
+	s := h.Snapshot()
+	// 30µs lands in the le=50µs bucket (index 2 of LatencyBuckets).
+	if s.Counts[2] != 1 {
+		t.Fatalf("30µs bucketed wrong: %v", s.Counts)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30, 40})
+	// 100 observations uniform over (0, 40]: 25 per bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.4)
+	}
+	s := h.Snapshot()
+	cases := []struct{ q, want, tol float64 }{
+		{0.5, 20, 0.5},   // median at the 20 boundary
+		{0.25, 10, 0.5},  // p25 at the 10 boundary
+		{0.95, 38, 0.5},  // p95 inside the last bucket
+		{1.0, 40, 0.01},  // max
+		{0.01, 0.4, 0.5}, // p1 near the bottom
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > c.tol {
+			t.Errorf("q%.2f = %v, want ~%v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(50) // only the +Inf bucket
+	if got := h.Snapshot().Quantile(0.5); got != 2 {
+		t.Errorf("overflow-only quantile = %v, want last finite bound 2", got)
+	}
+	// Out-of-range q values clamp instead of misbehaving.
+	h2 := NewHistogram([]float64{1, 2})
+	h2.Observe(0.5)
+	if got := h2.Snapshot().Quantile(1.5); got == math.Inf(1) || math.IsNaN(got) {
+		t.Errorf("clamped quantile = %v", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]float64{1, 2})
+	b := NewHistogram([]float64{1, 2})
+	a.Observe(0.5)
+	a.Observe(1.5)
+	b.Observe(1.5)
+	b.Observe(5)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if err := sa.Merge(sb); err != nil {
+		t.Fatal(err)
+	}
+	if sa.Count != 4 {
+		t.Errorf("merged count = %d, want 4", sa.Count)
+	}
+	if want := []uint64{1, 2, 1}; sa.Counts[0] != want[0] || sa.Counts[1] != want[1] || sa.Counts[2] != want[2] {
+		t.Errorf("merged counts = %v, want %v", sa.Counts, want)
+	}
+	if math.Abs(sa.Sum-8.5) > 1e-9 {
+		t.Errorf("merged sum = %v, want 8.5", sa.Sum)
+	}
+
+	// Merging into an empty snapshot adopts the source.
+	var zero HistogramSnapshot
+	if err := zero.Merge(sb); err != nil {
+		t.Fatal(err)
+	}
+	if zero.Count != 2 {
+		t.Errorf("adopted count = %d, want 2", zero.Count)
+	}
+	// The adopted counts must be a copy, not an alias.
+	zero.Counts[0]++
+	if sb.Counts[0] == zero.Counts[0] {
+		t.Error("merge aliased the source counts")
+	}
+
+	// Mismatched bounds refuse to merge (empty sources are a no-op, so
+	// the mismatched histograms must hold observations).
+	ch := NewHistogram([]float64{1, 3})
+	ch.Observe(0.5)
+	if err := sa.Merge(ch.Snapshot()); err == nil {
+		t.Error("expected bounds-mismatch error")
+	}
+	dh := NewHistogram([]float64{1})
+	dh.Observe(0.5)
+	if err := sa.Merge(dh.Snapshot()); err == nil {
+		t.Error("expected bucket-count-mismatch error")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	const workers, per = 8, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	if math.Abs(s.Sum-float64(workers*per)*0.001) > 1e-6 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-ascending bounds")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}

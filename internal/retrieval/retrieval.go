@@ -25,8 +25,10 @@ import (
 	"slices"
 	"strconv"
 	"sync"
+	"time"
 
 	"github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/obs"
 	"github.com/videodb/hmmm/internal/par"
 	"github.com/videodb/hmmm/internal/videomodel"
 )
@@ -279,6 +281,19 @@ type Options struct {
 	// escape hatch exists for memory-constrained deployments (the table
 	// is NumStates × NumConcepts float64s) and for verification tests.
 	NoSimCache bool
+	// Metrics, when non-nil, receives per-retrieval observations (query
+	// count and latency, sim-cache hits/misses, edges relaxed, videos
+	// expanded, truncations, per-stage timings). Recording happens once
+	// per Retrieve from the accumulated Cost counters — the lattice hot
+	// loop stays atomics-free — so the overhead is a few counter adds
+	// and three clock reads per query.
+	Metrics *Metrics
+	// Trace, when non-nil, collects per-stage spans ("order", "search",
+	// "rank") for this retrieval: the timing generalization of Tracer's
+	// event stream, and the raw material of the server's slow-query log.
+	// Safe to share across the alternation branches of one request; each
+	// branch appends its own spans.
+	Trace *obs.Trace
 }
 
 // Default engine parameters.
@@ -500,6 +515,13 @@ func (e *Engine) RetrieveContext(ctx context.Context, q Query) (*Result, error) 
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	// Stage timing backs both Options.Metrics and Options.Trace; with
+	// neither configured no clock is read.
+	timed := e.opts.Metrics != nil || e.opts.Trace != nil
+	var t0, t1, t2 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	res := &Result{}
 	steps := q.steps()
 	order := e.videoOrder(steps[0], &res.Cost)
@@ -521,6 +543,9 @@ func (e *Engine) RetrieveContext(ctx context.Context, q Query) (*Result, error) 
 			}
 		}
 		order = scoped
+	}
+	if timed {
+		t1 = time.Now()
 	}
 	acc := &topAccum{limit: e.opts.TopK}
 	if workers := e.effectiveParallel(order, steps); workers > 1 {
@@ -551,9 +576,22 @@ func (e *Engine) RetrieveContext(ctx context.Context, q Query) (*Result, error) 
 		}
 		e.putArena(ar)
 	}
+	if timed {
+		t2 = time.Now()
+	}
 	res.Matches = acc.finalize(e.opts.TopK)
 	if ctx.Err() != nil {
 		res.Cost.Truncated = true
+	}
+	if timed {
+		t3 := time.Now()
+		if tr := e.opts.Trace; tr != nil {
+			tr.Record("order", t0, t1.Sub(t0))
+			tr.Record("search", t1, t2.Sub(t1))
+			tr.Record("rank", t2, t3.Sub(t2))
+		}
+		e.opts.Metrics.observe(res.Cost, !e.opts.NoSimCache,
+			t3.Sub(t0), t1.Sub(t0), t2.Sub(t1), t3.Sub(t2))
 	}
 	return res, nil
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sort"
@@ -91,6 +92,56 @@ func BenchmarkQueryWithMiddleware(b *testing.B) {
 	}{
 		{"bare-mux", bare},
 		{"middleware", s.Handler()},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				postQuery(b, bench.h, body)
+			}
+		})
+	}
+}
+
+// BenchmarkQueryWithObs prices the observability subsystem on the query
+// hot path. "instrumented" is the full production stack with metrics
+// recording on every request (metrics are always on; this is the same
+// stack BenchmarkQueryWithMiddleware/middleware measured before
+// instrumentation existed, so comparing the two trajectory entries
+// reads off the overhead — the budget is <=5%). "slow-query-trace" adds
+// the worst case on top: a per-query span trace plus one JSON line per
+// query (threshold 1ns, discarded writer).
+func BenchmarkQueryWithObs(b *testing.B) {
+	c, err := dataset.Build(dataset.Config{Seed: 41, Videos: 20, Shots: 4000, Annotated: 240, Fast: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := hmmm.Build(c.Archive, c.Features, hmmm.BuildOptions{LearnP12: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, err := json.Marshal(QueryRequest{Pattern: "goal -> free_kick", TopK: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	instrumented, err := New(Config{Model: m, MaxInflight: 64, QueryTimeout: 10 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	traced, err := New(Config{
+		Model: m, MaxInflight: 64, QueryTimeout: 10 * time.Second,
+		SlowQueryThreshold: time.Nanosecond, SlowQueryWriter: io.Discard,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bench := range []struct {
+		name string
+		h    http.Handler
+	}{
+		{"instrumented", instrumented.Handler()},
+		{"slow-query-trace", traced.Handler()},
 	} {
 		b.Run(bench.name, func(b *testing.B) {
 			b.ReportAllocs()

@@ -10,14 +10,16 @@ import (
 )
 
 // wrap layers the resilience middleware around the API mux, outermost
-// first: panic recovery (a handler bug costs one 500, never the
-// process), then admission control (load shedding with 503 +
-// Retry-After once MaxInflight requests are in flight), then the
-// request-body size cap. Recovery sits outside admission so a panic in
-// the admission path itself is also contained, and so the semaphore
-// slot is released before the recovery handler writes the 500.
+// first: request observation (metrics see every response the stack
+// produces, including recovery's 500s and admission's 503s), then panic
+// recovery (a handler bug costs one 500, never the process), then
+// admission control (load shedding with 503 + Retry-After once
+// MaxInflight requests are in flight), then the request-body size cap.
+// Recovery sits outside admission so a panic in the admission path
+// itself is also contained, and so the semaphore slot is released
+// before the recovery handler writes the 500.
 func (s *Server) wrap(h http.Handler) http.Handler {
-	return s.withRecovery(s.withAdmission(s.withMaxBytes(h)))
+	return s.withObs(s.withRecovery(s.withAdmission(s.withMaxBytes(h))))
 }
 
 // withRecovery converts a handler panic into a 500 JSON error and a
@@ -28,6 +30,7 @@ func (s *Server) withRecovery(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if v := recover(); v != nil {
+				s.metrics.panics.Inc()
 				s.logf("server: PANIC serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
 				writeError(w, http.StatusInternalServerError,
 					fmt.Errorf("internal error serving %s", r.URL.Path))
@@ -39,14 +42,15 @@ func (s *Server) withRecovery(h http.Handler) http.Handler {
 
 // withAdmission sheds load once MaxInflight requests are being served:
 // excess requests get an immediate 503 with Retry-After instead of
-// queueing behind work the server cannot keep up with. The health
-// endpoint bypasses the gate so liveness/readiness probes keep working
-// exactly when the signal matters most — under overload. The inflight
-// counter is maintained here even when shedding is disabled, feeding
-// the health report.
+// queueing behind work the server cannot keep up with. The health and
+// metrics endpoints bypass the gate so liveness probes and scrapes keep
+// working exactly when the signal matters most — under overload. The
+// inflight gauge is maintained here even when shedding is disabled; it
+// is the single source the health report, /api/stats, and /metrics all
+// read, so the three can never disagree about the in-flight count.
 func (s *Server) withAdmission(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/api/health" {
+		if r.URL.Path == "/api/health" || r.URL.Path == "/metrics" {
 			h.ServeHTTP(w, r)
 			return
 		}
@@ -55,14 +59,15 @@ func (s *Server) withAdmission(h http.Handler) http.Handler {
 			case s.sem <- struct{}{}:
 				defer func() { <-s.sem }()
 			default:
+				s.metrics.shed.Inc()
 				w.Header().Set("Retry-After", "1")
 				writeError(w, http.StatusServiceUnavailable,
 					fmt.Errorf("server at capacity (%d requests in flight), retry shortly", s.maxInflight))
 				return
 			}
 		}
-		s.inflight.Add(1)
-		defer s.inflight.Add(-1)
+		s.metrics.inflight.Inc()
+		defer s.metrics.inflight.Dec()
 		h.ServeHTTP(w, r)
 	})
 }

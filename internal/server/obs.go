@@ -1,0 +1,213 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/videodb/hmmm/internal/obs"
+	"github.com/videodb/hmmm/internal/retrieval"
+)
+
+// serverMetrics is the server's metric catalog, registered once per
+// Server against its obs.Registry. Every consumer of an operational
+// number — /api/health, /api/stats, /metrics, the admission gate —
+// reads the same underlying metric, so the three views can never
+// disagree with each other.
+type serverMetrics struct {
+	reg   *obs.Registry
+	start time.Time
+
+	// HTTP serving path.
+	requests *obs.CounterVec   // {route, code-class}
+	latency  *obs.HistogramVec // {route}
+	inflight *obs.Gauge        // admitted requests currently being served
+	shed     *obs.Counter      // 503s from admission control
+	panics   *obs.Counter      // handler panics converted to 500s
+
+	// Query path.
+	slow      *obs.Counter // queries at/over the slow-query threshold
+	retrieval *retrieval.Metrics
+
+	// Feedback and retraining.
+	feedback        *obs.Counter // positive marks accepted
+	persistFailures *obs.Counter // feedback-log persist errors
+	logRecoveries   *obs.Counter // boots served from a recovery candidate
+	logCorrupt      *obs.Counter // corrupt candidates skipped during recovery
+	retrains        *obs.Counter
+	retrainFailures *obs.Counter
+	retrainSeconds  *obs.Histogram
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		reg:   reg,
+		start: time.Now(),
+		requests: reg.CounterVec("hmmm_http_requests_total",
+			"HTTP requests served, by route and status class.", "route", "code"),
+		latency: reg.HistogramVec("hmmm_http_request_seconds",
+			"HTTP request latency in seconds, by route.", nil, "route"),
+		inflight: reg.Gauge("hmmm_http_inflight",
+			"Requests currently inside the admission gate."),
+		shed: reg.Counter("hmmm_http_shed_total",
+			"Requests shed with 503 by admission control."),
+		panics: reg.Counter("hmmm_http_panics_total",
+			"Handler panics recovered into 500 responses."),
+		slow: reg.Counter("hmmm_slow_queries_total",
+			"Queries at or over the slow-query threshold."),
+		retrieval: retrieval.NewMetrics(reg),
+		feedback: reg.Counter("hmmm_feedback_total",
+			"Positive feedback marks accepted."),
+		persistFailures: reg.Counter("hmmm_feedback_persist_failures_total",
+			"Feedback-log persist attempts that failed."),
+		logRecoveries: reg.Counter("hmmm_feedback_log_recoveries_total",
+			"Boots that loaded the feedback log from a recovery candidate."),
+		logCorrupt: reg.Counter("hmmm_feedback_log_corrupt_candidates_total",
+			"Corrupt feedback-log candidates skipped during recovery."),
+		retrains: reg.Counter("hmmm_retrain_total",
+			"Successful offline retraining passes over the feedback log."),
+		retrainFailures: reg.Counter("hmmm_retrain_failures_total",
+			"Retrain cycles that failed at any stage (model unchanged)."),
+		retrainSeconds: reg.Histogram("hmmm_retrain_seconds",
+			"Offline retraining duration in seconds.", nil),
+	}
+}
+
+// routeLabel normalizes a request path to its route pattern so metric
+// label cardinality stays bounded no matter what clients send. Paths
+// carrying IDs collapse to their {id} pattern; anything unrecognized is
+// "other".
+func routeLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch p {
+	case "/api/health", "/api/stats", "/api/events", "/api/videos",
+		"/api/parse", "/api/query", "/api/feedback", "/api/retrain",
+		"/api/videos/rank", "/metrics":
+		return p
+	}
+	if strings.HasPrefix(p, "/api/states/") {
+		return "/api/states/{id}"
+	}
+	if strings.HasPrefix(p, "/api/videos/") && strings.HasSuffix(p, "/similar") {
+		return "/api/videos/{id}/similar"
+	}
+	return "other"
+}
+
+// statusWriter captures the response status code for the request
+// metrics. Unwrap keeps http.ResponseController working through it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// codeClass buckets a status code into its class label ("2xx" ... "5xx")
+// so the requests counter stays low-cardinality.
+func codeClass(status int) string {
+	switch {
+	case status < 200:
+		return "1xx"
+	case status < 300:
+		return "2xx"
+	case status < 400:
+		return "3xx"
+	case status < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// withObs is the outermost middleware: it observes every response the
+// stack produces, including recovery's 500s and admission's shed 503s,
+// attributing each to its normalized route and status class with its
+// wall-clock latency.
+func (s *Server) withObs(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			// Handler wrote nothing; net/http sends 200 on return.
+			sw.status = http.StatusOK
+		}
+		route := routeLabel(r)
+		s.metrics.requests.With(route, codeClass(sw.status)).Inc()
+		s.metrics.latency.With(route).ObserveDuration(time.Since(start))
+	})
+}
+
+// slowQueryEntry is one JSON line of the slow-query log: enough context
+// to reproduce the query and see where its time went without turning
+// tracing on globally.
+type slowQueryEntry struct {
+	Time       string             `json:"time"`
+	Pattern    string             `json:"pattern"`
+	DurationMS float64            `json:"duration_ms"`
+	StagesMS   map[string]float64 `json:"stages_ms,omitempty"`
+	Matches    int                `json:"matches"`
+	Expanded   int                `json:"expanded_patterns"`
+	Truncated  bool               `json:"truncated,omitempty"`
+	SimEvals   int                `json:"sim_evals"`
+	EdgeEvals  int                `json:"edge_evals"`
+	VideosSeen int                `json:"videos_seen"`
+	TopK       int                `json:"top_k"`
+	Beam       int                `json:"beam"`
+}
+
+// recordSlowQuery offers one finished query to the slow-query log and
+// counts it when the log takes it (duration at/over the threshold).
+func (s *Server) recordSlowQuery(req QueryRequest, tr *obs.Trace, dur time.Duration,
+	matches, expanded int, cost retrieval.Cost, opts retrieval.Options) {
+	entry := slowQueryEntry{
+		Time:       time.Now().UTC().Format(time.RFC3339Nano),
+		Pattern:    req.Pattern,
+		DurationMS: float64(dur) / float64(time.Millisecond),
+		StagesMS:   stagesMS(tr),
+		Matches:    matches,
+		Expanded:   expanded,
+		Truncated:  cost.Truncated,
+		SimEvals:   cost.SimEvals,
+		EdgeEvals:  cost.EdgeEvals,
+		VideosSeen: cost.VideosSeen,
+		TopK:       opts.TopK,
+		Beam:       opts.Beam,
+	}
+	ok, err := s.slowLog.Record(dur, entry)
+	if err != nil {
+		s.logf("server: slow-query log write failed: %v", err)
+	}
+	if ok {
+		s.metrics.slow.Inc()
+	}
+}
+
+// stagesMS converts a trace's per-stage totals to milliseconds for the
+// slow-query entry.
+func stagesMS(tr *obs.Trace) map[string]float64 {
+	totals := tr.Totals()
+	if len(totals) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(totals))
+	for name, d := range totals {
+		out[name] = float64(d) / float64(time.Millisecond)
+	}
+	return out
+}

@@ -245,9 +245,9 @@ func (b *blockTracer) Event(retrieval.TraceEvent) { <-b.release }
 func waitInflight(t *testing.T, s *Server, n int) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
-	for s.inflight.Load() < int64(n) {
+	for s.metrics.inflight.Value() < int64(n) {
 		if time.Now().After(deadline) {
-			t.Fatalf("never reached %d in-flight requests (at %d)", n, s.inflight.Load())
+			t.Fatalf("never reached %d in-flight requests (at %d)", n, s.metrics.inflight.Value())
 		}
 		time.Sleep(time.Millisecond)
 	}

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -26,7 +27,9 @@ import (
 	"github.com/videodb/hmmm/internal/feedback"
 	"github.com/videodb/hmmm/internal/hmmm"
 	"github.com/videodb/hmmm/internal/matn"
+	"github.com/videodb/hmmm/internal/obs"
 	"github.com/videodb/hmmm/internal/retrieval"
+	"github.com/videodb/hmmm/internal/store"
 	"github.com/videodb/hmmm/internal/videomodel"
 )
 
@@ -60,12 +63,17 @@ type Server struct {
 	maxBytes     int64
 	maxInflight  int
 	queryTimeout time.Duration
-	// inflight counts requests currently inside the admission gate;
 	// draining flips readiness off during graceful shutdown.
-	inflight atomic.Int64
 	draining atomic.Bool
 	// sem is the admission semaphore (nil = unlimited).
 	sem chan struct{}
+
+	// metrics is the server's observability catalog; its inflight gauge
+	// (maintained by the admission middleware) is the single source for
+	// the in-flight count everywhere it is reported. slowLog, when
+	// enabled, receives one JSON line per query at/over its threshold.
+	metrics *serverMetrics
+	slowLog *obs.SlowLog
 }
 
 // snapshot is one immutable published generation: a trained model and
@@ -109,6 +117,18 @@ type Config struct {
 	// Logf receives operational warnings (corrupt-log recovery, handler
 	// panics). nil means the standard logger.
 	Logf func(format string, args ...any)
+	// Registry receives the server's metrics; nil means a fresh private
+	// registry (metrics are always collected — their cost is a handful of
+	// atomic adds per request). Pass a shared registry to co-locate other
+	// subsystems' metrics (e.g. the store's recovery counters) on the
+	// same /metrics page.
+	Registry *obs.Registry
+	// SlowQueryThreshold enables the slow-query log: queries taking at
+	// least this long emit one JSON line to SlowQueryWriter. 0 disables.
+	SlowQueryThreshold time.Duration
+	// SlowQueryWriter receives slow-query JSON lines; nil disables the
+	// slow-query log regardless of threshold.
+	SlowQueryWriter io.Writer
 }
 
 // DefaultMaxRequestBytes caps request bodies when Config.MaxRequestBytes
@@ -124,6 +144,19 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.Model.Validate(1e-6); err != nil {
 		return nil, fmt.Errorf("server: invalid model: %w", err)
 	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	metrics := newServerMetrics(reg)
+	// The store family lives on the same registry so /metrics covers
+	// model-load recovery events; hmmmd installs it before loading the
+	// boot model (registration is idempotent — same counters).
+	store.SetMetrics(store.NewMetrics(reg))
+	// Engines carry the retrieval metrics in their options: every engine
+	// built here or by a retrain (both derive from s.opts) reports into
+	// the same counters.
+	cfg.Options.Metrics = metrics.retrieval
 	engine, err := retrieval.NewEngine(cfg.Model, cfg.Options)
 	if err != nil {
 		return nil, fmt.Errorf("server: building engine: %w", err)
@@ -138,6 +171,13 @@ func New(cfg Config) (*Server, error) {
 		maxBytes:     cfg.MaxRequestBytes,
 		maxInflight:  cfg.MaxInflight,
 		queryTimeout: cfg.QueryTimeout,
+		metrics:      metrics,
+		slowLog:      obs.NewSlowLog(cfg.SlowQueryWriter, cfg.SlowQueryThreshold),
+	}
+	s.trainer.Metrics = &feedback.TrainerMetrics{
+		Retrains: metrics.retrains,
+		Failures: metrics.retrainFailures,
+		Seconds:  metrics.retrainSeconds,
 	}
 	if s.fs == nil {
 		s.fs = atomicwrite.OS
@@ -153,7 +193,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.current.Store(&snapshot{model: cfg.Model, engine: engine, gen: 1})
 	if s.logPath != "" {
-		loaded, err := loadLogRecover(s.logPath, s.logf)
+		loaded, err := loadLogRecover(s.logPath, s.logf, metrics)
 		if err != nil {
 			return nil, err
 		}
@@ -161,8 +201,20 @@ func New(cfg Config) (*Server, error) {
 			s.log = loaded
 		}
 	}
+	// Scrape-time gauges read their source directly, so they can never
+	// drift from the values /api/health reports.
+	reg.GaugeFunc("hmmm_model_generation",
+		"Published model snapshot generation (1 = boot model).",
+		func() float64 { return float64(s.current.Load().gen) })
+	reg.GaugeFunc("hmmm_feedback_pending",
+		"Feedback marks accumulated toward the next retrain.",
+		func() float64 { return float64(s.log.Pending()) })
 	return s, nil
 }
+
+// Registry exposes the server's metrics registry (for the debug
+// listener and tests).
+func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
 
 // loadLogRecover loads the feedback log, walking the atomicwrite
 // recovery chain when the primary file is torn or fails its checksum:
@@ -170,8 +222,10 @@ func New(cfg Config) (*Server, error) {
 // left (newer than the file when present), then the .bak previous
 // version. Corruption never fails startup — the last good version wins,
 // with a clear warning; only a real I/O error (permissions, etc.) does.
-// A nil, nil return means "no log on disk, start fresh".
-func loadLogRecover(path string, logf func(string, ...any)) (*feedback.Log, error) {
+// A nil, nil return means "no log on disk, start fresh". Recovery
+// events feed the metrics so a boot that silently fell back to a .bak
+// shows up on /metrics, not only in a scrolled-away log line.
+func loadLogRecover(path string, logf func(string, ...any), m *serverMetrics) (*feedback.Log, error) {
 	var firstCorrupt error
 	for _, p := range atomicwrite.RecoveryCandidates(path) {
 		f, err := os.Open(p)
@@ -190,10 +244,12 @@ func loadLogRecover(path string, logf func(string, ...any)) (*feedback.Log, erro
 			if firstCorrupt == nil {
 				firstCorrupt = lerr
 			}
+			m.logCorrupt.Inc()
 			logf("server: feedback log %s unusable (%v), trying next recovery candidate", p, lerr)
 			continue
 		}
 		if p != path {
+			m.logRecoveries.Inc()
 			logf("server: WARNING: feedback log %s corrupt or missing; recovered %d patterns from %s",
 				path, l.Len(), p)
 		}
@@ -220,7 +276,11 @@ func (s *Server) persistLog() error {
 	if s.logPath == "" {
 		return nil
 	}
-	return atomicwrite.Write(s.fs, s.logPath, s.log.Save)
+	err := atomicwrite.Write(s.fs, s.logPath, s.log.Save)
+	if err != nil {
+		s.metrics.persistFailures.Inc()
+	}
+	return err
 }
 
 // Handler returns the HTTP routes wrapped in the resilience middleware
@@ -238,6 +298,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/query", s.handleQuery)
 	mux.HandleFunc("POST /api/feedback", s.handleFeedback)
 	mux.HandleFunc("POST /api/retrain", s.handleRetrain)
+	mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	return s.wrap(mux)
 }
 
@@ -268,7 +329,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Ready:           true,
 		ModelGeneration: s.current.Load().gen,
 		PendingFeedback: s.log.Pending(),
-		Inflight:        int(s.inflight.Load()),
+		Inflight:        int(s.metrics.inflight.Value()),
 		MaxInflight:     s.maxInflight,
 	}
 	status := http.StatusOK
@@ -296,7 +357,46 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		DistinctPatterns: s.log.Len(),
 		PendingFeedback:  s.log.Pending(),
 		EventCounts:      counts,
+		Runtime:          s.runtimeStats(),
 	})
+}
+
+// runtimeStats rolls the metric catalog up into the /api/stats runtime
+// section: the same counters and histograms /metrics exposes, read at
+// response time, so the two views always agree.
+func (s *Server) runtimeStats() *api.RuntimeStatsJSON {
+	m := s.metrics
+	uptime := time.Since(m.start).Seconds()
+	requests := m.requests.Total()
+	qps := 0.0
+	if uptime > 0 {
+		qps = float64(requests) / uptime
+	}
+	lat := m.latency.With("/api/query").Snapshot()
+	hits := m.retrieval.SimHits.Value()
+	lookups := m.retrieval.SimLookups.Value()
+	hitRate := 0.0
+	if lookups > 0 {
+		hitRate = float64(hits) / float64(lookups)
+	}
+	return &api.RuntimeStatsJSON{
+		UptimeSeconds:    uptime,
+		Requests:         requests,
+		QPS:              qps,
+		QueryP50MS:       lat.Quantile(0.50) * 1e3,
+		QueryP95MS:       lat.Quantile(0.95) * 1e3,
+		QueryP99MS:       lat.Quantile(0.99) * 1e3,
+		SimCacheHitRate:  hitRate,
+		Inflight:         int(m.inflight.Value()),
+		Shed:             m.shed.Value(),
+		Panics:           m.panics.Value(),
+		SlowQueries:      m.slow.Value(),
+		TruncatedQueries: m.retrieval.Truncated.Value(),
+		ModelGeneration:  s.current.Load().gen,
+		Retrains:         m.retrains.Value(),
+		RetrainFailures:  m.retrainFailures.Value(),
+		PersistFailures:  m.persistFailures.Value(),
+	}
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
@@ -500,6 +600,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	opts.CrossVideo = opts.CrossVideo || req.CrossVideo
 	opts.AnnotatedOnly = !req.SimilarShots
+	// With the slow-query log enabled, attach a per-request trace so a
+	// logged entry can say where its time went (order/search/rank).
+	var qtrace *obs.Trace
+	var qstart time.Time
+	if s.slowLog.Enabled() {
+		qtrace = obs.NewTrace()
+		opts.Trace = qtrace
+		qstart = time.Now()
+	}
 	// Per-request tuning shares the snapshot engine's caches: none of the
 	// overridable options affect the similarity table or event index.
 	engine := snap.engine.WithOptions(opts)
@@ -542,6 +651,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	merged := retrieval.MergeRanked(all, opts.TopK)
+	if qtrace != nil {
+		s.recordSlowQuery(req, qtrace, time.Since(qstart), len(merged), len(queries), cost, opts)
+	}
 
 	var explain func(match retrieval.Match) []api.StepExplanationJSON
 	if req.Explain {
@@ -623,6 +735,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	s.metrics.feedback.Inc()
 	retrained := false
 	if s.trainer.Threshold > 0 && s.log.Pending() >= s.trainer.Threshold {
 		var err error
@@ -678,10 +791,14 @@ func (s *Server) retrainLocked() error {
 	}
 	engine, err := retrieval.NewEngine(next, s.opts)
 	if err != nil {
+		// Post-training failures also fail the cycle; the trainer only
+		// counted its own (successful) training pass.
+		s.metrics.retrainFailures.Inc()
 		return fmt.Errorf("rebuilding engine: %w", err)
 	}
 	taken := s.log.TakePending()
 	if err := s.persistLog(); err != nil {
+		s.metrics.retrainFailures.Inc()
 		// Feedback marked concurrently during the persist attempt added to
 		// the zeroed counter; AddPending folds the taken count back in.
 		s.log.AddPending(taken)

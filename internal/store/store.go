@@ -18,11 +18,44 @@ import (
 	"io"
 	"os"
 
+	"sync/atomic"
+
 	"github.com/videodb/hmmm/internal/atomicwrite"
 	"github.com/videodb/hmmm/internal/dataset"
 	"github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/obs"
 	"github.com/videodb/hmmm/internal/videomodel"
 )
+
+// Metrics counts snapshot recovery events so a boot that silently fell
+// back along the recovery chain is visible on /metrics.
+type Metrics struct {
+	ModelLoads        *obs.Counter // successful model loads
+	ModelRecoveries   *obs.Counter // loads served by a non-primary candidate
+	CorruptCandidates *obs.Counter // candidates skipped as unreadable/corrupt
+}
+
+// NewMetrics registers the store metric catalog on the registry.
+// Registration is idempotent, so the server and the daemon may both
+// call it on a shared registry and get the same counters.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		ModelLoads: reg.Counter("hmmm_store_model_loads_total",
+			"Model snapshots loaded successfully."),
+		ModelRecoveries: reg.Counter("hmmm_store_model_recoveries_total",
+			"Model loads served by a recovery candidate (.tmp/.bak) instead of the primary file."),
+		CorruptCandidates: reg.Counter("hmmm_store_corrupt_snapshots_total",
+			"Snapshot candidates skipped during recovery as missing, torn, or corrupt."),
+	}
+}
+
+// metrics is the package's installed instrumentation; nil until
+// SetMetrics. Package-level because loading happens before any server
+// exists (hmmmd loads the boot model first).
+var metrics atomic.Pointer[Metrics]
+
+// SetMetrics installs the counters LoadModelRecover reports into.
+func SetMetrics(m *Metrics) { metrics.Store(m) }
 
 // Magic and Version identify the snapshot format. Version 2 added a
 // CRC-32 payload checksum.
@@ -144,11 +177,21 @@ func LoadModel(path string) (*hmmm.Model, error) {
 // it differs from the one asked for. The returned error is the primary
 // path's when every candidate fails.
 func LoadModelRecover(path string) (*hmmm.Model, string, error) {
+	mm := metrics.Load()
 	var firstErr error
 	for _, p := range atomicwrite.RecoveryCandidates(path) {
 		m, err := LoadModel(p)
 		if err == nil {
+			if mm != nil {
+				mm.ModelLoads.Inc()
+				if p != path {
+					mm.ModelRecoveries.Inc()
+				}
+			}
 			return m, p, nil
+		}
+		if mm != nil && !os.IsNotExist(err) {
+			mm.CorruptCandidates.Inc()
 		}
 		if firstErr == nil {
 			firstErr = err
