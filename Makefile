@@ -8,7 +8,11 @@ BENCH_PATTERN := BenchmarkF2RetrievalGreedy$$|BenchmarkF5PaperQuery$$|BenchmarkP
 # Offline-pipeline benchmarks captured into BENCH_build.json.
 BENCH_BUILD_PATTERN := BenchmarkBuildPaperScale|BenchmarkRetrainPaperScale
 
-.PHONY: build vet test race race-server race-obs race-all verify bench bench-build clean
+.PHONY: build vet test race race-server race-obs race-shard race-all verify bench bench-build cover fuzz clean
+
+# Packages whose per-package coverage `make cover` gates at 80%.
+COVER_GATED := internal/shard internal/retrieval internal/matn
+COVER_MIN := 80.0
 
 build:
 	$(GO) build ./...
@@ -29,12 +33,37 @@ race-server:
 race-obs:
 	$(GO) test -race ./internal/obs/...
 
+# The sharded scatter-gather path under the race detector: the
+# differential suite plus the concurrent query/retrain/re-split hammer.
+race-shard:
+	$(GO) test -race ./internal/shard/...
+
 # Full-repo race sweep; slower than the targeted race targets, meant
 # for CI and pre-release checks.
 race-all:
 	$(GO) test -race ./...
 
-verify: vet build test race race-server race-obs
+verify: vet build test race race-server race-obs race-shard
+
+# Per-package coverage with a floor on the packages whose correctness
+# the differential harness and fuzz targets are meant to pin.
+cover:
+	@$(GO) test -cover ./... | tee /tmp/hmmm-cover.txt
+	@ok=1; \
+	for pkg in $(COVER_GATED); do \
+		pct=$$(grep "hmmm/$$pkg[[:space:]]" /tmp/hmmm-cover.txt | grep -o '[0-9.]*% of statements' | cut -d% -f1); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage line for $$pkg"; ok=0; \
+		elif awk -v p="$$pct" -v m="$(COVER_MIN)" 'BEGIN{exit !(p < m)}'; then \
+			echo "cover: $$pkg at $$pct% is below the $(COVER_MIN)% floor"; ok=0; \
+		else echo "cover: $$pkg at $$pct% (floor $(COVER_MIN)%)"; fi; \
+	done; [ $$ok -eq 1 ]
+
+# Brief native-fuzz runs of the parser and log-decoder targets; CI runs
+# the same budget.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -fuzz=FuzzMATNParse -fuzztime=$(FUZZTIME) ./internal/matn/
+	$(GO) test -fuzz=FuzzFeedbackLogDecode -fuzztime=$(FUZZTIME) ./internal/feedback/
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=200x -count=1 . \
@@ -43,6 +72,8 @@ bench:
 		| $(GO) run ./cmd/benchjson -out BENCH_retrieval.json -note "resilience middleware overhead vs F5PaperQuery"
 	$(GO) test -run '^$$' -bench 'BenchmarkQueryWithObs' -benchmem -benchtime=200x -count=1 ./internal/server/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_retrieval.json -note "observability overhead vs QueryWithMiddleware baseline (budget <=5%)"
+	$(GO) test -run '^$$' -bench 'BenchmarkShardedRetrieval' -benchmem -benchtime=200x -count=1 . \
+		| $(GO) run ./cmd/benchjson -out BENCH_retrieval.json -note "sharded scatter-gather vs single engine; K=1 overhead budget <=10%"
 	@echo "appended to BENCH_retrieval.json"
 
 bench-build:

@@ -15,6 +15,10 @@
 //	-retrain   int     feedback count that triggers auto retraining
 //	                   (default 10; 0 disables)
 //	-feedback-log string  persist the feedback log across restarts
+//	-shards    int     serve queries by scatter-gather over at most this
+//	                   many by-video shards; rankings are bit-identical
+//	                   to unsharded serving, and retrains re-split
+//	                   before publishing (default 0 = unsharded)
 //
 // Resilience flags:
 //
@@ -81,6 +85,7 @@ func main() {
 		annotated = flag.Int("annotated", 506, "generated corpus annotated shots")
 		retrain   = flag.Int("retrain", 10, "feedback threshold for auto retraining (0 disables)")
 		fbLog     = flag.String("feedback-log", "", "persist the feedback log to this path")
+		shards    = flag.Int("shards", 0, "scatter-gather shard count (0 = unsharded)")
 
 		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "per-query deadline (0 disables)")
 		maxInflight  = flag.Int("max-inflight", 64, "max concurrently served requests (0 disables shedding)")
@@ -135,6 +140,7 @@ func main() {
 		Options:            retrieval.Options{Beam: 4, TopK: 10},
 		RetrainThreshold:   *retrain,
 		FeedbackLogPath:    *fbLog,
+		Shards:             *shards,
 		QueryTimeout:       *queryTimeout,
 		MaxInflight:        *maxInflight,
 		MaxRequestBytes:    *maxBody,
@@ -144,6 +150,9 @@ func main() {
 	})
 	if err != nil {
 		log.Fatalf("starting server: %v", err)
+	}
+	if n := srv.NumShards(); n > 0 {
+		fmt.Printf("sharded serving: %d shards\n", n)
 	}
 
 	if *debugAddr != "" {

@@ -103,6 +103,16 @@ type StatsResponse struct {
 	// percentiles, cache hit rate) read from the server's metrics at
 	// response time.
 	Runtime *RuntimeStatsJSON `json:"runtime,omitempty"`
+	// Shards lists per-shard totals when the server runs sharded
+	// scatter-gather retrieval; absent on an unsharded server.
+	Shards []ShardStatsJSON `json:"shards,omitempty"`
+}
+
+// ShardStatsJSON summarizes one retrieval shard.
+type ShardStatsJSON struct {
+	Shard  int `json:"shard"`
+	Videos int `json:"videos"`
+	States int `json:"states"`
 }
 
 // RuntimeStatsJSON is the operational section of /api/stats: the same

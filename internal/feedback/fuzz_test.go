@@ -1,0 +1,75 @@
+package feedback
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// sampleLogBytes serializes a small non-empty log for the seed corpus
+// and the bit-flip sweep.
+func sampleLogBytes(tb testing.TB) []byte {
+	tb.Helper()
+	l := NewLog()
+	l.shots[key([]int{1, 2, 3})] = &entry{states: []int{1, 2, 3}, freq: 2}
+	l.shots[key([]int{7})] = &entry{states: []int{7}, freq: 1}
+	l.videos[key([]int{0, 1})] = &entry{states: []int{0, 1}, freq: 4}
+	l.pending = 3
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzFeedbackLogDecode asserts the HMMMFLOG decoder never panics and
+// classifies every in-memory decode failure as ErrCorrupt — the
+// contract the server's recovery chain depends on to tell damage
+// (fall back to .tmp/.bak) from I/O errors (fail the boot).
+func FuzzFeedbackLogDecode(f *testing.F) {
+	valid := sampleLogBytes(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("HMMMFLOG"))
+	f.Add(valid[:len(valid)/2]) // torn write
+	for _, i := range []int{0, 5, len(valid) / 2, len(valid) - 1} {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0x40
+		f.Add(mut)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := LoadLog(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("non-ErrCorrupt decode error on in-memory data: %v", err)
+			}
+			return
+		}
+		// Accepted input must survive a save/load cycle: the checksum
+		// guarantees these bytes came from Save, whose payload always
+		// re-encodes.
+		var buf bytes.Buffer
+		if err := l.Save(&buf); err != nil {
+			t.Fatalf("re-saving accepted log: %v", err)
+		}
+		if _, err := LoadLog(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("re-loading re-saved log: %v", err)
+		}
+	})
+}
+
+// TestLoadLogEveryByteFlip sweeps all single-byte corruptions of a
+// valid log: each must load cleanly (gob self-description slack) or
+// fail with ErrCorrupt — never panic, never misclassify.
+func TestLoadLogEveryByteFlip(t *testing.T) {
+	valid := sampleLogBytes(t)
+	for i := range valid {
+		for _, bit := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), valid...)
+			mut[i] ^= bit
+			if _, err := LoadLog(bytes.NewReader(mut)); err != nil && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("flip byte %d bit %#x: non-ErrCorrupt error %v", i, bit, err)
+			}
+		}
+	}
+}

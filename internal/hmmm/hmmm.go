@@ -76,6 +76,15 @@ type Model struct {
 	// (query examples, ingested shots) can be mapped into B1 space.
 	Scaler matrix.MinMaxScaler
 
+	// Partial marks the model as a by-video restriction of a larger
+	// archive (a shard). A shard keeps the parent's parameter values
+	// verbatim — renormalizing would perturb the Eq. 12 products and
+	// break the bit-identical sharded/unsharded equivalence — so its
+	// Π1, Π2, and A2 rows are sub-stochastic: non-negative, summing to
+	// at most 1 instead of exactly 1. Validate relaxes exactly those
+	// three checks for partial models and nothing else.
+	Partial bool
+
 	// offsets[v] is the global state index of video v's first state.
 	offsets []int
 
@@ -399,6 +408,9 @@ func (m *Model) RefreshDerived(learn bool) {
 }
 
 // Validate checks every structural and stochastic invariant of the model.
+// For Partial (shard) models the Π1, Π2, and A2 rows are allowed to be
+// sub-stochastic — they are verbatim restrictions of a parent model's
+// distributions — while every other invariant still holds exactly.
 func (m *Model) Validate(tol float64) error {
 	if m.NumStates() == 0 {
 		return errors.New("hmmm: no states")
@@ -409,7 +421,7 @@ func (m *Model) Validate(tol float64) error {
 	if len(m.Pi1) != m.NumStates() {
 		return errors.New("hmmm: Pi1 length mismatch")
 	}
-	if err := distribution(m.Pi1, tol); err != nil {
+	if err := m.checkDistribution(m.Pi1, tol); err != nil {
 		return fmt.Errorf("hmmm: Pi1: %w", err)
 	}
 	if len(m.LocalA) != m.NumVideos() {
@@ -424,13 +436,20 @@ func (m *Model) Validate(tol float64) error {
 			return fmt.Errorf("hmmm: video %d local A not row-stochastic", vi)
 		}
 	}
-	if m.A2 == nil || m.A2.Rows() != m.NumVideos() || !m.A2.IsRowStochastic(tol) {
+	if m.A2 == nil || m.A2.Rows() != m.NumVideos() {
+		return errors.New("hmmm: A2 invalid")
+	}
+	if m.Partial {
+		if err := subStochasticRows(m.A2, tol); err != nil {
+			return fmt.Errorf("hmmm: A2: %w", err)
+		}
+	} else if !m.A2.IsRowStochastic(tol) {
 		return errors.New("hmmm: A2 invalid")
 	}
 	if len(m.Pi2) != m.NumVideos() {
 		return errors.New("hmmm: Pi2 length mismatch")
 	}
-	if err := distribution(m.Pi2, tol); err != nil {
+	if err := m.checkDistribution(m.Pi2, tol); err != nil {
 		return fmt.Errorf("hmmm: Pi2: %w", err)
 	}
 	if m.B2 == nil || m.B2.Rows() != m.NumVideos() {
@@ -466,6 +485,15 @@ func (m *Model) Validate(tol float64) error {
 	return nil
 }
 
+// checkDistribution dispatches between the exact and the sub-stochastic
+// (Partial model) distribution invariant.
+func (m *Model) checkDistribution(p []float64, tol float64) error {
+	if m.Partial {
+		return subDistribution(p, tol)
+	}
+	return distribution(p, tol)
+}
+
 func distribution(p []float64, tol float64) error {
 	var sum float64
 	for i, v := range p {
@@ -476,6 +504,33 @@ func distribution(p []float64, tol float64) error {
 	}
 	if math.Abs(sum-1) > tol {
 		return fmt.Errorf("sums to %v, want 1", sum)
+	}
+	return nil
+}
+
+// subDistribution accepts the restriction of a distribution to a subset
+// of its support: non-negative entries whose sum does not exceed 1.
+func subDistribution(p []float64, tol float64) error {
+	var sum float64
+	for i, v := range p {
+		if v < 0 {
+			return fmt.Errorf("entry %d = %v is negative", i, v)
+		}
+		sum += v
+	}
+	if sum > 1+tol {
+		return fmt.Errorf("sums to %v, want at most 1", sum)
+	}
+	return nil
+}
+
+// subStochasticRows checks that every row of a is the restriction of a
+// stochastic row: non-negative with sum at most 1.
+func subStochasticRows(a *matrix.Dense, tol float64) error {
+	for i := 0; i < a.Rows(); i++ {
+		if err := subDistribution(a.Row(i), tol); err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
 	}
 	return nil
 }

@@ -23,6 +23,11 @@ type Snapshot struct {
 	B1Prime   *matrix.Dense
 	ScalerMin []float64
 	ScalerMax []float64
+	// Partial mirrors Model.Partial: the snapshot describes a by-video
+	// shard of a larger model, so Π1/Π2/A2 may be sub-stochastic.
+	// Snapshots written before sharding existed decode with the zero
+	// value (a full model), keeping the gob format backward compatible.
+	Partial bool
 }
 
 // Snapshot captures the model's full state.
@@ -41,6 +46,7 @@ func (m *Model) Snapshot() *Snapshot {
 		B1Prime:   m.B1Prime,
 		ScalerMin: min,
 		ScalerMax: max,
+		Partial:   m.Partial,
 	}
 }
 
@@ -61,6 +67,7 @@ func FromSnapshot(s *Snapshot) (*Model, error) {
 		Pi2:      s.Pi2,
 		P12:      s.P12,
 		B1Prime:  s.B1Prime,
+		Partial:  s.Partial,
 	}
 	m.Scaler.SetBounds(s.ScalerMin, s.ScalerMax)
 	// Rebuild offsets: states are stored grouped by video in order.

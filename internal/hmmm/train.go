@@ -129,6 +129,7 @@ func (m *Model) Clone() *Model {
 		B1Prime:  m.B1Prime.Clone(),
 		offsets:  append([]int(nil), m.offsets...),
 		version:  m.version,
+		Partial:  m.Partial,
 	}
 	for i := range c.States {
 		c.States[i].Events = append([]videomodel.Event(nil), m.States[i].Events...)

@@ -1,0 +1,88 @@
+package matn
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fuzzSeeds covers every grammar production: plain events, arrows with
+// each gap form, conjunction, alternation, grouping, optional steps,
+// and a few malformed inputs so the fuzzer starts near the error paths
+// too.
+var fuzzSeeds = []string{
+	"goal",
+	"free_kick & goal -> corner_kick -> player_change -> goal",
+	"corner_kick ->[<30s] goal",
+	"corner_kick ->[>5s] goal",
+	"corner_kick ->[5s..30s] goal",
+	"foul | corner_kick",
+	"(goal | foul) & free_kick -> goal_kick?",
+	"goal -> (foul | yellow_card)? -> goal",
+	"goal ->[<1500ms] goal ->[>2m] foul",
+	"",
+	"goal ->",
+	"-> goal",
+	"goal ->[30s] goal",
+	"goal & ",
+	"((goal)",
+	"unknown_event",
+	"goal?|foul",
+}
+
+// FuzzMATNParse asserts the parser never panics on arbitrary input and
+// that, for every accepted query, Format is a faithful inverse: the
+// canonical text re-parses to a structurally identical network, and
+// formatting is a fixpoint.
+func FuzzMATNParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(src)
+		if err != nil {
+			return // rejected input; only panics are failures here
+		}
+		text, err := n.Format()
+		if err != nil {
+			t.Fatalf("Parse(%q) accepted but Format failed: %v", src, err)
+		}
+		n2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", text, src, err)
+		}
+		if n2.States != n.States || n2.Final != n.Final || !reflect.DeepEqual(n2.Arcs, n.Arcs) {
+			t.Fatalf("round trip of %q changed the network:\n was: %v\n now: %v", src, n, n2)
+		}
+		text2, err := n2.Format()
+		if err != nil || text2 != text {
+			t.Fatalf("Format not a fixpoint for %q: %q -> %q (err %v)", src, text, text2, err)
+		}
+	})
+}
+
+func TestFormatRoundTripsExamples(t *testing.T) {
+	for _, src := range fuzzSeeds {
+		n, err := Parse(src)
+		if err != nil {
+			continue
+		}
+		text, err := n.Format()
+		if err != nil {
+			t.Fatalf("Format(%q): %v", src, err)
+		}
+		n2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("re-parsing %q (from %q): %v", text, src, err)
+		}
+		if !reflect.DeepEqual(n2.Arcs, n.Arcs) {
+			t.Errorf("%q: arcs changed through %q", src, text)
+		}
+	}
+}
+
+func TestFormatRejectsNonChain(t *testing.T) {
+	bad := &Network{States: 3, Final: 2, Arcs: []Arc{{From: 0, To: 2}}}
+	if _, err := bad.Format(); err == nil {
+		t.Error("skip-arc network formatted without error")
+	}
+}

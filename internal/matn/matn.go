@@ -424,6 +424,63 @@ func (n *Network) Compile() ([]retrieval.Query, error) {
 	return out, nil
 }
 
+// Format renders the network back into canonical query text that Parse
+// accepts and that reproduces the network exactly (up to Source):
+// alternatives in arc order joined by " | ", conjunctions by " & ", an
+// optional step's trailing "?", and gap constraints normalized to
+// milliseconds (">5000ms", "<30000ms", "5000ms..30000ms"). Formatting a
+// re-parse of Format's own output is a fixpoint, which is what the
+// round-trip fuzz target pins. It errors on networks that are not the
+// step chain Parse produces (arcs skipping states, a step with only
+// ε-arcs).
+func (n *Network) Format() (string, error) {
+	bySrc := make(map[int][]Arc)
+	for _, a := range n.Arcs {
+		if a.To != a.From+1 || a.From < 0 || a.To > n.Final {
+			return "", fmt.Errorf("matn: arc %d->%d is not a chain step", a.From, a.To)
+		}
+		bySrc[a.From] = append(bySrc[a.From], a)
+	}
+	var b strings.Builder
+	for i := 0; i < n.Final; i++ {
+		var alts []string
+		optional := false
+		minGap, maxGap := 0, 0
+		for _, a := range bySrc[i] {
+			if len(a.Events) == 0 {
+				optional = true
+				continue
+			}
+			names := make([]string, len(a.Events))
+			for j, e := range a.Events {
+				names[j] = e.String()
+			}
+			alts = append(alts, strings.Join(names, " & "))
+			minGap, maxGap = a.MinGapMS, a.MaxGapMS
+		}
+		if len(alts) == 0 {
+			return "", fmt.Errorf("matn: step %d has no event arc", i)
+		}
+		if i > 0 {
+			b.WriteString(" ->")
+			switch {
+			case minGap > 0 && maxGap > 0:
+				fmt.Fprintf(&b, "[%dms..%dms]", minGap, maxGap)
+			case minGap > 0:
+				fmt.Fprintf(&b, "[>%dms]", minGap)
+			case maxGap > 0:
+				fmt.Fprintf(&b, "[<%dms]", maxGap)
+			}
+			b.WriteString(" ")
+		}
+		b.WriteString(strings.Join(alts, " | "))
+		if optional {
+			b.WriteString("?")
+		}
+	}
+	return b.String(), nil
+}
+
 // CompileString parses and compiles a query text in one call.
 func CompileString(src string) ([]retrieval.Query, error) {
 	n, err := Parse(src)

@@ -1,0 +1,65 @@
+// Differential tests of the engine against the exhaustive brute-force
+// oracle, through the shared retrievaltest harness (the shard suite
+// runs the same comparisons over the scatter-gather path). This file is
+// an external test package: retrievaltest imports retrieval, so the
+// in-package tests cannot use it.
+package retrieval_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/videodb/hmmm/internal/retrieval"
+	"github.com/videodb/hmmm/internal/retrieval/retrievaltest"
+)
+
+func TestEngineSingleStepMatchesOracleExactly(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		m := retrievaltest.RandomModel(t, retrievaltest.Config{
+			Seed: seed, Videos: int(seed) + 2, MaxShots: 10, Events: 3,
+		})
+		topK := 10
+		eng, err := retrieval.NewEngine(m, retrieval.Options{
+			AnnotatedOnly: true, TopK: topK, Beam: topK,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range retrievaltest.Queries(m) {
+			if !retrievaltest.SingleStep(q) {
+				continue
+			}
+			want := retrievaltest.Oracle(t, m, q, topK)
+			got, err := eng.Retrieve(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			retrievaltest.RequireSameMatches(t,
+				fmt.Sprintf("seed=%d q=%d", seed, qi), want.Matches, got.Matches)
+		}
+	}
+}
+
+func TestEngineMultiStepOracleConsistent(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		m := retrievaltest.RandomModel(t, retrievaltest.Config{
+			Seed: seed, Videos: int(seed) + 2, MaxShots: 10, Events: 3, LearnP12: seed%2 == 0,
+		})
+		eng, err := retrieval.NewEngine(m, retrieval.Options{AnnotatedOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range retrievaltest.Queries(m) {
+			if retrievaltest.SingleStep(q) {
+				continue
+			}
+			full := retrievaltest.Oracle(t, m, q, retrievaltest.OracleLimit)
+			got, err := eng.Retrieve(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			retrievaltest.RequireOracleConsistent(t,
+				fmt.Sprintf("seed=%d q=%d", seed, qi), full, got.Matches)
+		}
+	}
+}

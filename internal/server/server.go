@@ -29,6 +29,7 @@ import (
 	"github.com/videodb/hmmm/internal/matn"
 	"github.com/videodb/hmmm/internal/obs"
 	"github.com/videodb/hmmm/internal/retrieval"
+	"github.com/videodb/hmmm/internal/shard"
 	"github.com/videodb/hmmm/internal/store"
 	"github.com/videodb/hmmm/internal/videomodel"
 )
@@ -74,16 +75,36 @@ type Server struct {
 	// enabled, receives one JSON line per query at/over its threshold.
 	metrics *serverMetrics
 	slowLog *obs.SlowLog
+
+	// Sharded serving (see Config.Shards). shardMetrics is nil when
+	// sharding is off; every published generation's group reports into
+	// the same hmmm_shard_* family.
+	shards       int
+	shardTimeout time.Duration
+	shardMetrics *shard.Metrics
 }
 
-// snapshot is one immutable published generation: a trained model and
-// the engine whose caches were built from exactly that model. Neither is
-// mutated after publication. gen counts generations for the health
-// endpoint (1 = boot model).
+// snapshot is one immutable published generation: a trained model, the
+// engine whose caches were built from exactly that model, and — when
+// the server runs sharded — the scatter-gather group split from the
+// same model. Nothing is mutated after publication. gen counts
+// generations for the health endpoint (1 = boot model).
 type snapshot struct {
 	model  *hmmm.Model
 	engine *retrieval.Engine
-	gen    uint64
+	// group serves /api/query retrievals when sharding is configured
+	// (nil otherwise). The engine above still serves the browse and
+	// Explain paths — those need the full model's matrices — but is
+	// built with NoSimCache so the similarity table isn't held twice.
+	group *shard.Group
+	gen   uint64
+}
+
+// retriever is the query-path contract both serving shapes satisfy:
+// the single engine and the shard group return the same deterministic
+// ranking type, so handleQuery dispatches through this interface.
+type retriever interface {
+	RetrieveContext(ctx context.Context, q retrieval.Query) (*retrieval.Result, error)
 }
 
 // Config bundles the server dependencies.
@@ -129,6 +150,15 @@ type Config struct {
 	// SlowQueryWriter receives slow-query JSON lines; nil disables the
 	// slow-query log regardless of threshold.
 	SlowQueryWriter io.Writer
+	// Shards, when >= 1, serves /api/query by scatter-gather over at
+	// most that many by-video shards (see internal/shard). Rankings are
+	// bit-identical to unsharded serving; retrains re-split before each
+	// publish. 0 disables sharding.
+	Shards int
+	// ShardTimeout optionally bounds each shard's search with its own
+	// deadline in sharded mode; 0 means only the per-query deadline
+	// applies.
+	ShardTimeout time.Duration
 }
 
 // DefaultMaxRequestBytes caps request bodies when Config.MaxRequestBytes
@@ -157,12 +187,10 @@ func New(cfg Config) (*Server, error) {
 	// built here or by a retrain (both derive from s.opts) reports into
 	// the same counters.
 	cfg.Options.Metrics = metrics.retrieval
-	engine, err := retrieval.NewEngine(cfg.Model, cfg.Options)
-	if err != nil {
-		return nil, fmt.Errorf("server: building engine: %w", err)
-	}
 	s := &Server{
 		opts:         cfg.Options,
+		shards:       cfg.Shards,
+		shardTimeout: cfg.ShardTimeout,
 		log:          feedback.NewLog(),
 		trainer:      feedback.NewTrainer(cfg.RetrainThreshold),
 		logPath:      cfg.FeedbackLogPath,
@@ -191,7 +219,14 @@ func New(cfg Config) (*Server, error) {
 	if s.maxInflight > 0 {
 		s.sem = make(chan struct{}, s.maxInflight)
 	}
-	s.current.Store(&snapshot{model: cfg.Model, engine: engine, gen: 1})
+	if s.shards > 0 {
+		s.shardMetrics = shard.NewMetrics(reg)
+	}
+	boot, err := s.newSnapshot(cfg.Model, 1)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s.current.Store(boot)
 	if s.logPath != "" {
 		loaded, err := loadLogRecover(s.logPath, s.logf, metrics)
 		if err != nil {
@@ -210,6 +245,35 @@ func New(cfg Config) (*Server, error) {
 		"Feedback marks accumulated toward the next retrain.",
 		func() float64 { return float64(s.log.Pending()) })
 	return s, nil
+}
+
+// newSnapshot builds one publishable generation over model: the full
+// engine and, when sharding is configured, the scatter-gather group
+// split from the same model. In sharded mode the full engine keeps
+// serving the browse and Explain paths — they need the whole archive's
+// matrices — but is built with NoSimCache so the similarity table
+// lives only in the shard engines, not twice.
+func (s *Server) newSnapshot(model *hmmm.Model, gen uint64) (*snapshot, error) {
+	eopts := s.opts
+	if s.shards > 0 {
+		eopts.NoSimCache = true
+	}
+	engine, err := retrieval.NewEngine(model, eopts)
+	if err != nil {
+		return nil, fmt.Errorf("building engine: %w", err)
+	}
+	snap := &snapshot{model: model, engine: engine, gen: gen}
+	if s.shards > 0 {
+		group, err := shard.NewGroup(model, s.shards, s.opts, shard.GroupOptions{
+			ShardTimeout: s.shardTimeout,
+			Metrics:      s.shardMetrics,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("splitting model: %w", err)
+		}
+		snap.group = group
+	}
+	return snap, nil
 }
 
 // Registry exposes the server's metrics registry (for the debug
@@ -265,6 +329,16 @@ func loadLogRecover(path string, logf func(string, ...any), m *serverMetrics) (*
 // Model returns the currently published model. Tests and tools use it;
 // like any snapshot read it reflects the generation live at call time.
 func (s *Server) Model() *hmmm.Model { return s.current.Load().model }
+
+// NumShards reports the published generation's shard count, 0 when
+// serving unsharded. The effective count can be lower than
+// Config.Shards when the archive cannot fill the requested split.
+func (s *Server) NumShards() int {
+	if g := s.current.Load().group; g != nil {
+		return g.NumShards()
+	}
+	return 0
+}
 
 // persistLog rewrites the feedback log file if persistence is
 // configured: a checksummed snapshot through the durable atomic-replace
@@ -342,11 +416,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	m := s.current.Load().model
+	snap := s.current.Load()
+	m := snap.model
 	counts := make(map[string]int)
 	for _, st := range m.States {
 		for _, e := range st.Events {
 			counts[e.String()]++
+		}
+	}
+	var shardStats []api.ShardStatsJSON
+	if snap.group != nil {
+		for i, st := range snap.group.Stats() {
+			shardStats = append(shardStats, api.ShardStatsJSON{
+				Shard: i, Videos: st.Videos, States: st.States,
+			})
 		}
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
@@ -358,6 +441,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PendingFeedback:  s.log.Pending(),
 		EventCounts:      counts,
 		Runtime:          s.runtimeStats(),
+		Shards:           shardStats,
 	})
 }
 
@@ -610,8 +694,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		qstart = time.Now()
 	}
 	// Per-request tuning shares the snapshot engine's caches: none of the
-	// overridable options affect the similarity table or event index.
-	engine := snap.engine.WithOptions(opts)
+	// overridable options affect the similarity table or event index. In
+	// sharded mode the snapshot engine was built with NoSimCache (the
+	// shard engines own the table), so the derived Explain engine must
+	// keep that flag for WithOptions to reuse its caches; retrieval
+	// itself goes through the shard group, whose merged ranking is
+	// bit-identical to the engine's (see internal/shard).
+	eopts := opts
+	if snap.group != nil {
+		eopts.NoSimCache = true
+	}
+	engine := snap.engine.WithOptions(eopts)
+	var search retriever = engine
+	if snap.group != nil {
+		search = snap.group.WithOptions(opts)
+	}
 
 	// An MATN may compile to several linear patterns (alternation,
 	// optional steps); results are merged and deduplicated by state
@@ -634,7 +731,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var cost retrieval.Cost
 	for _, q := range queries {
 		q.Scope = scope
-		res, err := engine.RetrieveContext(ctx, q)
+		res, err := search.RetrieveContext(ctx, q)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return
@@ -789,12 +886,16 @@ func (s *Server) retrainLocked() error {
 	if err != nil {
 		return err
 	}
-	engine, err := retrieval.NewEngine(next, s.opts)
+	// Rebuild the serving structures off-lock from the query path's
+	// perspective: engine caches and (in sharded mode) the re-split
+	// shard group are derived from the retrained clone while the old
+	// snapshot keeps serving; only the final Store below publishes.
+	fresh, err := s.newSnapshot(next, snap.gen+1)
 	if err != nil {
 		// Post-training failures also fail the cycle; the trainer only
 		// counted its own (successful) training pass.
 		s.metrics.retrainFailures.Inc()
-		return fmt.Errorf("rebuilding engine: %w", err)
+		return fmt.Errorf("rebuilding serving snapshot: %w", err)
 	}
 	taken := s.log.TakePending()
 	if err := s.persistLog(); err != nil {
@@ -804,7 +905,7 @@ func (s *Server) retrainLocked() error {
 		s.log.AddPending(taken)
 		return fmt.Errorf("persisting feedback log: %w", err)
 	}
-	s.current.Store(&snapshot{model: next, engine: engine, gen: snap.gen + 1})
+	s.current.Store(fresh)
 	return nil
 }
 

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/videodb/hmmm/internal/client"
+	"github.com/videodb/hmmm/internal/dataset"
+	"github.com/videodb/hmmm/internal/hmmm"
+)
+
+// shardedPair builds one model and serves it twice: unsharded and split
+// into (at most) k shards, so tests can compare the two shapes
+// end to end over HTTP.
+func shardedPair(t *testing.T, k, threshold int) (plain, sharded *httptest.Server, srv *Server) {
+	t.Helper()
+	c, err := dataset.Build(dataset.Config{Seed: 31, Videos: 5, Shots: 200, Annotated: 50, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := hmmm.Build(c.Archive, c.Features, hmmm.BuildOptions{LearnP12: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := New(Config{Model: m, RetrainThreshold: threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sharded server gets its own clone: snapshots must stay
+	// immutable per server once a retrain starts mutating lineage.
+	ss, err := New(Config{Model: m.Clone(), RetrainThreshold: threshold, Shards: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain = httptest.NewServer(ps.Handler())
+	sharded = httptest.NewServer(ss.Handler())
+	t.Cleanup(plain.Close)
+	t.Cleanup(sharded.Close)
+	return plain, sharded, ss
+}
+
+// TestShardedQueryMatchesUnsharded is the HTTP layer of the exactness
+// contract: the same queries against a sharded and an unsharded server
+// over the same model must return byte-identical match lists (cost
+// counters legitimately differ — each shard orders its own videos).
+func TestShardedQueryMatchesUnsharded(t *testing.T) {
+	plain, sharded, srv := shardedPair(t, 3, 0)
+	if n := srv.NumShards(); n != 3 {
+		t.Fatalf("NumShards = %d, want 3", n)
+	}
+	pc := client.New(plain.URL, nil)
+	sc := client.New(sharded.URL, nil)
+	ctx := context.Background()
+	reqs := []QueryRequest{
+		{Pattern: "foul", TopK: 5, Beam: 4},
+		{Pattern: "foul -> goal", TopK: 10, Beam: 8},
+		{Pattern: "foul | corner_kick", TopK: 10, Beam: 8},
+		{Pattern: "goal", TopK: 10, Beam: 4, SimilarShots: true},
+	}
+	for _, req := range reqs {
+		want, err := pc.Query(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sc.Query(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, _ := json.Marshal(want.Matches)
+		gb, _ := json.Marshal(got.Matches)
+		if string(wb) != string(gb) {
+			t.Errorf("pattern %q: sharded matches diverge\nunsharded: %s\nsharded:   %s",
+				req.Pattern, wb, gb)
+		}
+	}
+}
+
+func TestShardedStatsReportShards(t *testing.T) {
+	plain, sharded, _ := shardedPair(t, 3, 0)
+	ctx := context.Background()
+	st, err := client.New(sharded.URL, nil).Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Shards) != 3 {
+		t.Fatalf("stats shards = %+v, want 3 entries", st.Shards)
+	}
+	videos, states := 0, 0
+	for i, sh := range st.Shards {
+		if sh.Shard != i {
+			t.Errorf("shard index %d at position %d", sh.Shard, i)
+		}
+		videos += sh.Videos
+		states += sh.States
+	}
+	if videos != st.Videos || states != st.States {
+		t.Errorf("shard totals %d videos / %d states, model has %d / %d",
+			videos, states, st.Videos, st.States)
+	}
+	pst, err := client.New(plain.URL, nil).Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pst.Shards) != 0 {
+		t.Errorf("unsharded server reports shards: %+v", pst.Shards)
+	}
+}
+
+// TestShardedRetrainResplits drives feedback through the sharded server
+// until it retrains, then checks the published generation advanced, was
+// re-split, and still serves queries.
+func TestShardedRetrainResplits(t *testing.T) {
+	_, sharded, srv := shardedPair(t, 3, 2)
+	cl := client.New(sharded.URL, nil)
+	ctx := context.Background()
+	resp, err := cl.Query(ctx, QueryRequest{Pattern: "foul", TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Matches) == 0 {
+		t.Fatal("no matches to feed back")
+	}
+	var retrained bool
+	for i := 0; i < 2; i++ {
+		fb, err := cl.Feedback(ctx, resp.Matches[0].States)
+		if err != nil {
+			t.Fatal(err)
+		}
+		retrained = retrained || fb.Retrained
+	}
+	if !retrained {
+		t.Fatal("threshold 2 not reached after 2 marks")
+	}
+	h, err := cl.HealthDetail(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ModelGeneration != 2 {
+		t.Errorf("generation = %d, want 2 after retrain", h.ModelGeneration)
+	}
+	if n := srv.NumShards(); n != 3 {
+		t.Errorf("NumShards = %d after retrain, want 3 (re-split)", n)
+	}
+	if _, err := cl.Query(ctx, QueryRequest{Pattern: "foul -> goal", TopK: 5}); err != nil {
+		t.Fatalf("query after sharded retrain: %v", err)
+	}
+}
+
+// TestShardedExplain exercises the full-model engine kept alongside the
+// group: explanations need the whole archive's matrices even though
+// retrieval ran sharded.
+func TestShardedExplain(t *testing.T) {
+	_, sharded, _ := shardedPair(t, 2, 0)
+	resp, err := client.New(sharded.URL, nil).Query(context.Background(),
+		QueryRequest{Pattern: "foul -> goal", TopK: 5, Beam: 8, Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Matches) == 0 {
+		t.Skip("corpus has no foul->goal pair to explain")
+	}
+	for _, m := range resp.Matches {
+		if len(m.Explanation) != len(m.States) {
+			t.Fatalf("match %v: %d explanation steps for %d states",
+				m.States, len(m.Explanation), len(m.States))
+		}
+	}
+}
+
+func TestShardedMetricsExposed(t *testing.T) {
+	_, sharded, srv := shardedPair(t, 2, 0)
+	cl := client.New(sharded.URL, nil)
+	if _, err := cl.Query(context.Background(), QueryRequest{Pattern: "foul", TopK: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.shardMetrics.Queries.Value(); got != 1 {
+		t.Errorf("hmmm_shard_queries_total = %d, want 1", got)
+	}
+	if got := srv.shardMetrics.Searches.Value(); got != 2 {
+		t.Errorf("hmmm_shard_searches_total = %d, want 2 (1 query x 2 shards)", got)
+	}
+}

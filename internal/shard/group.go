@@ -1,0 +1,235 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/par"
+	"github.com/videodb/hmmm/internal/retrieval"
+)
+
+// GroupOptions tunes the scatter-gather layer around the per-shard
+// retrieval engines.
+type GroupOptions struct {
+	// Workers bounds the scatter fan-out: how many shards are searched
+	// concurrently. 0 means GOMAXPROCS, 1 searches shards serially. The
+	// merged result is bit-identical for every worker count — each
+	// shard writes only its own result slot and the gather runs
+	// serially after all shards return.
+	Workers int
+	// ShardTimeout, when positive, bounds each shard's search with its
+	// own context deadline (in addition to the request context). A shard
+	// that expires contributes its partial ranking and marks the merged
+	// Cost.Truncated, exactly like a truncated single-engine retrieval.
+	ShardTimeout time.Duration
+	// Metrics, when non-nil, receives the hmmm_shard_* observations.
+	Metrics *Metrics
+}
+
+// Group serves retrievals by scattering them across per-shard engines
+// and gathering the per-shard rankings into one exact global ranking.
+//
+// Sharded semantics, relative to a single engine over the full model:
+//
+//   - Full retrieval (no StopAfterMatches): the merged ranking is
+//     bit-identical to the single engine's — scores, order, and the
+//     state-sequence tie-break. Every candidate sequence lives inside
+//     one video, hence inside exactly one shard, where Π1/A1/B1 and the
+//     shared P1,2/B1' reproduce its Eq. 12-15 score bit for bit; the
+//     per-shard top-K lists are supersets of the global top-K's
+//     restriction to each shard, and the gather re-ranks them under the
+//     same deterministic comparator.
+//   - StopAfterMatches becomes a per-shard budget: each shard stops on
+//     its own after collecting 3×TopK raw matches in its local affinity
+//     order. With K=1 this is exactly the single engine's early stop;
+//     with K>1 the group inspects at most K budgets' worth of videos,
+//     which can only widen the searched set.
+//   - CrossVideo hops stay inside the shard: the Figure-3 "end of one
+//     video" continuation picks the A2-nearest video of the same shard.
+//     Cross-shard continuations would need the full A2 row and are
+//     deliberately out of scope; the exactness guarantee above is
+//     stated for CrossVideo off.
+//   - Cost is the sum over shards (SimEvals/EdgeEvals/VideosSeen), and
+//     Truncated is the OR: one expired shard marks the whole result
+//     partial. Because every shard orders its own videos greedily,
+//     the summed EdgeEvals of the K orderings legitimately differs
+//     from the single engine's one global ordering.
+//
+// A Group is immutable after construction and safe for concurrent use;
+// the server swaps whole groups when the model retrains.
+type Group struct {
+	shards  []*Shard
+	engines []*retrieval.Engine
+	opts    retrieval.Options
+	gopts   GroupOptions
+}
+
+// NewGroup splits m into at most k shards and builds one engine per
+// shard. opts configures the per-shard engines, with two amendments:
+// Metrics and Trace are stripped (K engines recording per-retrieval
+// observations would multiply every counter by the fan-out; the group
+// records hmmm_shard_* instead, and keeps opts.Trace for its own
+// scatter/merge spans).
+func NewGroup(m *hmmm.Model, k int, opts retrieval.Options, gopts GroupOptions) (*Group, error) {
+	shards, err := Split(m, k)
+	if err != nil {
+		return nil, err
+	}
+	g := &Group{shards: shards, opts: opts, gopts: gopts}
+	g.engines = make([]*retrieval.Engine, len(shards))
+	for i, sh := range shards {
+		e, err := retrieval.NewEngine(sh.Model, stripObservers(opts))
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		g.engines[i] = e
+	}
+	if gopts.Metrics != nil {
+		gopts.Metrics.ShardCount.Set(int64(len(shards)))
+	}
+	return g, nil
+}
+
+// stripObservers removes the per-retrieval observers from engine
+// options; see NewGroup.
+func stripObservers(opts retrieval.Options) retrieval.Options {
+	opts.Metrics = nil
+	opts.Trace = nil
+	return opts
+}
+
+// WithOptions returns a group whose engines use opts (observers
+// stripped, as in NewGroup) but share the underlying shards and — for
+// cache-compatible options — the engines' derived caches.
+func (g *Group) WithOptions(opts retrieval.Options) *Group {
+	ng := &Group{shards: g.shards, opts: opts, gopts: g.gopts}
+	ng.engines = make([]*retrieval.Engine, len(g.engines))
+	for i, e := range g.engines {
+		ng.engines[i] = e.WithOptions(stripObservers(opts))
+	}
+	return ng
+}
+
+// NumShards returns the number of shards in the group (which may be
+// fewer than the requested split; see Split).
+func (g *Group) NumShards() int { return len(g.shards) }
+
+// Shards exposes the underlying shards (read-only by convention).
+func (g *Group) Shards() []*Shard { return g.shards }
+
+// Retrieve is RetrieveContext with a background context.
+func (g *Group) Retrieve(q retrieval.Query) (*retrieval.Result, error) {
+	return g.RetrieveContext(context.Background(), q)
+}
+
+// RetrieveContext scatters q across the shard engines and gathers the
+// per-shard rankings into one global ranking; see the Group docs for
+// the sharded semantics. The scatter reuses the internal/par fan-out
+// (each shard writes only its own slot), and the gather remaps each
+// shard's state indices to parent-model indices before the
+// deterministic MergeRanked + state-sequence tie-break re-rank.
+func (g *Group) RetrieveContext(ctx context.Context, q retrieval.Query) (*retrieval.Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	met := g.gopts.Metrics
+	if met != nil {
+		met.Queries.Inc()
+	}
+	endScatter := g.opts.Trace.Span("scatter")
+	results := make([]*retrieval.Result, len(g.engines))
+	errs := make([]error, len(g.engines))
+	par.For(g.gopts.Workers, len(g.engines), func(i int) {
+		sctx := ctx
+		if g.gopts.ShardTimeout > 0 {
+			var cancel context.CancelFunc
+			sctx, cancel = context.WithTimeout(ctx, g.gopts.ShardTimeout)
+			defer cancel()
+		}
+		start := time.Now()
+		res, err := g.engines[i].RetrieveContext(sctx, q)
+		if met != nil {
+			met.Searches.Inc()
+			met.ShardSeconds.ObserveDuration(time.Since(start))
+		}
+		if err != nil {
+			errs[i] = fmt.Errorf("shard %d: %w", i, err)
+			return
+		}
+		g.shards[i].remap(res.Matches)
+		results[i] = res
+	})
+	endScatter()
+	if err := par.FirstErr(errs); err != nil {
+		return nil, err
+	}
+
+	endMerge := g.opts.Trace.Span("merge")
+	defer endMerge()
+	// Single-shard groups skip the re-merge: the one engine already
+	// ranked, deduplicated, and truncated to TopK, and its result is
+	// freshly allocated per call — so K=1 pays only the scatter
+	// bookkeeping over a bare engine.
+	if len(results) == 1 {
+		out := results[0]
+		if out.Cost.Truncated && met != nil {
+			met.Truncated.Inc()
+		}
+		if ctx.Err() != nil {
+			out.Cost.Truncated = true
+		}
+		return out, nil
+	}
+	out := &retrieval.Result{}
+	var all []retrieval.Match
+	for _, r := range results {
+		all = append(all, r.Matches...)
+		out.Cost.SimEvals += r.Cost.SimEvals
+		out.Cost.EdgeEvals += r.Cost.EdgeEvals
+		out.Cost.VideosSeen += r.Cost.VideosSeen
+		if r.Cost.Truncated {
+			out.Cost.Truncated = true
+			if met != nil {
+				met.Truncated.Inc()
+			}
+		}
+	}
+	// Shards never emit duplicate state sequences (state maps are
+	// disjoint), so MergeRanked reduces to the deterministic re-rank +
+	// truncate — the same sortMatches comparator the single engine's
+	// finalize uses, applied to globally remapped indices.
+	out.Matches = retrieval.MergeRanked(all, g.opts.TopK)
+	if ctx.Err() != nil {
+		out.Cost.Truncated = true
+	}
+	return out, nil
+}
+
+// remap rewrites shard-local state indices to parent-model indices.
+// The map is strictly increasing, so relative order between any two
+// state sequences of one shard — hence the sortMatches tie-break — is
+// unchanged by remapping.
+func (s *Shard) remap(ms []retrieval.Match) {
+	for i := range ms {
+		for j, ls := range ms[i].States {
+			ms[i].States[j] = s.StateMap[ls]
+		}
+	}
+}
+
+// Stat summarizes one shard for operational reporting (/api/stats).
+type Stat struct {
+	Videos int
+	States int
+}
+
+// Stats returns per-shard totals, indexed like Shards.
+func (g *Group) Stats() []Stat {
+	out := make([]Stat, len(g.shards))
+	for i, sh := range g.shards {
+		out[i] = Stat{Videos: len(sh.Videos), States: len(sh.StateMap)}
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package shard
+
+import "github.com/videodb/hmmm/internal/obs"
+
+// Metrics holds the hmmm_shard_* instruments the scatter-gather layer
+// records. All fields are registered by NewMetrics; a nil *Metrics
+// disables recording.
+type Metrics struct {
+	// Queries counts scatter-gather retrievals served by the group.
+	Queries *obs.Counter
+	// Searches counts per-shard engine retrievals (the scatter fan-out:
+	// one group query increments it once per shard).
+	Searches *obs.Counter
+	// Truncated counts shard searches that returned a partial ranking
+	// (shard deadline or request-context expiry).
+	Truncated *obs.Counter
+	// ShardSeconds observes the latency of each per-shard search.
+	ShardSeconds *obs.Histogram
+	// ShardCount reports the number of shards in the currently
+	// published group (re-set when a retrain re-splits the model).
+	ShardCount *obs.Gauge
+}
+
+// NewMetrics registers the shard metrics on reg. Registration is
+// idempotent: rebuilding a group after a retrain reuses the same
+// instruments.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Queries:      reg.Counter("hmmm_shard_queries_total", "scatter-gather retrievals served by the shard group"),
+		Searches:     reg.Counter("hmmm_shard_searches_total", "per-shard engine retrievals (one per shard per group query)"),
+		Truncated:    reg.Counter("hmmm_shard_truncated_total", "shard searches that returned a partial (truncated) ranking"),
+		ShardSeconds: reg.Histogram("hmmm_shard_retrieve_seconds", "per-shard search latency within a scatter", nil),
+		ShardCount:   reg.Gauge("hmmm_shard_count", "shards in the currently published group"),
+	}
+}

@@ -1,0 +1,164 @@
+package shard
+
+import (
+	"testing"
+
+	"github.com/videodb/hmmm/internal/retrieval/retrievaltest"
+)
+
+func TestSplitCoversModelExactlyOnce(t *testing.T) {
+	m := retrievaltest.RandomModel(t, retrievaltest.Config{Seed: 3, Videos: 7, MaxShots: 9})
+	for _, k := range []int{1, 2, 3, 7, 50} {
+		shards, err := Split(m, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(shards) > k {
+			t.Fatalf("k=%d: got %d shards", k, len(shards))
+		}
+		seenVideo := make(map[int]bool)
+		seenState := make(map[int]bool)
+		for _, sh := range shards {
+			if !sh.Model.Partial {
+				t.Fatalf("k=%d: shard model not marked Partial", k)
+			}
+			if len(sh.StateMap) == 0 {
+				t.Fatalf("k=%d: shard without states", k)
+			}
+			for _, vi := range sh.Videos {
+				if seenVideo[vi] {
+					t.Fatalf("k=%d: video %d in two shards", k, vi)
+				}
+				seenVideo[vi] = true
+			}
+			prev := -1
+			for _, gi := range sh.StateMap {
+				if gi <= prev {
+					t.Fatalf("k=%d: state map not strictly increasing: %v", k, sh.StateMap)
+				}
+				prev = gi
+				if seenState[gi] {
+					t.Fatalf("k=%d: state %d in two shards", k, gi)
+				}
+				seenState[gi] = true
+			}
+		}
+		if len(seenVideo) != m.NumVideos() {
+			t.Fatalf("k=%d: %d of %d videos covered", k, len(seenVideo), m.NumVideos())
+		}
+		if len(seenState) != m.NumStates() {
+			t.Fatalf("k=%d: %d of %d states covered", k, len(seenState), m.NumStates())
+		}
+	}
+}
+
+func TestSplitPreservesParametersVerbatim(t *testing.T) {
+	m := retrievaltest.RandomModel(t, retrievaltest.Config{Seed: 11, Videos: 5, LearnP12: true})
+	shards, err := Split(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, sh := range shards {
+		sm := sh.Model
+		if sm.P12 != m.P12 || sm.B1Prime != m.B1Prime {
+			t.Errorf("shard %d: P12/B1' not shared with the parent", si)
+		}
+		for li, gi := range sh.StateMap {
+			if sm.Pi1[li] != m.Pi1[gi] {
+				t.Errorf("shard %d: Pi1[%d] = %v, want parent's %v", si, li, sm.Pi1[li], m.Pi1[gi])
+			}
+			for f := 0; f < m.K(); f++ {
+				if sm.B1.At(li, f) != m.B1.At(gi, f) {
+					t.Fatalf("shard %d: B1 row %d differs from parent row %d", si, li, gi)
+				}
+			}
+			if sm.States[li].Shot != m.States[gi].Shot {
+				t.Errorf("shard %d: state %d shot mismatch", si, li)
+			}
+		}
+		for lv, vi := range sh.Videos {
+			if sm.LocalA[lv] != m.LocalA[vi] {
+				t.Errorf("shard %d: LocalA[%d] not aliased to parent video %d", si, lv, vi)
+			}
+			if sm.Pi2[lv] != m.Pi2[vi] {
+				t.Errorf("shard %d: Pi2[%d] = %v, want %v", si, lv, sm.Pi2[lv], m.Pi2[vi])
+			}
+			for lw, vj := range sh.Videos {
+				if sm.A2.At(lv, lw) != m.A2.At(vi, vj) {
+					t.Errorf("shard %d: A2(%d,%d) differs from parent (%d,%d)", si, lv, lw, vi, vj)
+				}
+			}
+			if sm.VideoIDs[lv] != m.VideoIDs[vi] {
+				t.Errorf("shard %d: VideoIDs[%d] mismatch", si, lv)
+			}
+		}
+		if err := sm.Validate(1e-9); err != nil {
+			t.Errorf("shard %d: sub-model invalid: %v", si, err)
+		}
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	m := retrievaltest.RandomModel(t, retrievaltest.Config{Seed: 1})
+	if _, err := Split(nil, 2); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := Split(m, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Split(m, -3); err == nil {
+		t.Error("negative k accepted")
+	}
+}
+
+func TestSplitSingleShardIsWholeModel(t *testing.T) {
+	m := retrievaltest.RandomModel(t, retrievaltest.Config{Seed: 5})
+	shards, err := Split(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 1 {
+		t.Fatalf("got %d shards, want 1", len(shards))
+	}
+	sh := shards[0]
+	if len(sh.Videos) != m.NumVideos() || len(sh.StateMap) != m.NumStates() {
+		t.Fatalf("single shard covers %d videos / %d states, want %d / %d",
+			len(sh.Videos), len(sh.StateMap), m.NumVideos(), m.NumStates())
+	}
+	for i, gi := range sh.StateMap {
+		if i != gi {
+			t.Fatalf("state map of a single shard must be the identity, got %v", sh.StateMap)
+		}
+	}
+}
+
+// Videos with no annotated shots must land in some shard (so scoped
+// queries still resolve) without ever producing an empty shard.
+func TestSplitHandlesUnannotatedVideos(t *testing.T) {
+	// Annotate sparsely so several videos have no states at all.
+	m := retrievaltest.RandomModel(t, retrievaltest.Config{Seed: 9, Videos: 8, MaxShots: 2, Annotate: 0.2})
+	empty := 0
+	for vi := 0; vi < m.NumVideos(); vi++ {
+		lo, hi := m.VideoStates(vi)
+		if lo == hi {
+			empty++
+		}
+	}
+	if empty == 0 {
+		t.Skip("seed produced no unannotated videos; adjust config")
+	}
+	shards, err := Split(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	videos := 0
+	for _, sh := range shards {
+		if len(sh.StateMap) == 0 {
+			t.Fatal("empty shard returned")
+		}
+		videos += len(sh.Videos)
+	}
+	if videos != m.NumVideos() {
+		t.Fatalf("%d videos assigned, want %d", videos, m.NumVideos())
+	}
+}
