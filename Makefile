@@ -8,10 +8,10 @@ BENCH_PATTERN := BenchmarkF2RetrievalGreedy$$|BenchmarkF5PaperQuery$$|BenchmarkP
 # Offline-pipeline benchmarks captured into BENCH_build.json.
 BENCH_BUILD_PATTERN := BenchmarkBuildPaperScale|BenchmarkRetrainPaperScale
 
-.PHONY: build vet test race race-server race-obs race-shard race-all verify bench bench-build cover fuzz clean
+.PHONY: build vet test race race-server race-obs race-shard race-all verify bench bench-build bench-scale bench-million cover fuzz clean
 
 # Packages whose per-package coverage `make cover` gates at 80%.
-COVER_GATED := internal/shard internal/retrieval internal/matn
+COVER_GATED := internal/shard internal/retrieval internal/matn internal/index
 COVER_MIN := 80.0
 
 build:
@@ -74,6 +74,23 @@ bench:
 		| $(GO) run ./cmd/benchjson -out BENCH_retrieval.json -note "observability overhead vs QueryWithMiddleware baseline (budget <=5%)"
 	$(GO) test -run '^$$' -bench 'BenchmarkShardedRetrieval' -benchmem -benchtime=200x -count=1 . \
 		| $(GO) run ./cmd/benchjson -out BENCH_retrieval.json -note "sharded scatter-gather vs single engine; K=1 overhead budget <=10%"
+	@echo "appended to BENCH_retrieval.json"
+
+# CI smoke for the coarse→fine pipeline: the differential recall gate
+# (prefilter-on recall@10 >= 0.95 vs the exact oracle, plus the
+# CoarseCandidates=0 bit-identity suite) and the 1x point of the scale
+# benchmark in -short mode. Fast enough for every CI run; the full
+# latency/memory curve is `make bench-million`.
+bench-scale:
+	$(GO) test -run 'TestCoarse|TestGroupCoarse' ./internal/retrieval/ ./internal/shard/
+	$(GO) test -run '^$$' -bench BenchmarkMillionShot -short -benchtime=20x -count=1 .
+
+# The full coarse→fine latency/memory curve (1x/10x/100x archive scale,
+# ~1.16M shots at 100x), captured into BENCH_retrieval.json. The 100x
+# model build takes a few minutes on one core.
+bench-million:
+	$(GO) test -run '^$$' -bench BenchmarkMillionShot -benchtime=100x -count=1 -timeout 30m . \
+		| $(GO) run ./cmd/benchjson -out BENCH_retrieval.json -note "coarse->fine two-stage retrieval + compact layout scale curve"
 	@echo "appended to BENCH_retrieval.json"
 
 bench-build:

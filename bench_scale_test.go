@@ -1,0 +1,128 @@
+package hmmm
+
+// BenchmarkMillionShot records the coarse→fine latency/memory curve the
+// two-stage retrieval work targets (DESIGN.md §5f): exact-only vs
+// prefiltered query latency and dense vs compact resident model bytes,
+// at 1x (the paper's 11,567 shots), 10x, and 100x (~1.16M shots)
+// archive scale. `make bench-million` captures the full curve into
+// BENCH_retrieval.json; -short keeps only the 1x point (the CI smoke).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	core "github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/retrieval"
+	"github.com/videodb/hmmm/internal/synthvideo"
+	"github.com/videodb/hmmm/internal/videomodel"
+)
+
+// scalePoint is one point on the curve: the archive scale factor and the
+// per-step coarse candidate budget used at that scale (a k-step query
+// keeps up to k×limit videos; wider archives keep more absolute
+// candidates but a smaller fraction).
+type scalePoint struct {
+	factor int
+	limit  int
+}
+
+var scalePoints = []scalePoint{{1, 12}, {10, 12}, {100, 16}}
+
+// scaleSuite lazily builds one model per scale factor, shared by every
+// sub-benchmark so `go test -bench BenchmarkMillionShot` pays each
+// build once.
+var scaleSuite struct {
+	mu     sync.Mutex
+	models map[int]*core.Model
+	shots  map[int]int
+}
+
+func scaleModel(b *testing.B, factor int) (*core.Model, int) {
+	b.Helper()
+	scaleSuite.mu.Lock()
+	defer scaleSuite.mu.Unlock()
+	if scaleSuite.models == nil {
+		scaleSuite.models = make(map[int]*core.Model)
+		scaleSuite.shots = make(map[int]int)
+	}
+	if m, ok := scaleSuite.models[factor]; ok {
+		return m, scaleSuite.shots[factor]
+	}
+	cfg := synthvideo.ScaledArchive(2006, factor)
+	archive, feats, err := synthvideo.GenerateArchive(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.Build(archive, feats, core.BuildOptions{LearnP12: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	scaleSuite.models[factor] = m
+	scaleSuite.shots[factor] = cfg.Shots
+	return m, cfg.Shots
+}
+
+// scaleQueries is the fixed query mix each latency sub-benchmark cycles
+// through: a single-event probe, a two-step temporal pattern, and a
+// three-step pattern — the shapes the paper's Figure 5 walkthrough uses.
+func scaleQueries() []retrieval.Query {
+	return []retrieval.Query{
+		retrieval.NewQuery(videomodel.EventGoal),
+		retrieval.NewQuery(videomodel.EventCornerKick, videomodel.EventGoal),
+		retrieval.NewQuery(videomodel.EventFreeKick, videomodel.EventFoul, videomodel.EventGoal),
+	}
+}
+
+func BenchmarkMillionShot(b *testing.B) {
+	for _, pt := range scalePoints {
+		if testing.Short() && pt.factor > 1 {
+			continue
+		}
+		m, shots := scaleModel(b, pt.factor)
+		base := retrieval.Options{TopK: 10, Beam: 4, AnnotatedOnly: true}
+		queries := scaleQueries()
+
+		b.Run(fmt.Sprintf("scale=%dx/exact", pt.factor), func(b *testing.B) {
+			eng, err := retrieval.NewEngine(m, base)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Retrieve(queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("scale=%dx/coarse=%d", pt.factor, pt.limit), func(b *testing.B) {
+			opts := base
+			opts.CoarseCandidates = pt.limit
+			eng, err := retrieval.NewEngine(m, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Retrieve(queries[i%len(queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		// The layout point: resident bytes per archive shot for the dense
+		// float64 snapshot vs the compact layout, as custom metrics so the
+		// curve lands in BENCH_retrieval.json alongside the latencies.
+		b.Run(fmt.Sprintf("scale=%dx/layout", pt.factor), func(b *testing.B) {
+			var dense, compact int
+			for i := 0; i < b.N; i++ {
+				dense = m.Snapshot().MemoryBytes()
+				compact = m.CompactSnapshot().MemoryBytes()
+			}
+			b.ReportMetric(float64(dense)/float64(shots), "dense-B/shot")
+			b.ReportMetric(float64(compact)/float64(shots), "compact-B/shot")
+			b.ReportMetric(float64(dense)/float64(compact), "compression-x")
+		})
+	}
+}

@@ -163,9 +163,16 @@ func collectMeta(note string) Meta {
 	return m
 }
 
+// preMetadataNote tags trajectory records that predate run metadata, so
+// downstream tooling can tell "environment unknown" apart from a record
+// whose collection merely failed.
+const preMetadataNote = "pre-metadata"
+
 // loadTrajectory reads an existing -out file: a record array, or the
-// legacy bare name→entry map which becomes a single metadata-less
-// record. A missing file is an empty trajectory.
+// legacy bare name→entry map which becomes a single record. A missing
+// file is an empty trajectory. Records without metadata — the legacy
+// map, or array records written before Meta existed — are tagged with
+// the pre-metadata note.
 func loadTrajectory(path string) ([]Record, error) {
 	buf, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -176,13 +183,25 @@ func loadTrajectory(path string) ([]Record, error) {
 	}
 	var trajectory []Record
 	if err := json.Unmarshal(buf, &trajectory); err == nil {
-		return trajectory, nil
+		return tagLegacy(trajectory), nil
 	}
 	var legacy map[string]Entry
 	if err := json.Unmarshal(buf, &legacy); err == nil {
-		return []Record{{Benchmarks: legacy}}, nil
+		return tagLegacy([]Record{{Benchmarks: legacy}}), nil
 	}
 	return nil, fmt.Errorf("%s: neither a record array nor a legacy benchmark map", path)
+}
+
+// tagLegacy marks metadata-less records (no date, no CPU count) with the
+// pre-metadata note, leaving annotated records untouched.
+func tagLegacy(trajectory []Record) []Record {
+	for i := range trajectory {
+		m := &trajectory[i].Meta
+		if m.Date == "" && m.NumCPU == 0 && m.Note == "" {
+			m.Note = preMetadataNote
+		}
+	}
+	return trajectory
 }
 
 func fatal(err error) {

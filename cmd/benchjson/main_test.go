@@ -56,6 +56,9 @@ func TestTrajectoryAppendAndLegacyConversion(t *testing.T) {
 	if len(trajectory) != 1 || trajectory[0].Benchmarks["BenchmarkOld"].NsPerOp != 100 {
 		t.Fatalf("legacy conversion = %+v", trajectory)
 	}
+	if trajectory[0].Meta.Note != preMetadataNote {
+		t.Errorf("legacy record note = %q, want %q", trajectory[0].Meta.Note, preMetadataNote)
+	}
 
 	// Append a second record and reload: both survive, in order.
 	trajectory = append(trajectory, Record{
@@ -81,5 +84,26 @@ func TestTrajectoryAppendAndLegacyConversion(t *testing.T) {
 	}
 	if _, err := loadTrajectory(filepath.Join(t.TempDir(), "absent.json")); err != nil {
 		t.Errorf("missing file should be empty trajectory, got %v", err)
+	}
+}
+
+// TestTagLegacy covers the metadata-less record tagging: array records
+// written before Meta existed gain the pre-metadata note, annotated
+// records stay untouched.
+func TestTagLegacy(t *testing.T) {
+	in := []Record{
+		{Benchmarks: map[string]Entry{"BenchmarkA": {Iterations: 1, NsPerOp: 1}}},
+		{Meta: Meta{Date: "2026-08-05T20:29:29Z", NumCPU: 1}},
+		{Meta: Meta{Note: "hand-annotated"}},
+	}
+	out := tagLegacy(in)
+	if out[0].Meta.Note != preMetadataNote {
+		t.Errorf("bare record note = %q, want %q", out[0].Meta.Note, preMetadataNote)
+	}
+	if out[1].Meta.Note != "" {
+		t.Errorf("dated record gained note %q", out[1].Meta.Note)
+	}
+	if out[2].Meta.Note != "hand-annotated" {
+		t.Errorf("annotated record note changed to %q", out[2].Meta.Note)
 	}
 }

@@ -9,6 +9,14 @@
 //	-videos    int    number of videos (default: paper scale, 54)
 //	-shots     int    total shots (default 11567)
 //	-annotated int    annotated event shots (default 506)
+//	-scale     string archive-size preset: paper, 10x, or 100x. Presets
+//	                  skip raster rendering and sample features directly
+//	                  (synthvideo.GenerateArchive), so 100x (540 videos,
+//	                  ~1.16M shots) generates in seconds. Overrides
+//	                  -videos/-shots/-annotated; incompatible with
+//	                  -dump-media and -ground-truth.
+//	-compact   bool   write the model in the compact float32 layout
+//	                  (store.SaveModelCompact); loads transparently
 //	-corpus    string corpus output path (default corpus.gob)
 //	-model     string model output path (default model.gob)
 //	-json      string optional path for a JSON model export
@@ -85,6 +93,8 @@ func main() {
 		videos     = flag.Int("videos", 54, "number of videos")
 		shots      = flag.Int("shots", 11567, "total shots across all videos")
 		annotated  = flag.Int("annotated", 506, "annotated event shots")
+		scale      = flag.String("scale", "", "archive preset: paper, 10x, or 100x (skips rendering; overrides -videos/-shots/-annotated)")
+		compact    = flag.Bool("compact", false, "write the model in the compact float32 snapshot layout")
 		corpusPath = flag.String("corpus", "corpus.gob", "corpus output path")
 		modelPath  = flag.String("model", "model.gob", "model output path")
 		jsonPath   = flag.String("json", "", "optional JSON model export path")
@@ -93,13 +103,44 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := dataset.Config{
-		Seed: *seed, Videos: *videos, Shots: *shots, Annotated: *annotated, Fast: true,
-	}
 	start := time.Now()
-	corpus, err := dataset.Build(cfg)
-	if err != nil {
-		log.Fatalf("building corpus: %v", err)
+	var corpus *dataset.Corpus
+	if *scale != "" {
+		if *mediaDir != "" || *truthCSV != "" {
+			log.Fatal("-scale presets do not render media; drop -dump-media/-ground-truth")
+		}
+		var acfg synthvideo.ArchiveConfig
+		switch *scale {
+		case "paper":
+			acfg = synthvideo.PaperArchive(*seed)
+		case "10x":
+			acfg = synthvideo.ScaledArchive(*seed, 10)
+		case "100x":
+			acfg = synthvideo.ScaledArchive(*seed, 100)
+		default:
+			log.Fatalf("unknown -scale %q (want paper, 10x, or 100x)", *scale)
+		}
+		archive, feats, err := synthvideo.GenerateArchive(acfg)
+		if err != nil {
+			log.Fatalf("generating archive: %v", err)
+		}
+		corpus = &dataset.Corpus{
+			Archive:  archive,
+			Features: feats,
+			Config: dataset.Config{
+				Seed: acfg.Seed, Videos: acfg.Videos,
+				Shots: acfg.Shots, Annotated: acfg.Annotated, Fast: true,
+			},
+		}
+	} else {
+		cfg := dataset.Config{
+			Seed: *seed, Videos: *videos, Shots: *shots, Annotated: *annotated, Fast: true,
+		}
+		var err error
+		corpus, err = dataset.Build(cfg)
+		if err != nil {
+			log.Fatalf("building corpus: %v", err)
+		}
 	}
 	st := corpus.Archive.Stats()
 	fmt.Printf("corpus: %d videos, %d shots, %d annotated events (%.1fs)\n",
@@ -116,7 +157,11 @@ func main() {
 	if err := store.SaveCorpus(*corpusPath, corpus); err != nil {
 		log.Fatalf("saving corpus: %v", err)
 	}
-	if err := store.SaveModel(*modelPath, model); err != nil {
+	saveModel := store.SaveModel
+	if *compact {
+		saveModel = store.SaveModelCompact
+	}
+	if err := saveModel(*modelPath, model); err != nil {
 		log.Fatalf("saving model: %v", err)
 	}
 	fmt.Printf("wrote %s and %s\n", *corpusPath, *modelPath)

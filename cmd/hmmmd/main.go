@@ -19,6 +19,12 @@
 //	                   many by-video shards; rankings are bit-identical
 //	                   to unsharded serving, and retrains re-split
 //	                   before publishing (default 0 = unsharded)
+//	-coarse-candidates int  two-stage retrieval: prefilter each query to
+//	                   at most this many candidate videos per pattern
+//	                   step with the coarse index before the exact
+//	                   lattice (DESIGN.md §5f). 0 (the default) serves
+//	                   exact-only, bit-identical to prior releases; with
+//	                   -shards the budget applies per shard
 //
 // Resilience flags:
 //
@@ -86,6 +92,7 @@ func main() {
 		retrain   = flag.Int("retrain", 10, "feedback threshold for auto retraining (0 disables)")
 		fbLog     = flag.String("feedback-log", "", "persist the feedback log to this path")
 		shards    = flag.Int("shards", 0, "scatter-gather shard count (0 = unsharded)")
+		coarse    = flag.Int("coarse-candidates", 0, "coarse prefilter budget per query step (0 = exact-only)")
 
 		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "per-query deadline (0 disables)")
 		maxInflight  = flag.Int("max-inflight", 64, "max concurrently served requests (0 disables shedding)")
@@ -137,7 +144,7 @@ func main() {
 	}
 	srv, err := server.New(server.Config{
 		Model:              model,
-		Options:            retrieval.Options{Beam: 4, TopK: 10},
+		Options:            retrieval.Options{Beam: 4, TopK: 10, CoarseCandidates: *coarse},
 		RetrainThreshold:   *retrain,
 		FeedbackLogPath:    *fbLog,
 		Shards:             *shards,
@@ -153,6 +160,9 @@ func main() {
 	}
 	if n := srv.NumShards(); n > 0 {
 		fmt.Printf("sharded serving: %d shards\n", n)
+	}
+	if *coarse > 0 {
+		fmt.Printf("two-stage retrieval: coarse prefilter keeps <= %d candidate videos per query step\n", *coarse)
 	}
 
 	if *debugAddr != "" {

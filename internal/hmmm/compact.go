@@ -1,0 +1,200 @@
+package hmmm
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/videodb/hmmm/internal/matrix"
+	"github.com/videodb/hmmm/internal/videomodel"
+)
+
+// CompactSnapshot is the memory- and disk-compact persistent form of a
+// Model: the same information as Snapshot at roughly a third of the
+// bytes, trading float64 storage for float32 where the model's own 1e-6
+// validation tolerance makes the 2^-24 quantization error invisible, and
+// struct-of-arrays state bookkeeping for the []State slice.
+//
+//   - State layout: per-video state counts plus parallel ShotIDs /
+//     StartMS / EventMask arrays. VideoIdx and LocalIdx are recomputed
+//     from the counts; each state's events are recovered from its
+//     annotation bitmask in ascending concept order (the model's
+//     semantics never depend on annotation order, only membership).
+//   - B1, B1', A2, B2 quantize to float32 (B2 holds small integer counts,
+//     exact in float32). The per-video A1 blocks additionally exploit
+//     their Eq. 1 upper-triangular shape through the banded layout.
+//   - Π1, Π2, P1,2, and the scaler bounds stay float64: they are small
+//     (O(N) + O(M) + O(C·K) values) and P1,2 feeds the Eq. 14 weight
+//     vectors that differential tests pin bitwise.
+//
+// Compact is a storage/transport layout, not a serving layout: decoding
+// widens everything back to the dense float64 Model the engines consume.
+// Round-tripping a model through CompactSnapshot therefore perturbs
+// retrieval scores only by the float32 rounding of B1/B1'/A1/A2 — the
+// property test in compact_test.go pins the tolerance — while the state
+// sequences retrieved stay identical in practice.
+type CompactSnapshot struct {
+	VideoIDs []videomodel.VideoID
+	// StateCounts[v] is the number of states (annotated shots) of video
+	// v; states are stored grouped by video in temporal order, exactly
+	// like Model.States.
+	StateCounts []int32
+	ShotIDs     []int64
+	StartMS     []int32
+	// EventMask[s] has bit c set iff state s is annotated with the
+	// concept of index c. videomodel.NumEvents must stay <= 16.
+	EventMask []uint16
+
+	B1      *matrix.Float32
+	Pi1     []float64
+	LocalA  []*matrix.Banded
+	A2      *matrix.Float32
+	B2      *matrix.Float32
+	Pi2     []float64
+	P12     *matrix.Dense
+	B1Prime *matrix.Float32
+
+	ScalerMin []float64
+	ScalerMax []float64
+	Partial   bool
+}
+
+// CompactSnapshot captures the model in the compact layout.
+func (m *Model) CompactSnapshot() *CompactSnapshot {
+	min, max := m.Scaler.Bounds()
+	cs := &CompactSnapshot{
+		VideoIDs:    m.VideoIDs,
+		StateCounts: make([]int32, m.NumVideos()),
+		ShotIDs:     make([]int64, m.NumStates()),
+		StartMS:     make([]int32, m.NumStates()),
+		EventMask:   make([]uint16, m.NumStates()),
+		B1:          matrix.ToFloat32(m.B1),
+		Pi1:         m.Pi1,
+		LocalA:      make([]*matrix.Banded, len(m.LocalA)),
+		A2:          matrix.ToFloat32(m.A2),
+		B2:          matrix.ToFloat32(m.B2),
+		Pi2:         m.Pi2,
+		P12:         m.P12,
+		B1Prime:     matrix.ToFloat32(m.B1Prime),
+		ScalerMin:   min,
+		ScalerMax:   max,
+		Partial:     m.Partial,
+	}
+	for i := range m.States {
+		st := &m.States[i]
+		cs.StateCounts[st.VideoIdx]++
+		cs.ShotIDs[i] = int64(st.Shot)
+		cs.StartMS[i] = int32(st.StartMS)
+		for _, e := range st.Events {
+			if e.Valid() {
+				cs.EventMask[i] |= 1 << e.Index()
+			}
+		}
+	}
+	for vi, a := range m.LocalA {
+		cs.LocalA[vi] = matrix.ToBanded(a)
+	}
+	return cs
+}
+
+// FromCompactSnapshot widens a compact snapshot back to a dense float64
+// Model, rebuilding the state bookkeeping and validating the result with
+// the same tolerance as FromSnapshot.
+func FromCompactSnapshot(cs *CompactSnapshot) (*Model, error) {
+	if cs == nil {
+		return nil, errors.New("hmmm: nil compact snapshot")
+	}
+	if len(cs.StateCounts) != len(cs.VideoIDs) {
+		return nil, fmt.Errorf("hmmm: compact snapshot has %d state counts for %d videos",
+			len(cs.StateCounts), len(cs.VideoIDs))
+	}
+	n := len(cs.ShotIDs)
+	if len(cs.StartMS) != n || len(cs.EventMask) != n {
+		return nil, fmt.Errorf("hmmm: compact snapshot state arrays disagree: %d shots, %d starts, %d masks",
+			n, len(cs.StartMS), len(cs.EventMask))
+	}
+	if len(cs.LocalA) != len(cs.VideoIDs) {
+		return nil, fmt.Errorf("hmmm: compact snapshot has %d A1 blocks for %d videos",
+			len(cs.LocalA), len(cs.VideoIDs))
+	}
+	s := &Snapshot{
+		States:    make([]State, n),
+		B1:        cs.B1.Dense(),
+		Pi1:       cs.Pi1,
+		LocalA:    make([]*matrix.Dense, len(cs.LocalA)),
+		VideoIDs:  cs.VideoIDs,
+		A2:        cs.A2.Dense(),
+		B2:        cs.B2.Dense(),
+		Pi2:       cs.Pi2,
+		P12:       cs.P12,
+		B1Prime:   cs.B1Prime.Dense(),
+		ScalerMin: cs.ScalerMin,
+		ScalerMax: cs.ScalerMax,
+		Partial:   cs.Partial,
+	}
+	gi := 0
+	for vi, cnt := range cs.StateCounts {
+		for li := 0; li < int(cnt); li++ {
+			if gi >= n {
+				return nil, fmt.Errorf("hmmm: compact snapshot counts %d states, arrays hold %d",
+					gi+1, n)
+			}
+			st := &s.States[gi]
+			st.Shot = videomodel.ShotID(cs.ShotIDs[gi])
+			st.VideoIdx = vi
+			st.LocalIdx = li
+			st.StartMS = int(cs.StartMS[gi])
+			for c := 0; c < videomodel.NumEvents; c++ {
+				if cs.EventMask[gi]&(1<<c) != 0 {
+					st.Events = append(st.Events, videomodel.EventFromIndex(c))
+				}
+			}
+			gi++
+		}
+	}
+	if gi != n {
+		return nil, fmt.Errorf("hmmm: compact snapshot counts %d states, arrays hold %d", gi, n)
+	}
+	for vi, a := range cs.LocalA {
+		s.LocalA[vi] = a.Dense()
+	}
+	return FromSnapshot(s)
+}
+
+// MemoryBytes estimates the resident size of the snapshot's numeric
+// payload: the figure the scale benchmark reports per shot against the
+// compact layout's.
+func (s *Snapshot) MemoryBytes() int {
+	n := 0
+	for i := range s.States {
+		n += 8 + 8 + 8 + 8 + len(s.States[i].Events)*8 // Shot, VideoIdx, LocalIdx, StartMS, Events
+	}
+	n += denseBytes(s.B1) + denseBytes(s.A2) + denseBytes(s.B2)
+	n += denseBytes(s.P12) + denseBytes(s.B1Prime)
+	for _, a := range s.LocalA {
+		n += denseBytes(a)
+	}
+	n += (len(s.Pi1) + len(s.Pi2) + len(s.ScalerMin) + len(s.ScalerMax)) * 8
+	n += len(s.VideoIDs) * 8
+	return n
+}
+
+func denseBytes(d *matrix.Dense) int {
+	if d == nil {
+		return 0
+	}
+	return d.Rows() * d.Cols() * 8
+}
+
+// MemoryBytes estimates the resident size of the compact snapshot's
+// numeric payload.
+func (cs *CompactSnapshot) MemoryBytes() int {
+	n := len(cs.ShotIDs)*8 + len(cs.StartMS)*4 + len(cs.EventMask)*2
+	n += len(cs.StateCounts)*4 + len(cs.VideoIDs)*8
+	n += cs.B1.MemoryBytes() + cs.A2.MemoryBytes() + cs.B2.MemoryBytes() + cs.B1Prime.MemoryBytes()
+	n += denseBytes(cs.P12)
+	for _, a := range cs.LocalA {
+		n += a.MemoryBytes()
+	}
+	n += (len(cs.Pi1) + len(cs.Pi2) + len(cs.ScalerMin) + len(cs.ScalerMax)) * 8
+	return n
+}

@@ -1,0 +1,92 @@
+package index
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestIntersectSorted(t *testing.T) {
+	cases := []struct{ a, b, want []int }{
+		{[]int{1, 3, 5}, []int{2, 3, 5, 9}, []int{3, 5}},
+		{[]int{1, 2}, []int{3, 4}, []int{}},
+		{nil, []int{1}, nil},
+		{[]int{4, 7, 9}, []int{4, 7, 9}, []int{4, 7, 9}},
+	}
+	for _, c := range cases {
+		got := intersectSorted(append([]int(nil), c.a...), c.b)
+		if len(got) != len(c.want) {
+			t.Fatalf("intersect(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("intersect(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+			}
+		}
+	}
+}
+
+func TestSimOutOfRangeIsNaN(t *testing.T) {
+	ix := &Coarse{videos: 2, concepts: 3, sims: make([]float32, 6)}
+	for _, pair := range [][2]int{{-1, 0}, {2, 0}, {0, -1}, {0, 3}} {
+		if v := ix.Sim(pair[0], pair[1]); v == v { // NaN != NaN
+			t.Errorf("Sim(%d, %d) = %v, want NaN", pair[0], pair[1], v)
+		}
+	}
+}
+
+func TestCandidatesEmptySteps(t *testing.T) {
+	ix := &Coarse{videos: 4, concepts: 2, postings: make([][]byte, 2), counts: make([]int, 2)}
+	if got, scored := ix.Candidates(nil, 2, false); got != nil || scored != 0 {
+		t.Errorf("Candidates(nil) = %v, %d; want nil, 0", got, scored)
+	}
+	if got := ix.intersectFirst(nil); got != nil {
+		t.Errorf("intersectFirst(nil) = %v, want nil", got)
+	}
+}
+
+func TestCandidatesEmptyPostingShortCircuits(t *testing.T) {
+	// Concept 0 has videos {1, 3}; concept 1 has none. The conjunction
+	// must be empty, and the second intersection must short-circuit.
+	ix := &Coarse{videos: 4, concepts: 2, counts: []int{2, 0}}
+	ix.postings = [][]byte{encodePostings([]int{1, 3}), nil}
+	got, _ := ix.Candidates([][]int{{0, 1}}, 10, false)
+	if len(got) != 0 {
+		t.Errorf("conjunction with empty posting = %v, want empty", got)
+	}
+	got, _ = ix.Candidates([][]int{{1, 0}}, 10, false)
+	if len(got) != 0 {
+		t.Errorf("conjunction (reversed) = %v, want empty", got)
+	}
+}
+
+// encodePostings builds a delta-uvarint posting list for tests.
+func encodePostings(videos []int) []byte {
+	var buf []byte
+	prev := 0
+	for _, v := range videos {
+		buf = appendUvarint(buf, uint64(v-prev))
+		prev = v
+	}
+	return buf
+}
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+func TestPostingsRoundTripLargeGaps(t *testing.T) {
+	want := []int{0, 1, 127, 128, 16383, 16384, 250000}
+	ix := &Coarse{videos: 250001, concepts: 1,
+		postings: [][]byte{encodePostings(want)}, counts: []int{len(want)}}
+	got := ix.Postings(0, nil)
+	if !slices.Equal(got, want) {
+		t.Fatalf("Postings = %v, want %v", got, want)
+	}
+	if ix.PostingLen(0) != len(want) {
+		t.Fatalf("PostingLen = %d, want %d", ix.PostingLen(0), len(want))
+	}
+}

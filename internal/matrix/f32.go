@@ -1,0 +1,203 @@
+package matrix
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Float32 is a row-major float32 matrix: the storage half of the compact
+// model layout. Probability and feature values live in [0, 1], where
+// float32 rounding costs at most a 2^-24 relative error — far inside the
+// model's 1e-6 stochastic-validation tolerance — so matrices that do not
+// feed bit-identity-sensitive arithmetic (B1, B1', A2, B2, per-video A1)
+// can be persisted at half the bytes. Conversion is one rounding each
+// way: ToFloat32 rounds float64 values to nearest-even float32, Dense
+// widens them back exactly (float32→float64 is lossless).
+type Float32 struct {
+	rows, cols int
+	data       []float32
+}
+
+// ToFloat32 quantizes d to a float32 matrix.
+func ToFloat32(d *Dense) *Float32 {
+	f := &Float32{rows: d.rows, cols: d.cols, data: make([]float32, len(d.data))}
+	for i, v := range d.data {
+		f.data[i] = float32(v)
+	}
+	return f
+}
+
+// Rows returns the number of rows.
+func (f *Float32) Rows() int { return f.rows }
+
+// Cols returns the number of columns.
+func (f *Float32) Cols() int { return f.cols }
+
+// At returns the element at (i, j) widened to float64.
+func (f *Float32) At(i, j int) float64 {
+	if i < 0 || i >= f.rows || j < 0 || j >= f.cols {
+		panic(fmt.Sprintf("matrix: index (%d, %d) out of bounds for %dx%d matrix", i, j, f.rows, f.cols))
+	}
+	return float64(f.data[i*f.cols+j])
+}
+
+// Dense widens the matrix back to float64 storage (exact).
+func (f *Float32) Dense() *Dense {
+	d := NewDense(f.rows, f.cols)
+	for i, v := range f.data {
+		d.data[i] = float64(v)
+	}
+	return d
+}
+
+// MemoryBytes returns the payload size of the value storage.
+func (f *Float32) MemoryBytes() int { return len(f.data) * 4 }
+
+// Banded is a float32 matrix that stores only the contiguous non-zero
+// span of each row: the compact form of the per-video temporal affinity
+// blocks, whose Eq. 1 construction is upper-triangular (row i is zero
+// left of the diagonal), so roughly half the dense entries vanish. A
+// row's stored span is [start[i], start[i]+width) where width =
+// rowptr[i+1]-rowptr[i]; everything outside decodes as zero. Rows that
+// are entirely zero store nothing.
+type Banded struct {
+	rows, cols int
+	start      []int32 // per-row first stored column
+	rowptr     []int32 // len rows+1; prefix offsets into data
+	data       []float32
+}
+
+// ToBanded compresses d by trimming each row's leading and trailing
+// zeros. Total stored values must fit in int32 offsets (>5e8 entries
+// would overflow; per-video A1 blocks are orders of magnitude smaller).
+func ToBanded(d *Dense) *Banded {
+	b := &Banded{
+		rows:   d.rows,
+		cols:   d.cols,
+		start:  make([]int32, d.rows),
+		rowptr: make([]int32, d.rows+1),
+	}
+	for i := 0; i < d.rows; i++ {
+		row := d.Row(i)
+		lo, hi := 0, len(row)
+		for lo < hi && row[lo] == 0 {
+			lo++
+		}
+		for hi > lo && row[hi-1] == 0 {
+			hi--
+		}
+		b.start[i] = int32(lo)
+		for _, v := range row[lo:hi] {
+			b.data = append(b.data, float32(v))
+		}
+		b.rowptr[i+1] = int32(len(b.data))
+	}
+	return b
+}
+
+// Rows returns the number of rows.
+func (b *Banded) Rows() int { return b.rows }
+
+// Cols returns the number of columns.
+func (b *Banded) Cols() int { return b.cols }
+
+// At returns the element at (i, j) widened to float64; positions outside
+// the stored band are zero.
+func (b *Banded) At(i, j int) float64 {
+	if i < 0 || i >= b.rows || j < 0 || j >= b.cols {
+		panic(fmt.Sprintf("matrix: index (%d, %d) out of bounds for %dx%d matrix", i, j, b.rows, b.cols))
+	}
+	off := int(j) - int(b.start[i])
+	width := int(b.rowptr[i+1] - b.rowptr[i])
+	if off < 0 || off >= width {
+		return 0
+	}
+	return float64(b.data[int(b.rowptr[i])+off])
+}
+
+// Dense expands the band back to a full float64 matrix (exact).
+func (b *Banded) Dense() *Dense {
+	d := NewDense(b.rows, b.cols)
+	for i := 0; i < b.rows; i++ {
+		row := d.Row(i)
+		vals := b.data[b.rowptr[i]:b.rowptr[i+1]]
+		for k, v := range vals {
+			row[int(b.start[i])+k] = float64(v)
+		}
+	}
+	return d
+}
+
+// MemoryBytes returns the payload size: values plus band bookkeeping.
+func (b *Banded) MemoryBytes() int {
+	return len(b.data)*4 + len(b.start)*4 + len(b.rowptr)*4
+}
+
+// float32Payload is the wire form of a Float32 matrix.
+type float32Payload struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// GobEncode implements gob.GobEncoder.
+func (f *Float32) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(float32Payload{Rows: f.rows, Cols: f.cols, Data: f.data})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (f *Float32) GobDecode(b []byte) error {
+	var p float32Payload
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&p); err != nil {
+		return err
+	}
+	if p.Rows < 0 || p.Cols < 0 || len(p.Data) != p.Rows*p.Cols {
+		return fmt.Errorf("matrix: corrupt float32 payload: %dx%d with %d values", p.Rows, p.Cols, len(p.Data))
+	}
+	f.rows, f.cols, f.data = p.Rows, p.Cols, p.Data
+	return nil
+}
+
+// bandedPayload is the wire form of a Banded matrix.
+type bandedPayload struct {
+	Rows, Cols int
+	Start      []int32
+	RowPtr     []int32
+	Data       []float32
+}
+
+// GobEncode implements gob.GobEncoder.
+func (b *Banded) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(bandedPayload{
+		Rows: b.rows, Cols: b.cols, Start: b.start, RowPtr: b.rowptr, Data: b.data,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (b *Banded) GobDecode(raw []byte) error {
+	var p bandedPayload
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&p); err != nil {
+		return err
+	}
+	if p.Rows < 0 || p.Cols < 0 || len(p.Start) != p.Rows || len(p.RowPtr) != p.Rows+1 {
+		return fmt.Errorf("matrix: corrupt banded payload: %dx%d with %d starts, %d offsets",
+			p.Rows, p.Cols, len(p.Start), len(p.RowPtr))
+	}
+	if p.RowPtr[0] != 0 || int(p.RowPtr[p.Rows]) != len(p.Data) {
+		return fmt.Errorf("matrix: corrupt banded payload: offsets [%d, %d] for %d values",
+			p.RowPtr[0], p.RowPtr[p.Rows], len(p.Data))
+	}
+	for i := 0; i < p.Rows; i++ {
+		width := p.RowPtr[i+1] - p.RowPtr[i]
+		if width < 0 || int(p.Start[i])+int(width) > p.Cols || p.Start[i] < 0 {
+			return fmt.Errorf("matrix: corrupt banded payload: row %d band [%d, %d) in %d columns",
+				i, p.Start[i], int(p.Start[i])+int(width), p.Cols)
+		}
+	}
+	b.rows, b.cols, b.start, b.rowptr, b.data = p.Rows, p.Cols, p.Start, p.RowPtr, p.Data
+	return nil
+}

@@ -1,0 +1,163 @@
+package matrix
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func TestFloat32RoundTrip(t *testing.T) {
+	d := NewDense(3, 4)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			d.Set(i, j, float64(i*4+j)/11)
+		}
+	}
+	f := ToFloat32(d)
+	if f.Rows() != 3 || f.Cols() != 4 {
+		t.Fatalf("shape %dx%d, want 3x4", f.Rows(), f.Cols())
+	}
+	back := f.Dense()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			want := float64(float32(d.At(i, j)))
+			if back.At(i, j) != want {
+				t.Errorf("(%d,%d) = %v, want %v", i, j, back.At(i, j), want)
+			}
+			if f.At(i, j) != want {
+				t.Errorf("At(%d,%d) = %v, want %v", i, j, f.At(i, j), want)
+			}
+		}
+	}
+	if f.MemoryBytes() != 3*4*4 {
+		t.Errorf("MemoryBytes = %d, want %d", f.MemoryBytes(), 3*4*4)
+	}
+}
+
+func TestFloat32AtPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range At did not panic")
+		}
+	}()
+	ToFloat32(NewDense(2, 2)).At(2, 0)
+}
+
+// TestBandedUpperTriangular covers the layout's target shape: the Eq. 1
+// temporal A1 blocks, upper-triangular with a possibly-zero diagonal.
+func TestBandedUpperTriangular(t *testing.T) {
+	d := NewDense(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := i; j < 4; j++ {
+			d.Set(i, j, float64(1+i+j)/10)
+		}
+	}
+	d.Set(0, 0, 0) // leading zero inside the triangle
+	b := ToBanded(d)
+	if b.Rows() != 4 || b.Cols() != 4 {
+		t.Fatalf("shape %dx%d, want 4x4", b.Rows(), b.Cols())
+	}
+	back := b.Dense()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := float64(float32(d.At(i, j)))
+			if back.At(i, j) != want {
+				t.Errorf("(%d,%d) = %v, want %v", i, j, back.At(i, j), want)
+			}
+			if b.At(i, j) != want {
+				t.Errorf("At(%d,%d) = %v, want %v", i, j, b.At(i, j), want)
+			}
+		}
+	}
+	// 4+3+2+1 = 10 full-triangle values minus the trimmed (0,0) zero.
+	if got := len(b.data); got != 9 {
+		t.Errorf("stored %d values, want 9", got)
+	}
+}
+
+func TestBandedZeroRowsAndEmpty(t *testing.T) {
+	d := NewDense(3, 5)
+	d.Set(1, 2, 0.5)
+	b := ToBanded(d)
+	back := b.Dense()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			if back.At(i, j) != d.At(i, j) {
+				t.Errorf("(%d,%d) = %v, want %v", i, j, back.At(i, j), d.At(i, j))
+			}
+		}
+	}
+	if len(b.data) != 1 {
+		t.Errorf("stored %d values, want 1", len(b.data))
+	}
+	empty := ToBanded(NewDense(0, 0))
+	if e := empty.Dense(); e.Rows() != 0 || e.Cols() != 0 {
+		t.Errorf("empty round-trip is %dx%d", e.Rows(), e.Cols())
+	}
+}
+
+func TestFloat32Gob(t *testing.T) {
+	f := ToFloat32(mustFromRows(t, [][]float64{{0.25, 0.5}, {0.75, 1}}))
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	var got Float32
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != 2 || got.Cols() != 2 || got.At(1, 1) != 1 || got.At(0, 0) != 0.25 {
+		t.Errorf("decoded %dx%d with (0,0)=%v (1,1)=%v", got.Rows(), got.Cols(), got.At(0, 0), got.At(1, 1))
+	}
+}
+
+func TestBandedGob(t *testing.T) {
+	d := mustFromRows(t, [][]float64{{0, 0.5, 0.5, 0}, {0, 0, 0, 1}})
+	b := ToBanded(d)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(b); err != nil {
+		t.Fatal(err)
+	}
+	var got Banded
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	back := got.Dense()
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 4; j++ {
+			if back.At(i, j) != d.At(i, j) {
+				t.Errorf("(%d,%d) = %v, want %v", i, j, back.At(i, j), d.At(i, j))
+			}
+		}
+	}
+}
+
+func TestBandedGobRejectsCorrupt(t *testing.T) {
+	encode := func(p bandedPayload) []byte {
+		var inner bytes.Buffer
+		if err := gob.NewEncoder(&inner).Encode(p); err != nil {
+			t.Fatal(err)
+		}
+		return inner.Bytes()
+	}
+	cases := map[string]bandedPayload{
+		"start count": {Rows: 2, Cols: 2, Start: []int32{0}, RowPtr: []int32{0, 1, 1}, Data: []float32{1}},
+		"offset tail": {Rows: 1, Cols: 2, Start: []int32{0}, RowPtr: []int32{0, 2}, Data: []float32{1}},
+		"band bounds": {Rows: 1, Cols: 2, Start: []int32{1}, RowPtr: []int32{0, 2}, Data: []float32{1, 1}},
+	}
+	for name, p := range cases {
+		var b Banded
+		if err := b.GobDecode(encode(p)); err == nil {
+			t.Errorf("%s: corrupt payload accepted", name)
+		}
+	}
+}
+
+func mustFromRows(t *testing.T, rows [][]float64) *Dense {
+	t.Helper()
+	d, err := FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

@@ -22,7 +22,7 @@ func TestEffectiveParallelFallsBackOnSmallWork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	order := eng.videoOrder(steps[0], &Cost{})
+	order := eng.videoOrder(steps, nil, &Cost{})
 	if len(order) < 4 {
 		t.Fatalf("fixture too small: only %d candidate videos", len(order))
 	}

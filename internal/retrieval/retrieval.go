@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/index"
 	"github.com/videodb/hmmm/internal/obs"
 	"github.com/videodb/hmmm/internal/par"
 	"github.com/videodb/hmmm/internal/videomodel"
@@ -275,6 +276,26 @@ type Options struct {
 	// cancels outstanding workers once the threshold is reached, so the
 	// result set equals the serial early-stop run.
 	StopAfterMatches bool
+	// CoarseCandidates, when positive, enables the coarse→fine two-stage
+	// pipeline: the compressed internal/index prefilter ranks videos by
+	// an approximate upper-bound path score (per-concept max Π1·sim entry
+	// factors chained through per-video max A1·sim transition tables) and
+	// the exact lattice runs only on the survivors, in the usual greedy
+	// Π2/A2 order. The value is a per-step budget: a k-step pattern keeps
+	// up to k×CoarseCandidates videos, because the upper bound's slack
+	// compounds with every transition and longer patterns need
+	// proportionally more headroom to keep recall.
+	// 0 (the default) is exact-only and bit-identical to today's engine.
+	// When the limit covers the whole candidate pool no pruning happens
+	// and results stay bit-identical too; with real pruning the ranking
+	// is the exact engine's restricted to the surviving videos — scores
+	// are never approximated, only the searched set shrinks (recall@10
+	// >= 0.95 on the retrievaltest corpora; see the recall harness).
+	// Like the similarity table, the coarse index snapshots Π1 and
+	// B1/B1'/P12 at build time: after training, pruning uses the stale
+	// snapshot until Invalidate, while exact scoring stays live.
+	// Queries scoped to a single video bypass the prefilter entirely.
+	CoarseCandidates int
 	// NoSimCache disables the engine's precomputed sim(s, e) table and
 	// recomputes Eq. 14 from the raw B1/B1'/P12 rows on every evaluation.
 	// The cached and uncached paths produce bit-identical scores; the
@@ -344,6 +365,9 @@ type engineShared struct {
 	// state); nil when Options.NoSimCache is set.
 	sim      []float64
 	concepts int
+	// coarse is the candidate-generation prefilter; nil unless
+	// Options.CoarseCandidates > 0.
+	coarse *index.Coarse
 	// modelVersion is hmmm.Model.Version() at build time; Stale compares
 	// against it.
 	modelVersion uint64
@@ -407,20 +431,26 @@ func buildShared(m *hmmm.Model, opts Options) *engineShared {
 	if !opts.NoSimCache {
 		sh.sim = buildSimTable(m, opts.SimEpsilon, opts.BuildWorkers)
 	}
+	if opts.CoarseCandidates > 0 {
+		sh.coarse = index.Build(m, opts.SimEpsilon)
+	}
 	sh.arenas.New = func() any { return new(arena) }
 	return sh
 }
 
 // WithOptions returns an engine over the same model with different
 // per-query options, sharing this engine's derived caches. The caches are
-// reused when the cache-affecting options (SimEpsilon, NoSimCache) are
-// unchanged; otherwise they are rebuilt. The server uses this to apply
-// per-request TopK/Beam/CrossVideo/AnnotatedOnly overrides without
-// paying the cache build on every request.
+// reused when the cache-affecting options (SimEpsilon, NoSimCache, and
+// coarse-prefilter presence) are unchanged; otherwise they are rebuilt.
+// The server uses this to apply per-request TopK/Beam/CrossVideo/
+// AnnotatedOnly overrides without paying the cache build on every
+// request. Changing CoarseCandidates between two positive values reuses
+// the coarse index (the limit is applied per query, not baked into it).
 func (e *Engine) WithOptions(opts Options) *Engine {
 	opts = opts.withDefaults()
 	ne := &Engine{m: e.m, opts: opts, shared: e.shared}
-	if opts.NoSimCache != e.opts.NoSimCache || opts.SimEpsilon != e.opts.SimEpsilon {
+	if opts.NoSimCache != e.opts.NoSimCache || opts.SimEpsilon != e.opts.SimEpsilon ||
+		(opts.CoarseCandidates > 0) != (e.opts.CoarseCandidates > 0) {
 		ne.shared = buildShared(e.m, opts)
 	}
 	return ne
@@ -524,7 +554,7 @@ func (e *Engine) RetrieveContext(ctx context.Context, q Query) (*Result, error) 
 	}
 	res := &Result{}
 	steps := q.steps()
-	order := e.videoOrder(steps[0], &res.Cost)
+	order := e.videoOrder(steps, q.Scope, &res.Cost)
 	if q.Scope != nil && q.Scope.Video != 0 {
 		scoped := order[:0:0]
 		for _, vi := range order {
@@ -599,12 +629,19 @@ func (e *Engine) RetrieveContext(ctx context.Context, q Query) (*Result, error) 
 // videoOrder implements Step 2: start from the highest-Π2 video containing
 // the first step's events (checking B2), then repeatedly hop to the
 // remaining video with the strongest A2 affinity to the previous one.
-// Chosen candidates are swap-removed from the working set so the greedy
-// walk scans only the still-unvisited suffix; ties break toward the
-// smallest video index, matching the ascending first-max scan the removal
-// replaced. Videos lacking the events entirely are appended last (they can
-// still host similar shots when AnnotatedOnly is false).
-func (e *Engine) videoOrder(first Step, cost *Cost) []int {
+// Videos lacking the events entirely are appended last (they can still
+// host similar shots when AnnotatedOnly is false). With the coarse
+// prefilter enabled (Options.CoarseCandidates > 0), the candidate set is
+// first pruned to the prefilter's survivors — except for queries scoped
+// to a single video, which skip the prefilter (the scope already prunes
+// harder than the index could, and bypassing keeps scoped results
+// bit-identical to the exact engine's).
+func (e *Engine) videoOrder(steps []Step, scope *Scope, cost *Cost) []int {
+	if e.opts.CoarseCandidates > 0 && e.shared.coarse != nil &&
+		(scope == nil || scope.Video == 0) {
+		return e.coarseOrder(steps, cost)
+	}
+	first := steps[0]
 	mv := e.m.NumVideos()
 	candidates := make([]int, 0, mv)
 	isCandidate := make([]bool, mv)
@@ -614,7 +651,67 @@ func (e *Engine) videoOrder(first Step, cost *Cost) []int {
 			isCandidate[v] = true
 		}
 	}
-	order := make([]int, 0, mv)
+	order := e.greedyOrder(candidates, cost)
+	if !e.opts.AnnotatedOnly {
+		for v := 0; v < mv; v++ {
+			if !isCandidate[v] {
+				order = append(order, v)
+			}
+		}
+	}
+	return order
+}
+
+// coarseOrder is the two-stage variant of videoOrder: the internal/index
+// prefilter reduces the scored pool to at most steps×CoarseCandidates
+// videos, and only the survivors receive the exact Π2/A2 greedy walk. Survivors
+// passing the first step's B2 check are walked exactly like videoOrder's
+// candidates; in similarity-fallback mode (AnnotatedOnly=false) the
+// remaining survivors are appended in ascending order, mirroring the
+// exact path's trailing append restricted to survivors. When the limit
+// covers the whole pool the prefilter is the identity, making this
+// ordering — and hence the retrieval — bit-identical to the exact one.
+func (e *Engine) coarseOrder(steps []Step, cost *Cost) []int {
+	cs := make([][]int, len(steps))
+	for i, st := range steps {
+		cs[i] = make([]int, len(st.Events))
+		for j, ev := range st.Events {
+			cs[i][j] = ev.Index()
+		}
+	}
+	// The proxy's upper-bound slack compounds per transition, so the
+	// candidate budget scales with pattern length: a k-step query keeps
+	// up to k×CoarseCandidates survivors.
+	limit := e.opts.CoarseCandidates
+	if len(steps) > 1 {
+		limit *= len(steps)
+	}
+	survivors, scored := e.shared.coarse.Candidates(cs, limit, !e.opts.AnnotatedOnly)
+	// Coarse scoring work is accounted as edge evaluations: one cheap
+	// table-product per scored video, the analogue of the A2 edge scans
+	// it replaces.
+	cost.EdgeEvals += scored
+	candidates := make([]int, 0, len(survivors))
+	var tail []int
+	for _, v := range survivors {
+		if e.videoHasStep(v, steps[0]) {
+			candidates = append(candidates, v)
+		} else if !e.opts.AnnotatedOnly {
+			tail = append(tail, v)
+		}
+	}
+	return append(e.greedyOrder(candidates, cost), tail...)
+}
+
+// greedyOrder runs the Step-2 greedy walk over a candidate set: seed
+// with the max-Π2 candidate, then repeatedly hop to the remaining
+// candidate with the strongest A2 affinity to the previous one. Chosen
+// candidates are swap-removed from the working set so the walk scans
+// only the still-unvisited suffix; ties break toward the smallest video
+// index, matching the ascending first-max scan the removal replaced.
+// The candidates slice is consumed (mutated).
+func (e *Engine) greedyOrder(candidates []int, cost *Cost) []int {
+	order := make([]int, 0, e.m.NumVideos())
 	if len(candidates) > 0 {
 		// Seed with the max-Π2 candidate (smallest index on ties).
 		bi := 0
@@ -643,13 +740,6 @@ func (e *Engine) videoOrder(first Step, cost *Cost) []int {
 			candidates[bi] = candidates[len(candidates)-1]
 			candidates = candidates[:len(candidates)-1]
 			order = append(order, cur)
-		}
-	}
-	if !e.opts.AnnotatedOnly {
-		for v := 0; v < mv; v++ {
-			if !isCandidate[v] {
-				order = append(order, v)
-			}
 		}
 	}
 	return order

@@ -268,3 +268,61 @@ func key(states []int) string {
 	}
 	return string(b)
 }
+
+// RecallAtK returns the fraction of want's top-k state sequences that
+// appear anywhere in got's top-k: the quality gate for approximate
+// (coarse→fine) retrieval against the exact ranking. An empty want
+// top-k counts as perfect recall (there was nothing to miss).
+func RecallAtK(want, got []retrieval.Match, k int) float64 {
+	if k < len(want) {
+		want = want[:k]
+	}
+	if k < len(got) {
+		got = got[:k]
+	}
+	if len(want) == 0 {
+		return 1
+	}
+	have := make(map[string]bool, len(got))
+	for _, m := range got {
+		have[key(m.States)] = true
+	}
+	hits := 0
+	for _, m := range want {
+		if have[key(m.States)] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(want))
+}
+
+// RecallStats aggregates RecallAtK over a query corpus: Hits/Wanted is
+// the corpus-level recall (micro-average), Min the worst single query.
+type RecallStats struct {
+	Hits, Wanted int
+	Min          float64
+	Queries      int
+}
+
+// Observe folds one query's exact-vs-approximate top-k pair into the
+// stats.
+func (rs *RecallStats) Observe(want, got []retrieval.Match, k int) {
+	if k < len(want) {
+		want = want[:k]
+	}
+	r := RecallAtK(want, got, k)
+	rs.Hits += int(r*float64(len(want)) + 0.5)
+	rs.Wanted += len(want)
+	if rs.Queries == 0 || r < rs.Min {
+		rs.Min = r
+	}
+	rs.Queries++
+}
+
+// Recall returns the corpus-level recall; 1 when nothing was wanted.
+func (rs *RecallStats) Recall() float64 {
+	if rs.Wanted == 0 {
+		return 1
+	}
+	return float64(rs.Hits) / float64(rs.Wanted)
+}

@@ -182,6 +182,40 @@ func TestEarlyStopShardedReturnsValidRanking(t *testing.T) {
 	}
 }
 
+// TestGroupCoarsePrefilter pins the sharded two-stage semantics: with a
+// CoarseCandidates limit covering every shard's videos the per-shard
+// prefilter is the identity and the merged ranking is bit-identical to
+// the exact single engine; with a pruning limit every returned match
+// must still be oracle-consistent (the coarse stage only drops
+// candidates, never rescores them).
+func TestGroupCoarsePrefilter(t *testing.T) {
+	m := retrievaltest.RandomModel(t, retrievaltest.Config{
+		Seed: 29, Videos: 18, MaxShots: 10, Events: 4, LearnP12: true,
+	})
+	qs := retrievaltest.Queries(m)
+	covering := retrieval.Options{AnnotatedOnly: true, TopK: 8, Beam: 8,
+		CoarseCandidates: m.NumVideos()}
+	requireGroupEqualsEngine(t, m, covering, qs)
+
+	pruning := covering
+	pruning.CoarseCandidates = 3
+	for _, k := range shardCounts {
+		g, err := NewGroup(m, k, pruning, GroupOptions{})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		for qi, q := range qs {
+			got, err := g.Retrieve(q)
+			if err != nil {
+				t.Fatalf("k=%d q=%d: %v", k, qi, err)
+			}
+			full := retrievaltest.Oracle(t, m, q, retrievaltest.OracleLimit)
+			label := fmt.Sprintf("coarse k=%d q=%d", k, qi)
+			retrievaltest.RequireOracleConsistent(t, label, full, got.Matches)
+		}
+	}
+}
+
 func TestGroupScatterWorkerCountInvariant(t *testing.T) {
 	m := retrievaltest.RandomModel(t, retrievaltest.Config{Seed: 23, Videos: 6})
 	opts := retrieval.Options{AnnotatedOnly: true}

@@ -51,6 +51,15 @@ type GroupOptions struct {
 //     Cross-shard continuations would need the full A2 row and are
 //     deliberately out of scope; the exactness guarantee above is
 //     stated for CrossVideo off.
+//   - CoarseCandidates applies per shard: each shard's engine builds
+//     its own coarse index and prefilters its own videos to the
+//     per-step budget, so a group with K shards may expand up to
+//     K×steps×limit videos in total. A limit covering every shard's
+//     video count keeps the
+//     prefilter an identity, so the merged ranking stays bit-identical
+//     to the exact single engine; a pruning limit trades the same
+//     recall@K guarantee the single two-stage engine gives, shard by
+//     shard.
 //   - Cost is the sum over shards (SimEvals/EdgeEvals/VideosSeen), and
 //     Truncated is the OR: one expired shard marks the whole result
 //     partial. Because every shard orders its own videos greedily,

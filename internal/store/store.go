@@ -117,23 +117,44 @@ func saveSnapshot(path, kind string, payload any) error {
 	})
 }
 
-// loadSnapshot verifies the header and checksum, then gob-decodes the
-// payload into out. The whole snapshot is read into memory: decoding the
-// header from a bytes.Reader (an io.ByteReader) makes gob consume exactly
-// the header message, so the remaining bytes are precisely the payload.
-func loadSnapshot(path, kind string, out any) error {
+// readSnapshot reads and verifies a snapshot file — magic, version, and
+// payload checksum — without constraining its kind, returning the header
+// and the raw gob payload. The whole snapshot is read into memory:
+// decoding the header from a bytes.Reader (an io.ByteReader) makes gob
+// consume exactly the header message, so the remaining bytes are
+// precisely the payload.
+func readSnapshot(path string) (header, []byte, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return header{}, nil, err
 	}
 	br := bytes.NewReader(data)
-	h, err := checkHeader(gob.NewDecoder(br), kind)
-	if err != nil {
-		return err
+	var h header
+	if err := gob.NewDecoder(br).Decode(&h); err != nil {
+		return h, nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if h.Magic != Magic {
+		return h, nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, h.Magic)
+	}
+	if h.Version != Version {
+		return h, nil, fmt.Errorf("%w: version %d, want %d", ErrBadFormat, h.Version, Version)
 	}
 	body := data[len(data)-br.Len():]
 	if crc32.ChecksumIEEE(body) != h.Checksum {
-		return fmt.Errorf("%w: %s payload", ErrChecksum, kind)
+		return h, nil, fmt.Errorf("%w: %s payload", ErrChecksum, h.Kind)
+	}
+	return h, body, nil
+}
+
+// loadSnapshot verifies the header (including the expected kind) and
+// checksum, then gob-decodes the payload into out.
+func loadSnapshot(path, kind string, out any) error {
+	h, body, err := readSnapshot(path)
+	if err != nil {
+		return err
+	}
+	if h.Kind != kind {
+		return fmt.Errorf("%w: snapshot holds a %s, want a %s", ErrBadFormat, h.Kind, kind)
 	}
 	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(out); err != nil {
 		return fmt.Errorf("store: decoding %s: %w", kind, err)
@@ -154,19 +175,45 @@ func LoadCorpus(path string) (*dataset.Corpus, error) {
 	return &dataset.Corpus{Archive: archive, Features: p.Features, Config: p.Config}, nil
 }
 
-// SaveModel writes the model to path atomically with a payload checksum.
+// SaveModel writes the model to path atomically with a payload checksum,
+// in the full-precision float64 snapshot layout.
 func SaveModel(path string, m *hmmm.Model) error {
 	return saveSnapshot(path, "model", m.Snapshot())
 }
 
-// LoadModel reads a model written by SaveModel, verifying integrity and
-// validating its invariants.
+// SaveModelCompact writes the model to path atomically in the compact
+// layout (kind "cmodel"): float32 matrices, banded per-video A1 blocks,
+// and struct-of-arrays state bookkeeping — roughly a third of the bytes
+// of SaveModel at a 2^-24 relative quantization cost on B1/B1'/A1/A2
+// (see hmmm.CompactSnapshot). LoadModel reads either kind.
+func SaveModelCompact(path string, m *hmmm.Model) error {
+	return saveSnapshot(path, "cmodel", m.CompactSnapshot())
+}
+
+// LoadModel reads a model written by SaveModel or SaveModelCompact,
+// sniffing the layout from the snapshot header, verifying integrity and
+// validating the model's invariants.
 func LoadModel(path string) (*hmmm.Model, error) {
-	var s hmmm.Snapshot
-	if err := loadSnapshot(path, "model", &s); err != nil {
+	h, body, err := readSnapshot(path)
+	if err != nil {
 		return nil, err
 	}
-	return hmmm.FromSnapshot(&s)
+	switch h.Kind {
+	case "model":
+		var s hmmm.Snapshot
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&s); err != nil {
+			return nil, fmt.Errorf("store: decoding model: %w", err)
+		}
+		return hmmm.FromSnapshot(&s)
+	case "cmodel":
+		var cs hmmm.CompactSnapshot
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&cs); err != nil {
+			return nil, fmt.Errorf("store: decoding compact model: %w", err)
+		}
+		return hmmm.FromCompactSnapshot(&cs)
+	default:
+		return nil, fmt.Errorf("%w: snapshot holds a %s, want a model", ErrBadFormat, h.Kind)
+	}
 }
 
 // LoadModelRecover loads a model snapshot, falling back along the
@@ -198,23 +245,6 @@ func LoadModelRecover(path string) (*hmmm.Model, string, error) {
 		}
 	}
 	return nil, "", firstErr
-}
-
-func checkHeader(dec *gob.Decoder, kind string) (header, error) {
-	var h header
-	if err := dec.Decode(&h); err != nil {
-		return h, fmt.Errorf("%w: %v", ErrBadFormat, err)
-	}
-	if h.Magic != Magic {
-		return h, fmt.Errorf("%w: bad magic %q", ErrBadFormat, h.Magic)
-	}
-	if h.Version != Version {
-		return h, fmt.Errorf("%w: version %d, want %d", ErrBadFormat, h.Version, Version)
-	}
-	if h.Kind != kind {
-		return h, fmt.Errorf("%w: snapshot holds a %s, want a %s", ErrBadFormat, h.Kind, kind)
-	}
-	return h, nil
 }
 
 // atomically writes through the shared durable-replacement helper: temp

@@ -213,3 +213,53 @@ func TestChecksumDetectsCorruption(t *testing.T) {
 		t.Errorf("corrupted snapshot err = %v, want ErrChecksum", err)
 	}
 }
+
+func TestCompactModelRoundTrip(t *testing.T) {
+	_, m := fixtures(t)
+	dir := t.TempDir()
+	densePath := filepath.Join(dir, "model.gob")
+	compactPath := filepath.Join(dir, "model.cgob")
+	if err := SaveModel(densePath, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveModelCompact(compactPath, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(compactPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Validate(1e-6); err != nil {
+		t.Fatalf("loaded compact model invalid: %v", err)
+	}
+	if loaded.NumStates() != m.NumStates() || loaded.NumVideos() != m.NumVideos() {
+		t.Error("shape mismatch after compact round trip")
+	}
+	// Quantized storage: each B1 entry is the float32 rounding of the
+	// original, and the unquantized Π/P12 survive bitwise.
+	for i := 0; i < m.NumStates(); i++ {
+		for j := 0; j < m.K(); j++ {
+			if want := float64(float32(m.B1.At(i, j))); loaded.B1.At(i, j) != want {
+				t.Fatalf("B1(%d,%d) = %v, want %v", i, j, loaded.B1.At(i, j), want)
+			}
+		}
+	}
+	for i, v := range m.Pi1 {
+		if loaded.Pi1[i] != v {
+			t.Fatalf("Pi1[%d] changed in compact round trip", i)
+		}
+	}
+	dense, err := os.Stat(densePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compact, err := os.Stat(compactPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compact.Size() >= dense.Size() {
+		t.Errorf("compact snapshot is %d bytes on disk, dense is %d", compact.Size(), dense.Size())
+	}
+	t.Logf("on disk: dense %d bytes, compact %d bytes (%.2fx)",
+		dense.Size(), compact.Size(), float64(dense.Size())/float64(compact.Size()))
+}

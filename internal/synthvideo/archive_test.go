@@ -1,0 +1,170 @@
+package synthvideo
+
+import (
+	"testing"
+
+	"github.com/videodb/hmmm/internal/videomodel"
+)
+
+func TestGenerateArchiveShape(t *testing.T) {
+	cfg := ArchiveConfig{Seed: 7, Videos: 6, Shots: 300, Annotated: 40, FeatureDim: 8}
+	a, feats, err := GenerateArchive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.Videos != 6 || st.Shots != 300 || st.Annotated != 40 {
+		t.Fatalf("stats %d/%d/%d, want 6/300/40", st.Videos, st.Shots, st.Annotated)
+	}
+	if len(feats) != 40 {
+		t.Fatalf("%d feature vectors, want 40", len(feats))
+	}
+	for id, f := range feats {
+		if len(f) != 8 {
+			t.Fatalf("shot %d has %d features, want 8", id, len(f))
+		}
+		for i, v := range f {
+			if v < 0 || v > 1 {
+				t.Fatalf("shot %d feature %d = %v outside [0,1]", id, i, v)
+			}
+		}
+		if !a.Shot(id).Annotated() {
+			t.Fatalf("features present for unannotated shot %d", id)
+		}
+	}
+	// Every video gets its even share of shots and annotations.
+	for _, v := range a.Videos {
+		if len(v.Shots) != 50 {
+			t.Errorf("video %d has %d shots, want 50", v.ID, len(v.Shots))
+		}
+	}
+}
+
+func TestGenerateArchiveDeterministic(t *testing.T) {
+	cfg := ArchiveConfig{Seed: 3, Videos: 4, Shots: 120, Annotated: 24}
+	a1, f1, err := GenerateArchive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, f2, err := GenerateArchive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1) != len(f2) {
+		t.Fatalf("feature counts differ: %d vs %d", len(f1), len(f2))
+	}
+	for id, f := range f1 {
+		g := f2[id]
+		for i := range f {
+			if f[i] != g[i] {
+				t.Fatalf("shot %d feature %d differs across runs", id, i)
+			}
+		}
+	}
+	for i, s := range a1.AllShots() {
+		s2 := a2.AllShots()[i]
+		if s.ID != s2.ID || s.StartMS != s2.StartMS || len(s.Events) != len(s2.Events) {
+			t.Fatalf("shot %d differs across runs", i)
+		}
+	}
+	// A different seed moves the features.
+	_, f3, err := GenerateArchive(ArchiveConfig{Seed: 4, Videos: 4, Shots: 120, Annotated: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for id, f := range f1 {
+		g, ok := f3[id]
+		if !ok || f[0] != g[0] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seed change left every feature identical")
+	}
+}
+
+// TestGenerateArchiveClassSeparation pins the property the coarse index
+// relies on: shots of one class cluster around their centroid, so the
+// per-class feature means are distinguishable.
+func TestGenerateArchiveClassSeparation(t *testing.T) {
+	a, feats, err := GenerateArchive(ArchiveConfig{Seed: 11, Videos: 8, Shots: 2000, Annotated: 600, FeatureDim: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := make(map[videomodel.Event][]float64)
+	counts := make(map[videomodel.Event]int)
+	for _, s := range a.AllShots() {
+		if !s.Annotated() {
+			continue
+		}
+		e := s.Events[0]
+		if means[e] == nil {
+			means[e] = make([]float64, 6)
+		}
+		for i, v := range feats[s.ID] {
+			means[e][i] += v
+		}
+		counts[e]++
+	}
+	var classes []videomodel.Event
+	for e, n := range counts {
+		if n < 10 {
+			continue
+		}
+		for i := range means[e] {
+			means[e][i] /= float64(n)
+		}
+		classes = append(classes, e)
+	}
+	if len(classes) < 3 {
+		t.Fatalf("only %d classes with >= 10 samples", len(classes))
+	}
+	for i := 0; i < len(classes); i++ {
+		for j := i + 1; j < len(classes); j++ {
+			var dist float64
+			for f := 0; f < 6; f++ {
+				d := means[classes[i]][f] - means[classes[j]][f]
+				dist += d * d
+			}
+			// Jitter std is 0.06; centroids are much farther apart.
+			if dist < 0.01 {
+				t.Errorf("classes %v and %v have nearly identical means (d^2 = %v)",
+					classes[i], classes[j], dist)
+			}
+		}
+	}
+}
+
+func TestScaledArchive(t *testing.T) {
+	p := PaperArchive(1)
+	if p.Videos != 54 || p.Shots != 11567 || p.Annotated != 506 {
+		t.Fatalf("paper preset %+v", p)
+	}
+	s1 := ScaledArchive(1, 1)
+	if s1 != p {
+		t.Errorf("factor 1 = %+v, want the paper preset", s1)
+	}
+	s100 := ScaledArchive(1, 100)
+	if s100.Videos != 540 || s100.Shots != 1156700 || s100.Annotated != 50600 {
+		t.Errorf("factor 100 = %+v", s100)
+	}
+	if under := ScaledArchive(1, 0); under != p {
+		t.Errorf("factor 0 = %+v, want clamped to the paper preset", under)
+	}
+}
+
+func TestGenerateArchiveRejectsBadConfig(t *testing.T) {
+	bad := []ArchiveConfig{
+		{Seed: 1, Videos: 0, Shots: 10, Annotated: 1},
+		{Seed: 1, Videos: 20, Shots: 10, Annotated: 1},
+		{Seed: 1, Videos: 2, Shots: 10, Annotated: 0},
+		{Seed: 1, Videos: 2, Shots: 10, Annotated: 11},
+	}
+	for i, cfg := range bad {
+		if _, _, err := GenerateArchive(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
