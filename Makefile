@@ -8,7 +8,7 @@ BENCH_PATTERN := BenchmarkF2RetrievalGreedy$$|BenchmarkF5PaperQuery$$|BenchmarkP
 # Offline-pipeline benchmarks captured into BENCH_build.json.
 BENCH_BUILD_PATTERN := BenchmarkBuildPaperScale|BenchmarkRetrainPaperScale
 
-.PHONY: build vet test race race-server race-obs race-shard race-all verify bench bench-build bench-scale bench-million cover fuzz clean
+.PHONY: build vet test race race-server race-obs race-shard race-all verify bench bench-build bench-scale bench-million bench-serving bench-serving-smoke cover fuzz clean
 
 # Packages whose per-package coverage `make cover` gates at 80%.
 COVER_GATED := internal/shard internal/retrieval internal/matn internal/index
@@ -44,6 +44,24 @@ race-all:
 	$(GO) test -race ./...
 
 verify: vet build test race race-server race-obs race-shard
+
+# Heavy-traffic serving curve: cmd/hmmmload offers the same bursty
+# mixed workload (repeated + unique + heavy queries) to an in-process
+# server twice — coalescing + two-lane admission off, then on — and the
+# two records land in BENCH_serving.json. The claim this captures: at
+# saturating load with a >=30% repeat ratio, coalescing+lanes give
+# higher goodput and a lower cheap-query p99 than the single semaphore.
+bench-serving:
+	$(GO) run ./cmd/hmmmload -compare -bench \
+		| $(GO) run ./cmd/benchjson -out BENCH_serving.json \
+			-note "request coalescing + two-lane admission vs single-semaphore serving"
+
+# CI smoke for the serving path: a short single run that must produce
+# coalesce hits and zero errors (admission 503s are not errors).
+bench-serving-smoke:
+	$(GO) run ./cmd/hmmmload -duration 2s -qps 1200 \
+		-videos 6 -shots 1200 -annotated 400 \
+		-assert-coalesce -assert-no-errors
 
 # Per-package coverage with a floor on the packages whose correctness
 # the differential harness and fuzz targets are meant to pin.

@@ -107,3 +107,36 @@ func TestTagLegacy(t *testing.T) {
 		t.Errorf("annotated record note changed to %q", out[2].Meta.Note)
 	}
 }
+
+func TestParseServingLine(t *testing.T) {
+	// cmd/hmmmload emits bench-format lines with custom serving units;
+	// everything beyond the standard ns/op must survive in Extra.
+	name, e, ok := parseBenchLine(
+		"BenchmarkServing/coalesce=on 6400 11380000 ns/op 11370000 p50-ns/op 17573000 p95-ns/op " +
+			"20415000 p99-ns/op 20357000 cheap-p99-ns/op 1593.70 goodput-qps 1600.00 offered-qps " +
+			"0.0000 shed-rate 0.4914 coalesce-hit-rate")
+	if !ok {
+		t.Fatal("serving line not parsed")
+	}
+	if name != "BenchmarkServing/coalesce=on" {
+		t.Errorf("name = %q", name)
+	}
+	if e.Iterations != 6400 || e.NsPerOp != 11380000 {
+		t.Errorf("entry = %+v", e)
+	}
+	want := map[string]float64{
+		"p50-ns/op":         11370000,
+		"p95-ns/op":         17573000,
+		"p99-ns/op":         20415000,
+		"cheap-p99-ns/op":   20357000,
+		"goodput-qps":       1593.70,
+		"offered-qps":       1600.00,
+		"shed-rate":         0,
+		"coalesce-hit-rate": 0.4914,
+	}
+	for unit, v := range want {
+		if e.Extra[unit] != v {
+			t.Errorf("extra[%q] = %v, want %v", unit, e.Extra[unit], v)
+		}
+	}
+}

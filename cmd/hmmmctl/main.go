@@ -136,6 +136,18 @@ func runStats(ctx context.Context, cl *client.Client) error {
 		fmt.Printf("  model generation: %d\n", rt.ModelGeneration)
 		fmt.Printf("  retrains:         %d (%d failed)\n", rt.Retrains, rt.RetrainFailures)
 		fmt.Printf("  persist failures: %d\n", rt.PersistFailures)
+		if rt.CoalesceRequests > 0 {
+			fmt.Printf("  coalesce:         %.1f%% hit rate (%d of %d requests rode an in-flight query)\n",
+				rt.CoalesceHitRate*100, rt.CoalesceHits, rt.CoalesceRequests)
+		}
+		if l := rt.Lanes; l != nil {
+			fmt.Printf("  lanes (fast at cost <= %d):\n", l.FastLaneCost)
+			fmt.Printf("    fast:  %d/%d in flight, %d admitted, %d shed\n",
+				l.Fast.Inflight, l.Fast.Capacity, l.Fast.Admitted, l.Fast.Shed)
+			fmt.Printf("    heavy: %d/%d in flight, %d/%d queued, %d admitted, %d shed\n",
+				l.Heavy.Inflight, l.Heavy.Capacity, l.Heavy.Queued, l.Heavy.QueueCap,
+				l.Heavy.Admitted, l.Heavy.Shed)
+		}
 	}
 	fmt.Printf("events:\n")
 	for name, n := range st.EventCounts {

@@ -34,6 +34,21 @@
 //	-max-inflight   int       admission-control ceiling; excess requests
 //	                          are shed with 503 + Retry-After
 //	                          (default 64; 0 disables)
+//	-coalesce       bool      deduplicate identical in-flight queries:
+//	                          requests with the same canonical pattern,
+//	                          result-affecting options, deadline budget,
+//	                          and model generation share one retrieval
+//	                          and are answered bit-identically
+//	                          (default true)
+//	-fast-lane-cost int       two-lane query admission: queries whose
+//	                          estimated lattice cost is at or under this
+//	                          take the fast lane; costlier ones take the
+//	                          bounded heavy lane, whose queue sheds with
+//	                          503 before a queued deadline could expire
+//	                          (default 1000; 0 restores the single
+//	                          MaxInflight semaphore)
+//	-heavy-queue    int       heavy-lane wait-queue bound
+//	                          (default 64)
 //	-max-body       int       request body cap in bytes
 //	                          (default 1 MiB; -1 disables)
 //	-shutdown-grace duration  how long SIGINT/SIGTERM waits for in-flight
@@ -96,6 +111,9 @@ func main() {
 
 		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "per-query deadline (0 disables)")
 		maxInflight  = flag.Int("max-inflight", 64, "max concurrently served requests (0 disables shedding)")
+		coalesceQ    = flag.Bool("coalesce", true, "deduplicate identical in-flight queries")
+		fastLaneCost = flag.Int("fast-lane-cost", 1000, "estimated-cost threshold for the fast admission lane (0 = single semaphore)")
+		heavyQueue   = flag.Int("heavy-queue", server.DefaultHeavyQueue, "heavy-lane wait-queue bound")
 		maxBody      = flag.Int64("max-body", server.DefaultMaxRequestBytes, "request body cap in bytes (-1 disables)")
 		grace        = flag.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown drain window")
 
@@ -150,6 +168,9 @@ func main() {
 		Shards:             *shards,
 		QueryTimeout:       *queryTimeout,
 		MaxInflight:        *maxInflight,
+		Coalesce:           *coalesceQ,
+		FastLaneCost:       *fastLaneCost,
+		HeavyQueue:         *heavyQueue,
 		MaxRequestBytes:    *maxBody,
 		Registry:           reg,
 		SlowQueryThreshold: *slowQuery,
@@ -163,6 +184,13 @@ func main() {
 	}
 	if *coarse > 0 {
 		fmt.Printf("two-stage retrieval: coarse prefilter keeps <= %d candidate videos per query step\n", *coarse)
+	}
+	if *coalesceQ {
+		fmt.Printf("request coalescing on: identical in-flight queries share one retrieval\n")
+	}
+	if *fastLaneCost > 0 {
+		fmt.Printf("two-lane admission: fast lane at estimated cost <= %d, heavy queue bound %d\n",
+			*fastLaneCost, *heavyQueue)
 	}
 
 	if *debugAddr != "" {

@@ -1,0 +1,492 @@
+// Command hmmmload is an open-loop load generator for the HMMM query
+// API: it offers queries at a fixed rate regardless of how fast the
+// server answers (so a saturated server accumulates queue pressure
+// instead of silently slowing the generator down, which is how real
+// traffic behaves) and reports the achieved throughput, the latency
+// distribution, the shed rate, and the coalesce hit rate.
+//
+// The workload mixes three traffic classes, tunable by ratio:
+//
+//   - repeated cheap queries drawn from a small pattern pool — the
+//     coalescing substrate (identical in-flight queries share one
+//     execution);
+//   - unique cheap queries (per-request time scopes) that can never
+//     coalesce;
+//   - heavy similarity queries that classify into the server's heavy
+//     admission lane.
+//
+// Usage:
+//
+//	hmmmload [flags]
+//
+//	-addr          target server base URL (e.g. http://localhost:8077);
+//	               empty runs an in-process server over a generated corpus
+//	-qps           offered load in queries/second (default 1600)
+//	-duration      how long to offer load (default 5s)
+//	-repeat        fraction of cheap traffic drawn from the repeated pool
+//	               (default 0.5)
+//	-heavy         fraction of all traffic that is heavy (default 0.3)
+//	-timeout-ms    per-query deadline sent with each request (default 2000)
+//	-burst         requests per arrival burst (default 64; 1 = smooth)
+//	-seed          workload RNG seed (default 1)
+//	-compare       in-process only: run the identical workload twice —
+//	               coalescing+lanes off, then on — and emit both results
+//	-bench         emit `go test -bench`-style result lines on stdout for
+//	               cmd/benchjson (human summary always goes to stderr)
+//
+// In-process server knobs (ignored with -addr):
+//
+//	-videos, -shots, -annotated, -corpus-seed   generated corpus size
+//	-max-inflight   admission ceiling (default 8; small enough to
+//	                saturate a laptop CPU at the default -qps)
+//	-coalesce       enable request coalescing + two-lane admission
+//	                (default true; -compare overrides)
+//	-fast-lane-cost lane threshold; 0 picks one automatically between
+//	                the workload's cheap and heavy cost estimates
+//
+// CI assertions (exit status 3 when violated):
+//
+//	-assert-coalesce   require at least one coalesce hit
+//	-assert-no-errors  require zero transport errors and zero 5xx other
+//	                   than admission 503s
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/videodb/hmmm/internal/api"
+	"github.com/videodb/hmmm/internal/dataset"
+	"github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/matn"
+	"github.com/videodb/hmmm/internal/retrieval"
+	"github.com/videodb/hmmm/internal/server"
+)
+
+// cheapPool is the repeated-query substrate: a handful of patterns so
+// concurrent arrivals collide on the same coalesce key. heavyPool uses
+// similarity search (every state is a candidate), which estimates
+// orders of magnitude more lattice work and lands in the heavy lane.
+var (
+	cheapPool = []string{"goal", "free_kick", "goal -> free_kick", "corner_kick"}
+	heavyPool = []string{"foul -> foul -> foul", "foul -> goal -> free_kick"}
+)
+
+type opts struct {
+	addr      string
+	qps       float64
+	duration  time.Duration
+	repeat    float64
+	heavy     float64
+	timeoutMS int
+	burst     int
+	seed      int64
+	compare   bool
+	bench     bool
+
+	videos, shots, annotated int
+	corpusSeed               uint64
+	heavyBeam                int
+	maxInflight              int
+	coalesce                 bool
+	fastLaneCost             int
+
+	assertCoalesce bool
+	assertNoErrors bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hmmmload: ")
+
+	var o opts
+	flag.StringVar(&o.addr, "addr", "", "target server base URL (empty = in-process server)")
+	flag.Float64Var(&o.qps, "qps", 1600, "offered load in queries/second")
+	flag.DurationVar(&o.duration, "duration", 5*time.Second, "load duration")
+	flag.Float64Var(&o.repeat, "repeat", 0.5, "fraction of cheap traffic from the repeated pool")
+	flag.Float64Var(&o.heavy, "heavy", 0.3, "fraction of traffic that is heavy")
+	flag.IntVar(&o.timeoutMS, "timeout-ms", 2000, "per-query deadline sent with each request")
+	flag.IntVar(&o.burst, "burst", 64, "requests per arrival burst (1 = smooth arrivals)")
+	flag.Int64Var(&o.seed, "seed", 1, "workload RNG seed")
+	flag.BoolVar(&o.compare, "compare", false, "run the workload with coalescing+lanes off then on (in-process only)")
+	flag.BoolVar(&o.bench, "bench", false, "emit benchjson-parseable result lines on stdout")
+	flag.IntVar(&o.videos, "videos", 12, "in-process corpus videos")
+	flag.IntVar(&o.shots, "shots", 4000, "in-process corpus shots")
+	flag.IntVar(&o.annotated, "annotated", 1200, "in-process corpus annotated shots")
+	flag.IntVar(&o.heavyBeam, "heavy-beam", 128, "beam width sent with heavy queries")
+	var corpusSeed uint64
+	flag.Uint64Var(&corpusSeed, "corpus-seed", 7, "in-process corpus seed")
+	flag.IntVar(&o.maxInflight, "max-inflight", 8, "in-process admission ceiling")
+	flag.BoolVar(&o.coalesce, "coalesce", true, "in-process: enable coalescing + two-lane admission")
+	flag.IntVar(&o.fastLaneCost, "fast-lane-cost", 0, "in-process lane threshold (0 = auto)")
+	flag.BoolVar(&o.assertCoalesce, "assert-coalesce", false, "fail unless at least one coalesce hit occurred")
+	flag.BoolVar(&o.assertNoErrors, "assert-no-errors", false, "fail on any transport error or non-503 5xx")
+	flag.Parse()
+	o.corpusSeed = corpusSeed
+
+	if o.compare && o.addr != "" {
+		log.Fatal("-compare needs the in-process server (drop -addr)")
+	}
+
+	var model *hmmm.Model
+	if o.addr == "" {
+		start := time.Now()
+		corpus, err := dataset.Build(dataset.Config{
+			Seed: o.corpusSeed, Videos: o.videos, Shots: o.shots,
+			Annotated: o.annotated, Fast: true,
+		})
+		if err != nil {
+			log.Fatalf("building corpus: %v", err)
+		}
+		model, err = hmmm.Build(corpus.Archive, corpus.Features, hmmm.BuildOptions{LearnP12: true})
+		if err != nil {
+			log.Fatalf("building model: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "hmmmload: corpus %dv/%ds built in %.1fs\n",
+			o.videos, o.shots, time.Since(start).Seconds())
+	}
+
+	failed := false
+	run := func(mode string, coalesce bool) {
+		url := o.addr
+		var stop func()
+		if o.addr == "" {
+			var err error
+			url, stop, err = selfServe(model, o, coalesce)
+			if err != nil {
+				log.Fatalf("in-process server: %v", err)
+			}
+			defer stop()
+		}
+		rep := drive(url, o)
+		rep.mode = mode
+		rep.report(os.Stderr)
+		if o.bench {
+			rep.benchLine(os.Stdout)
+		}
+		if o.assertCoalesce && rep.coalesceHits == 0 {
+			log.Printf("ASSERT FAILED (%s): no coalesce hits", mode)
+			failed = true
+		}
+		if o.assertNoErrors && rep.errors > 0 {
+			log.Printf("ASSERT FAILED (%s): %d errors", mode, rep.errors)
+			failed = true
+		}
+	}
+
+	if o.compare {
+		run("off", false)
+		run("on", true)
+	} else {
+		mode := "on"
+		if o.addr == "" && !o.coalesce {
+			mode = "off"
+		}
+		run(mode, o.coalesce)
+	}
+	if failed {
+		os.Exit(3)
+	}
+}
+
+// selfServe starts an in-process server over model and returns its base
+// URL and a shutdown func. With coalesce off it mirrors the plain
+// single-semaphore configuration; with it on it enables coalescing and
+// the two-lane controller, auto-deriving the lane threshold from the
+// workload's own cost estimates when the flag leaves it 0.
+func selfServe(model *hmmm.Model, o opts, coalesce bool) (string, func(), error) {
+	cfg := server.Config{
+		Model: model,
+		// Parallel per-video fan-out: the same ranking, but handlers
+		// yield at the worker joins, so concurrent queries genuinely
+		// interleave even on a single-core host — which is what gives
+		// admission lanes and coalescing traffic to work with.
+		Options: retrieval.Options{
+			Beam: 4, TopK: 10,
+			Parallel: 4, MinParallelWork: -1,
+		},
+		MaxInflight:  o.maxInflight,
+		QueryTimeout: time.Duration(o.timeoutMS) * time.Millisecond,
+	}
+	if coalesce {
+		cfg.Coalesce = true
+		cfg.FastLaneCost = o.fastLaneCost
+		if cfg.FastLaneCost <= 0 {
+			c, err := autoFastLaneCost(model, o.heavyBeam)
+			if err != nil {
+				return "", nil, err
+			}
+			cfg.FastLaneCost = c
+			fmt.Fprintf(os.Stderr, "hmmmload: auto fast-lane-cost %d\n", c)
+		}
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// autoFastLaneCost places the lane threshold halfway between the most
+// expensive cheap-pool estimate and the cheapest heavy-pool estimate,
+// so the generator's own traffic classes provably split across lanes.
+func autoFastLaneCost(model *hmmm.Model, heavyBeam int) (int, error) {
+	cheapEng, err := retrieval.NewEngine(model, retrieval.Options{Beam: 4, TopK: 10, AnnotatedOnly: true})
+	if err != nil {
+		return 0, err
+	}
+	heavyEng, err := retrieval.NewEngine(model, retrieval.Options{Beam: heavyBeam, TopK: 10})
+	if err != nil {
+		return 0, err
+	}
+	estimate := func(eng *retrieval.Engine, pattern string) (int, error) {
+		queries, err := matn.CompileString(pattern)
+		if err != nil {
+			return 0, err
+		}
+		total := 0
+		for _, q := range queries {
+			total += eng.EstimateCost(q)
+		}
+		return total, nil
+	}
+	maxCheap := 0
+	for _, p := range cheapPool {
+		c, err := estimate(cheapEng, p)
+		if err != nil {
+			return 0, err
+		}
+		if c > maxCheap {
+			maxCheap = c
+		}
+	}
+	minHeavy := int(^uint(0) >> 1)
+	for _, p := range heavyPool {
+		c, err := estimate(heavyEng, p)
+		if err != nil {
+			return 0, err
+		}
+		if c < minHeavy {
+			minHeavy = c
+		}
+	}
+	if minHeavy <= maxCheap {
+		return maxCheap, nil
+	}
+	return maxCheap + (minHeavy-maxCheap)/2, nil
+}
+
+// sample is one finished request.
+type sample struct {
+	cheap   bool
+	status  int // -1 on transport error
+	latency time.Duration
+}
+
+// report aggregates one load run.
+type report struct {
+	mode     string
+	offered  float64
+	sent     int
+	ok       int
+	shed     int
+	errors   int
+	elapsed  time.Duration
+	mean     time.Duration
+	p50      time.Duration
+	p95      time.Duration
+	p99      time.Duration
+	cheapP99 time.Duration
+
+	coalesceRequests uint64
+	coalesceHits     uint64
+	coalesceHitRate  float64
+}
+
+// drive offers the mixed workload open-loop at o.qps for o.duration and
+// aggregates the outcome, reading the server's coalesce counters from
+// /api/stats afterwards.
+func drive(url string, o opts) *report {
+	rng := rand.New(rand.NewSource(o.seed))
+	transport := &http.Transport{MaxIdleConnsPerHost: 256}
+	cl := &http.Client{Transport: transport,
+		Timeout: time.Duration(o.timeoutMS)*time.Millisecond + 5*time.Second}
+	defer transport.CloseIdleConnections()
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+		wg      sync.WaitGroup
+	)
+	fire := func(req api.QueryRequest, cheap bool) {
+		defer wg.Done()
+		body, _ := json.Marshal(req)
+		start := time.Now()
+		resp, err := cl.Post(url+"/api/query", "application/json", strings.NewReader(string(body)))
+		s := sample{cheap: cheap, status: -1, latency: time.Since(start)}
+		if err == nil {
+			s.status = resp.StatusCode
+			resp.Body.Close()
+		}
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	}
+
+	// Arrivals come in bursts of o.burst requests: real query traffic is
+	// bursty (cache expiry, page loads, fan-out backends), and bursts are
+	// what admission control and coalescing exist for. burst=1 degrades
+	// to smooth open-loop arrivals.
+	burst := o.burst
+	if burst < 1 {
+		burst = 1
+	}
+	interval := time.Duration(float64(burst) * float64(time.Second) / o.qps)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.After(o.duration)
+	start := time.Now()
+	sent := 0
+loop:
+	for {
+		select {
+		case <-deadline:
+			break loop
+		case <-ticker.C:
+			for b := 0; b < burst; b++ {
+				req := api.QueryRequest{TimeoutMS: o.timeoutMS}
+				cheap := true
+				switch {
+				case rng.Float64() < o.heavy:
+					cheap = false
+					req.Pattern = heavyPool[rng.Intn(len(heavyPool))]
+					req.SimilarShots = true
+					req.Beam = o.heavyBeam
+				case rng.Float64() < o.repeat:
+					req.Pattern = cheapPool[rng.Intn(len(cheapPool))]
+				default:
+					// Unique: a per-request scope bound far past every
+					// shot start keeps the ranking identical while
+					// defeating coalescing, like real one-off queries do.
+					req.Pattern = cheapPool[rng.Intn(len(cheapPool))]
+					req.ScopeToMS = 100_000_000 + sent
+				}
+				sent++
+				wg.Add(1)
+				go fire(req, cheap)
+			}
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &report{mode: "on", offered: o.qps, sent: sent, elapsed: elapsed}
+	var okLat, cheapLat []time.Duration
+	var sum time.Duration
+	for _, s := range samples {
+		switch {
+		case s.status == http.StatusOK:
+			rep.ok++
+			okLat = append(okLat, s.latency)
+			sum += s.latency
+			if s.cheap {
+				cheapLat = append(cheapLat, s.latency)
+			}
+		case s.status == http.StatusServiceUnavailable:
+			rep.shed++
+		default:
+			rep.errors++
+		}
+	}
+	if rep.ok > 0 {
+		rep.mean = sum / time.Duration(rep.ok)
+		rep.p50 = percentile(okLat, 0.50)
+		rep.p95 = percentile(okLat, 0.95)
+		rep.p99 = percentile(okLat, 0.99)
+	}
+	if len(cheapLat) > 0 {
+		rep.cheapP99 = percentile(cheapLat, 0.99)
+	}
+
+	if stats := fetchStats(cl, url); stats != nil && stats.Runtime != nil {
+		rep.coalesceRequests = stats.Runtime.CoalesceRequests
+		rep.coalesceHits = stats.Runtime.CoalesceHits
+		rep.coalesceHitRate = stats.Runtime.CoalesceHitRate
+	}
+	return rep
+}
+
+func fetchStats(cl *http.Client, url string) *api.StatsResponse {
+	resp, err := cl.Get(url + "/api/stats")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var stats api.StatsResponse
+	if json.NewDecoder(resp.Body).Decode(&stats) != nil {
+		return nil
+	}
+	return &stats
+}
+
+// percentile returns the p-quantile of latencies (sorted in place).
+func percentile(lat []time.Duration, p float64) time.Duration {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	idx := int(p * float64(len(lat)-1))
+	return lat[idx]
+}
+
+func (r *report) goodput() float64 {
+	return float64(r.ok) / r.elapsed.Seconds()
+}
+
+func (r *report) shedRate() float64 {
+	if r.sent == 0 {
+		return 0
+	}
+	return float64(r.shed) / float64(r.sent)
+}
+
+func (r *report) report(w *os.File) {
+	fmt.Fprintf(w, "hmmmload: coalesce=%s offered %.0f qps for %.1fs: sent %d, ok %d (goodput %.1f qps), shed %d (%.1f%%), errors %d\n",
+		r.mode, r.offered, r.elapsed.Seconds(), r.sent, r.ok, r.goodput(), r.shed, 100*r.shedRate(), r.errors)
+	fmt.Fprintf(w, "hmmmload:   latency mean %s p50 %s p95 %s p99 %s (cheap p99 %s)\n",
+		r.mean.Round(time.Microsecond), r.p50.Round(time.Microsecond),
+		r.p95.Round(time.Microsecond), r.p99.Round(time.Microsecond),
+		r.cheapP99.Round(time.Microsecond))
+	fmt.Fprintf(w, "hmmmload:   coalesce: %d requests, %d hits (rate %.2f)\n",
+		r.coalesceRequests, r.coalesceHits, r.coalesceHitRate)
+}
+
+// benchLine renders the run as one `go test -bench`-style line so
+// cmd/benchjson can append it to a trajectory file. ns/op is the mean
+// successful-query latency; the custom units land in the entry's Extra
+// map.
+func (r *report) benchLine(w *os.File) {
+	fmt.Fprintf(w, "BenchmarkServing/coalesce=%s %d %.0f ns/op %d p50-ns/op %d p95-ns/op %d p99-ns/op %d cheap-p99-ns/op %.2f goodput-qps %.2f offered-qps %.4f shed-rate %.4f coalesce-hit-rate\n",
+		r.mode, r.sent, float64(r.mean), r.p50.Nanoseconds(), r.p95.Nanoseconds(),
+		r.p99.Nanoseconds(), r.cheapP99.Nanoseconds(), r.goodput(), r.offered,
+		r.shedRate(), r.coalesceHitRate)
+}

@@ -136,6 +136,45 @@ type RuntimeStatsJSON struct {
 	Retrains         uint64  `json:"retrains"`
 	RetrainFailures  uint64  `json:"retrain_failures"`
 	PersistFailures  uint64  `json:"persist_failures"`
+	// Request coalescing on /api/query: every request either leads one
+	// execution or rides an identical in-flight one (leaders + hits ==
+	// requests). CoalesceHitRate is hits / requests — the fraction of
+	// query traffic served without running its own retrieval.
+	CoalesceRequests uint64  `json:"coalesce_requests"`
+	CoalesceLeaders  uint64  `json:"coalesce_leaders"`
+	CoalesceHits     uint64  `json:"coalesce_hits"`
+	CoalesceHitRate  float64 `json:"coalesce_hit_rate"`
+	// Lanes reports the two-lane admission controller when it is
+	// enabled; absent otherwise.
+	Lanes *LanesJSON `json:"lanes,omitempty"`
+}
+
+// LaneStatsJSON describes one admission lane of the two-lane query
+// controller.
+type LaneStatsJSON struct {
+	// Inflight is the number of queries currently holding a slot in this
+	// lane; Capacity is the lane's slot count.
+	Inflight int `json:"inflight"`
+	Capacity int `json:"capacity"`
+	// Queued / QueueCap describe the bounded wait queue (heavy lane
+	// only; the fast lane never queues more than a slot wait).
+	Queued   int `json:"queued,omitempty"`
+	QueueCap int `json:"queue_cap,omitempty"`
+	// Admitted counts queries that obtained a slot; Shed counts queries
+	// rejected with 503 (queue full, queue wait exceeding the deadline
+	// allowance, or client gone while queued).
+	Admitted uint64 `json:"admitted"`
+	Shed     uint64 `json:"shed"`
+}
+
+// LanesJSON is the two-lane admission controller's report: how query
+// traffic splits between the cheap fast lane and the heavy queued lane.
+type LanesJSON struct {
+	// FastLaneCost is the estimated-cost threshold at or under which a
+	// query takes the fast lane.
+	FastLaneCost int           `json:"fast_lane_cost"`
+	Fast         LaneStatsJSON `json:"fast"`
+	Heavy        LaneStatsJSON `json:"heavy"`
 }
 
 // VideoJSON describes one archive video.
@@ -195,6 +234,9 @@ type HealthResponse struct {
 	Inflight int `json:"inflight"`
 	// MaxInflight is the admission-control ceiling (0 = unlimited).
 	MaxInflight int `json:"max_inflight,omitempty"`
+	// Lanes reports the two-lane query admission controller when it is
+	// enabled; absent otherwise.
+	Lanes *LanesJSON `json:"lanes,omitempty"`
 }
 
 // ErrorResponse is the JSON error envelope.

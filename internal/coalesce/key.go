@@ -1,0 +1,109 @@
+// Coalesce-key normalization for retrieval options: two requests may
+// share one execution only when every result-affecting knob matches, and
+// must share one whenever only observer- or execution-plumbing knobs
+// differ (an instrumented request and a bare one return bit-identical
+// rankings, so keeping them apart would throw coalescing opportunities
+// away for no correctness gain).
+package coalesce
+
+import (
+	"strconv"
+	"strings"
+
+	"github.com/videodb/hmmm/internal/retrieval"
+)
+
+// OptionsIdentityFields are the retrieval.Options fields that
+// participate in the coalesce key: each one can change the returned
+// ranking (or its cost accounting), so requests differing in any of them
+// must not share an execution.
+var OptionsIdentityFields = []string{
+	"TopK",
+	"Beam",
+	"CrossVideo",
+	"SimEpsilon",
+	"AnnotatedOnly",
+	"StopAfterMatches",
+	"CoarseCandidates",
+}
+
+// OptionsIgnoredFields are the retrieval.Options fields deliberately
+// excluded from the coalesce key, in two classes. Observer-only fields
+// (Metrics, Trace, Tracer) record what happened without affecting it, so
+// an instrumented request and a bare one coalesce together — the
+// explicit requirement the classification test pins. Execution-plumbing
+// fields (Parallel, MinParallelWork, BuildWorkers, NoSimCache,
+// ScratchArenas) select how the work runs, and the engine's differential
+// suites pin their results bit-identical across every setting, so they
+// cannot change what a waiter receives.
+//
+// Every retrieval.Options field MUST appear in exactly one of these two
+// lists; TestOptionsKeyCoversEveryField fails the build of any new field
+// until it is classified here and (for identity fields) encoded in
+// OptionsKey.
+var OptionsIgnoredFields = []string{
+	// Observer-only.
+	"Metrics",
+	"Trace",
+	"Tracer",
+	// Execution-only, pinned bit-identical by the differential suites.
+	"Parallel",
+	"MinParallelWork",
+	"BuildWorkers",
+	"NoSimCache",
+	"ScratchArenas",
+}
+
+// OptionsKey renders the identity fields of o into a canonical key
+// fragment. It must encode exactly the fields in OptionsIdentityFields.
+func OptionsKey(o retrieval.Options) string {
+	var b strings.Builder
+	b.Grow(48)
+	b.WriteString("k=")
+	b.WriteString(strconv.Itoa(o.TopK))
+	b.WriteString(";b=")
+	b.WriteString(strconv.Itoa(o.Beam))
+	b.WriteString(";x=")
+	b.WriteString(strconv.FormatBool(o.CrossVideo))
+	b.WriteString(";e=")
+	b.WriteString(strconv.FormatFloat(o.SimEpsilon, 'g', -1, 64))
+	b.WriteString(";a=")
+	b.WriteString(strconv.FormatBool(o.AnnotatedOnly))
+	b.WriteString(";s=")
+	b.WriteString(strconv.FormatBool(o.StopAfterMatches))
+	b.WriteString(";c=")
+	b.WriteString(strconv.Itoa(o.CoarseCandidates))
+	return b.String()
+}
+
+// QueryKey builds the full coalesce key for one server query execution:
+// the published model generation (results from different generations
+// must never be shared — a retrain between two arrivals means the later
+// request could otherwise read rankings from a model it has already
+// observed superseded), the canonical pattern text (matn.Format output,
+// so spelling variants of the same network coalesce), the identity
+// options, the query scope, and the effective deadline budget in
+// nanoseconds (requests with different budgets run with different
+// truncation behavior, so they do not share).
+func QueryKey(generation uint64, canonicalPattern string, opts retrieval.Options,
+	scope *retrieval.Scope, budgetNS int64) string {
+	var b strings.Builder
+	b.Grow(len(canonicalPattern) + 96)
+	b.WriteString("g=")
+	b.WriteString(strconv.FormatUint(generation, 10))
+	b.WriteString("|")
+	b.WriteString(OptionsKey(opts))
+	b.WriteString("|d=")
+	b.WriteString(strconv.FormatInt(budgetNS, 10))
+	b.WriteString("|sc=")
+	if scope != nil {
+		b.WriteString(strconv.Itoa(int(scope.Video)))
+		b.WriteString(",")
+		b.WriteString(strconv.Itoa(scope.FromMS))
+		b.WriteString(",")
+		b.WriteString(strconv.Itoa(scope.ToMS))
+	}
+	b.WriteString("|q=")
+	b.WriteString(canonicalPattern)
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package coalesce
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/videodb/hmmm/internal/obs"
+	"github.com/videodb/hmmm/internal/retrieval"
+)
+
+// TestOptionsKeyCoversEveryField enumerates retrieval.Options via
+// reflection and fails when any field is neither an identity field nor a
+// deliberately ignored one. Adding a field to Options without deciding
+// whether it changes retrieval results breaks this test — which is the
+// point: an unclassified result-affecting field silently shared across
+// coalesced requests would be a correctness bug, and an unclassified
+// observer field would silently stop instrumented and bare requests from
+// coalescing.
+func TestOptionsKeyCoversEveryField(t *testing.T) {
+	classified := make(map[string]string)
+	for _, f := range OptionsIdentityFields {
+		classified[f] = "identity"
+	}
+	for _, f := range OptionsIgnoredFields {
+		if prev, ok := classified[f]; ok {
+			t.Errorf("field %s classified twice (%s and ignored)", f, prev)
+		}
+		classified[f] = "ignored"
+	}
+	typ := reflect.TypeOf(retrieval.Options{})
+	seen := make(map[string]bool)
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		seen[name] = true
+		if _, ok := classified[name]; !ok {
+			t.Errorf("retrieval.Options.%s is not classified: add it to "+
+				"OptionsIdentityFields (and OptionsKey) if it can change results, "+
+				"or to OptionsIgnoredFields if it is observer- or execution-only", name)
+		}
+	}
+	for name := range classified {
+		if !seen[name] {
+			t.Errorf("classified field %s no longer exists on retrieval.Options", name)
+		}
+	}
+}
+
+// TestOptionsKeyIgnoresObserverFields: attaching Metrics/Trace/Tracer
+// must not change the key, so instrumented and bare requests coalesce.
+func TestOptionsKeyIgnoresObserverFields(t *testing.T) {
+	base := retrieval.Options{TopK: 10, Beam: 4, CrossVideo: true}
+	instrumented := base
+	reg := obs.NewRegistry()
+	instrumented.Metrics = retrieval.NewMetrics(reg)
+	instrumented.Trace = obs.NewTrace()
+	instrumented.Parallel = 8
+	instrumented.MinParallelWork = -1
+	instrumented.BuildWorkers = 2
+	instrumented.NoSimCache = true
+	instrumented.ScratchArenas = 3
+	if OptionsKey(base) != OptionsKey(instrumented) {
+		t.Errorf("observer/execution fields leaked into the key:\n%s\n%s",
+			OptionsKey(base), OptionsKey(instrumented))
+	}
+}
+
+// TestOptionsKeySeparatesIdentityFields: every identity field changes
+// the key when it changes.
+func TestOptionsKeySeparatesIdentityFields(t *testing.T) {
+	base := retrieval.Options{TopK: 10, Beam: 4, SimEpsilon: 1e-9}
+	variants := map[string]retrieval.Options{
+		"TopK":             {TopK: 11, Beam: 4, SimEpsilon: 1e-9},
+		"Beam":             {TopK: 10, Beam: 5, SimEpsilon: 1e-9},
+		"CrossVideo":       {TopK: 10, Beam: 4, SimEpsilon: 1e-9, CrossVideo: true},
+		"SimEpsilon":       {TopK: 10, Beam: 4, SimEpsilon: 1e-8},
+		"AnnotatedOnly":    {TopK: 10, Beam: 4, SimEpsilon: 1e-9, AnnotatedOnly: true},
+		"StopAfterMatches": {TopK: 10, Beam: 4, SimEpsilon: 1e-9, StopAfterMatches: true},
+		"CoarseCandidates": {TopK: 10, Beam: 4, SimEpsilon: 1e-9, CoarseCandidates: 12},
+	}
+	if len(variants) != len(OptionsIdentityFields) {
+		t.Fatalf("variant table covers %d fields, identity list has %d — keep them in sync",
+			len(variants), len(OptionsIdentityFields))
+	}
+	for name, v := range variants {
+		if OptionsKey(base) == OptionsKey(v) {
+			t.Errorf("changing %s did not change the key", name)
+		}
+	}
+}
+
+// TestQueryKeySeparation: generation, scope, budget, and pattern all
+// partition the key space.
+func TestQueryKeySeparation(t *testing.T) {
+	opts := retrieval.Options{TopK: 10, Beam: 4}
+	base := QueryKey(1, "goal -> free_kick", opts, nil, 0)
+	if QueryKey(2, "goal -> free_kick", opts, nil, 0) == base {
+		t.Error("model generation does not partition the key")
+	}
+	if QueryKey(1, "goal", opts, nil, 0) == base {
+		t.Error("pattern does not partition the key")
+	}
+	if QueryKey(1, "goal -> free_kick", opts, &retrieval.Scope{Video: 3}, 0) == base {
+		t.Error("scope does not partition the key")
+	}
+	if QueryKey(1, "goal -> free_kick", opts, nil, int64(5e9)) == base {
+		t.Error("deadline budget does not partition the key")
+	}
+}

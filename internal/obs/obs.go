@@ -225,6 +225,39 @@ func (v *CounterVec) Total() uint64 {
 	return sum
 }
 
+// GaugeVec is a family of gauges keyed by label values.
+type GaugeVec struct {
+	f *family
+}
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, gaugeKind, labels)}
+}
+
+// With returns the child gauge for the label values, creating it on
+// first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(values, func() *child { return &child{g: &Gauge{}} }).g
+}
+
+// Total sums every child's value: the "all label values" roll-up.
+func (v *GaugeVec) Total() int64 {
+	if v == nil {
+		return 0
+	}
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	var sum int64
+	for _, k := range v.f.kids {
+		sum += k.g.Value()
+	}
+	return sum
+}
+
 // HistogramVec is a family of histograms keyed by label values.
 type HistogramVec struct {
 	f      *family

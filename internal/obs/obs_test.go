@@ -79,6 +79,34 @@ func TestCounterVec(t *testing.T) {
 	}
 }
 
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("inflight", "in-flight by lane", "lane")
+	v.With("fast").Add(3)
+	v.With("heavy").Inc()
+	v.With("fast").Dec()
+	if got := v.With("fast").Value(); got != 2 {
+		t.Fatalf("child = %d, want 2", got)
+	}
+	if got := v.Total(); got != 3 {
+		t.Fatalf("total = %d, want 3", got)
+	}
+	var nilVec *GaugeVec
+	nilVec.With("fast").Inc()
+	if nilVec.Total() != 0 {
+		t.Fatal("nil GaugeVec must be a no-op")
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP inflight in-flight by lane\n# TYPE inflight gauge\n" +
+		`inflight{lane="fast"} 2` + "\n" + `inflight{lane="heavy"} 1` + "\n"
+	if b.String() != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
 func TestRegistryKindMismatchPanics(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("m", "h")

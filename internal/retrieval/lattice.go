@@ -76,14 +76,34 @@ func (ar *arena) push(c cell) int32 {
 	return int32(len(ar.cells) - 1)
 }
 
-// getArena takes a pooled arena sized for the engine's model.
+// getArena takes an arena sized for the engine's model from the shared
+// bounded free list, allocating a fresh one when the list is empty (more
+// overlapping searches than the pool cap). Both paths are counted so the
+// pool's hit behavior under load is observable.
 func (e *Engine) getArena() *arena {
-	ar := e.shared.arenas.Get().(*arena)
+	var ar *arena
+	select {
+	case ar = <-e.shared.arenas:
+		e.opts.Metrics.arenaGet(true)
+	default:
+		ar = new(arena)
+		e.opts.Metrics.arenaGet(false)
+	}
 	ar.ensure(e.shared.nVideos, e.shared.maxLocal)
 	return ar
 }
 
-func (e *Engine) putArena(ar *arena) { e.shared.arenas.Put(ar) }
+// putArena returns an arena to the free list; when the list is already
+// full the arena is dropped for the GC, keeping the idle-scratch
+// footprint capped at the pool size regardless of burst concurrency.
+func (e *Engine) putArena(ar *arena) {
+	select {
+	case e.shared.arenas <- ar:
+		e.opts.Metrics.arenaPut(false)
+	default:
+		e.opts.Metrics.arenaPut(true)
+	}
+}
 
 // ctxPollEdges bounds how many lattice edge relaxations may run between
 // request-context polls: the worst-case extra work after a deadline

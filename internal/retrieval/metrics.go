@@ -32,6 +32,17 @@ type Metrics struct {
 	// (Step-2 video ordering), "search" (per-video lattice traversal),
 	// "rank" (final sort + truncate).
 	StageSeconds *obs.HistogramVec
+	// Arena free-list traffic: ArenaReuse counts checkouts served from
+	// the bounded pool, ArenaAlloc checkouts that had to allocate fresh
+	// scratch (pool empty — more overlapping searches than the cap), and
+	// ArenaDrop releases discarded because the pool was already full.
+	// ArenaInUse is the live checked-out count. A sustained non-zero
+	// alloc/drop rate means Options.ScratchArenas is undersized for the
+	// offered concurrency.
+	ArenaReuse *obs.Counter
+	ArenaAlloc *obs.Counter
+	ArenaDrop  *obs.Counter
+	ArenaInUse *obs.Gauge
 }
 
 // NewMetrics registers the retrieval metric catalog on the registry.
@@ -55,7 +66,41 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Retrievals truncated by deadline or client disconnect."),
 		StageSeconds: reg.HistogramVec("hmmm_retrieval_stage_seconds",
 			"Retrieval latency by pipeline stage.", nil, "stage"),
+		ArenaReuse: reg.Counter("hmmm_retrieval_arena_reuse_total",
+			"Search-arena checkouts served from the bounded free list."),
+		ArenaAlloc: reg.Counter("hmmm_retrieval_arena_alloc_total",
+			"Search-arena checkouts that allocated fresh scratch (pool empty)."),
+		ArenaDrop: reg.Counter("hmmm_retrieval_arena_drop_total",
+			"Search-arena releases dropped because the free list was full."),
+		ArenaInUse: reg.Gauge("hmmm_retrieval_arena_in_use",
+			"Search arenas currently checked out."),
 	}
+}
+
+// arenaGet records one arena checkout. Safe on a nil receiver (the
+// uninstrumented default) — getArena sits outside the per-edge hot loop,
+// so the cost is one branch plus at most one atomic per search.
+func (m *Metrics) arenaGet(reused bool) {
+	if m == nil {
+		return
+	}
+	if reused {
+		m.ArenaReuse.Inc()
+	} else {
+		m.ArenaAlloc.Inc()
+	}
+	m.ArenaInUse.Add(1)
+}
+
+// arenaPut records one arena release.
+func (m *Metrics) arenaPut(dropped bool) {
+	if m == nil {
+		return
+	}
+	if dropped {
+		m.ArenaDrop.Inc()
+	}
+	m.ArenaInUse.Add(-1)
 }
 
 // observe records one finished retrieval. cached reports whether the

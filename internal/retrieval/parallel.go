@@ -19,25 +19,61 @@ import (
 func (e *Engine) estimateParallelWork(order []int, steps []Step) int {
 	work := 0
 	for _, vi := range order {
-		lo, hi := e.m.VideoStates(vi)
-		nLocal := hi - lo
-		perVideo := 0
-		for _, st := range steps {
-			cand := nLocal
-			if len(st.Events) > 0 {
-				n := len(e.shared.index[vi][st.Events[0].Index()])
-				for _, ev := range st.Events[1:] {
-					if alt := len(e.shared.index[vi][ev.Index()]); alt < n {
-						n = alt
-					}
-				}
-				if n > 0 || e.opts.AnnotatedOnly {
-					cand = n
+		work += e.estimateVideoWork(vi, steps)
+	}
+	return work
+}
+
+// estimateVideoWork is the per-video term of the work estimate: the sum
+// over steps of the candidate count each stage would scan, scaled by the
+// beam width.
+func (e *Engine) estimateVideoWork(vi int, steps []Step) int {
+	lo, hi := e.m.VideoStates(vi)
+	nLocal := hi - lo
+	perVideo := 0
+	for _, st := range steps {
+		cand := nLocal
+		if len(st.Events) > 0 {
+			n := len(e.shared.index[vi][st.Events[0].Index()])
+			for _, ev := range st.Events[1:] {
+				if alt := len(e.shared.index[vi][ev.Index()]); alt < n {
+					n = alt
 				}
 			}
-			perVideo += cand
+			if n > 0 || e.opts.AnnotatedOnly {
+				cand = n
+			}
 		}
-		work += perVideo * e.opts.Beam
+		perVideo += cand
+	}
+	return perVideo * e.opts.Beam
+}
+
+// EstimateCost approximates the lattice edge evaluations q would perform
+// — the same posting-length × steps × beam estimate the parallel fan-out
+// heuristic uses, summed over the videos the query's scope admits. It
+// reads only the engine's immutable index, so it is deterministic for a
+// given model and query and costs a few index-length lookups per video —
+// cheap enough to run on every request. The server's admission lanes use
+// it to split traffic into cheap (fast-lane) and heavy (queued) classes
+// before committing any search work. An invalid query estimates to 0: it
+// will be rejected by Retrieve before doing work anyway.
+func (e *Engine) EstimateCost(q Query) int {
+	steps := q.steps()
+	if len(steps) == 0 {
+		return 0
+	}
+	if q.Scope != nil && q.Scope.Video != 0 {
+		for vi, vid := range e.m.VideoIDs {
+			if vid == q.Scope.Video {
+				return e.estimateVideoWork(vi, steps)
+			}
+		}
+		return 0
+	}
+	work := 0
+	for vi := 0; vi < len(e.m.VideoIDs); vi++ {
+		work += e.estimateVideoWork(vi, steps)
 	}
 	return work
 }

@@ -22,9 +22,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"slices"
 	"strconv"
-	"sync"
 	"time"
 
 	"github.com/videodb/hmmm/internal/hmmm"
@@ -259,6 +259,17 @@ type Options struct {
 	// 1 forces serial builds. Cache contents are bit-identical for every
 	// worker count.
 	BuildWorkers int
+	// ScratchArenas caps the engine's shared free-list of lattice search
+	// arenas. Concurrent queries against the same snapshot draw
+	// sized-once scratch from this bounded pool instead of allocating
+	// per request; when more than ScratchArenas searches overlap, the
+	// excess allocate fresh arenas that are discarded on release, so
+	// steady-state memory stays flat at pool-cap × working-set no matter
+	// how hard the server is hammered. 0 means DefaultScratchArenas
+	// (2×GOMAXPROCS, floor 4). Arenas are pure scratch: the pool size
+	// never affects results. Pool traffic is observable through the
+	// Metrics arena counters.
+	ScratchArenas int
 	// Tracer, when non-nil, receives TraceEvent s during retrieval: the
 	// EXPLAIN ANALYZE view of the traversal. Must be concurrency-safe
 	// when combined with Parallel. With Parallel > 1, events from
@@ -374,7 +385,26 @@ type engineShared struct {
 	// nVideos / maxLocal size the pooled search arenas.
 	nVideos  int
 	maxLocal int
-	arenas   sync.Pool
+	// arenas is a bounded free list of search scratch: a buffered channel
+	// holding idle arenas. Unlike sync.Pool it is never drained by GC and
+	// never grows past its capacity (Options.ScratchArenas), so the
+	// steady-state scratch footprint of a saturated server is a fixed,
+	// known quantity. Releases beyond capacity drop the arena for the GC
+	// to reclaim — a counted event, so a chronically undersized pool is
+	// visible in metrics rather than silent re-allocation churn.
+	arenas chan *arena
+}
+
+// DefaultScratchArenas is the arena free-list capacity used when
+// Options.ScratchArenas is zero: two arenas per CPU (floor 4), enough
+// for every runnable search plus a recycling margin while staying a
+// small multiple of the working set.
+func DefaultScratchArenas() int {
+	n := 2 * runtime.GOMAXPROCS(0)
+	if n < 4 {
+		n = 4
+	}
+	return n
 }
 
 // NewEngine returns an engine over the model. The model is not copied.
@@ -434,7 +464,11 @@ func buildShared(m *hmmm.Model, opts Options) *engineShared {
 	if opts.CoarseCandidates > 0 {
 		sh.coarse = index.Build(m, opts.SimEpsilon)
 	}
-	sh.arenas.New = func() any { return new(arena) }
+	poolCap := opts.ScratchArenas
+	if poolCap <= 0 {
+		poolCap = DefaultScratchArenas()
+	}
+	sh.arenas = make(chan *arena, poolCap)
 	return sh
 }
 

@@ -1,0 +1,268 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/videodb/hmmm/internal/api"
+	"github.com/videodb/hmmm/internal/client"
+	"github.com/videodb/hmmm/internal/retrieval"
+)
+
+// doQuery sends one query and decodes the response (status -1 on
+// transport error).
+func doQuery(cl *http.Client, url string, req api.QueryRequest) (int, *api.QueryResponse) {
+	body, _ := json.Marshal(req)
+	resp, err := cl.Post(url+"/api/query", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return -1, nil
+	}
+	defer resp.Body.Close()
+	var qr api.QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		return resp.StatusCode, nil
+	}
+	return resp.StatusCode, &qr
+}
+
+// TestCoalesceBitIdentical parks one batch of concurrent queries — ten
+// identical, three unique — behind a gate so they all demonstrably share
+// in-flight executions, then compares every fanned-out response
+// bit-for-bit against an uncoalesced server over the same (rebuilt,
+// deterministic) model. Also pins the accounting: exactly four leaders,
+// nine hits, leaders + hits == requests, and the same numbers on
+// /api/stats.
+func TestCoalesceBitIdentical(t *testing.T) {
+	gate := &blockTracer{release: make(chan struct{})}
+	s, ts := resilientServer(t, Config{
+		Model:        testModel(t),
+		Options:      retrieval.Options{Beam: 4, TopK: 10, Tracer: gate},
+		Coalesce:     true,
+		FastLaneCost: 1 << 30, // everything fast: no shedding in this test
+		MaxInflight:  16,
+	})
+	_, baseTS := resilientServer(t, Config{
+		Model:   testModel(t),
+		Options: retrieval.Options{Beam: 4, TopK: 10},
+	})
+
+	const (
+		repeated = 10
+		unique   = 3
+		total    = repeated + unique
+	)
+	shared := api.QueryRequest{Pattern: "goal -> free_kick"}
+	scoped := func(i int) api.QueryRequest {
+		// Distinct coalesce keys; ToMS is far beyond every shot start, so
+		// the ranking itself matches the unscoped pattern.
+		return api.QueryRequest{Pattern: "goal", ScopeToMS: 10_000_000 + i}
+	}
+
+	type result struct {
+		req    api.QueryRequest
+		status int
+		resp   *api.QueryResponse
+	}
+	results := make(chan result, total)
+	launch := func(req api.QueryRequest) {
+		go func() {
+			code, qr := doQuery(http.DefaultClient, ts.URL, req)
+			results <- result{req: req, status: code, resp: qr}
+		}()
+	}
+	for i := 0; i < repeated; i++ {
+		launch(shared)
+	}
+	for i := 0; i < unique; i++ {
+		launch(scoped(i))
+	}
+
+	// Every request must be inside the coalescer (leaders parked at the
+	// gate, waiters attached) before the gate opens.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.metrics.coalesceRequests.Value() != total {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d requests reached the coalescer",
+				s.metrics.coalesceRequests.Value(), total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate.release)
+
+	baseline := func(req api.QueryRequest) *api.QueryResponse {
+		code, qr := doQuery(http.DefaultClient, baseTS.URL, req)
+		if code != http.StatusOK || qr == nil {
+			t.Fatalf("baseline query %+v failed with status %d", req, code)
+		}
+		return qr
+	}
+	for i := 0; i < total; i++ {
+		r := <-results
+		if r.status != http.StatusOK || r.resp == nil {
+			t.Fatalf("coalesced query %+v failed with status %d", r.req, r.status)
+		}
+		want := baseline(r.req)
+		if !reflect.DeepEqual(r.resp, want) {
+			t.Errorf("coalesced response for %+v diverges from uncoalesced server:\n got %+v\nwant %+v",
+				r.req, r.resp, want)
+		}
+	}
+
+	reqs := s.metrics.coalesceRequests.Value()
+	leaders := s.metrics.coalesceLeaders.Value()
+	hits := s.metrics.coalesceHits.Value()
+	if leaders != 1+unique || hits != repeated-1 {
+		t.Errorf("leaders = %d, hits = %d, want %d and %d", leaders, hits, 1+unique, repeated-1)
+	}
+	if leaders+hits != reqs {
+		t.Errorf("leaders (%d) + hits (%d) != requests (%d)", leaders, hits, reqs)
+	}
+
+	stats, err := client.New(ts.URL, nil).Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Runtime == nil {
+		t.Fatal("stats missing runtime section")
+	}
+	rt := stats.Runtime
+	if rt.CoalesceRequests != uint64(reqs) || rt.CoalesceLeaders != uint64(leaders) ||
+		rt.CoalesceHits != uint64(hits) {
+		t.Errorf("stats coalesce counters = %d/%d/%d, want %d/%d/%d",
+			rt.CoalesceRequests, rt.CoalesceLeaders, rt.CoalesceHits, reqs, leaders, hits)
+	}
+	wantRate := float64(hits) / float64(reqs)
+	if rt.CoalesceHitRate < wantRate-1e-9 || rt.CoalesceHitRate > wantRate+1e-9 {
+		t.Errorf("stats coalesce hit rate = %v, want %v", rt.CoalesceHitRate, wantRate)
+	}
+	if rt.Lanes == nil || rt.Lanes.FastLaneCost != 1<<30 {
+		t.Errorf("stats lanes = %+v, want fast_lane_cost %d", rt.Lanes, 1<<30)
+	}
+}
+
+// TestCoalesceHammer drives a mixed workload — repeated patterns, unique
+// scoped queries, and requests whose clients hang up mid-flight —
+// through the coalescing, two-lane server under the race detector. At
+// quiescence the coalescer must be empty, the leaders + hits invariant
+// must hold, successful responses must match the uncoalesced baseline
+// ranking, and the goroutine count must return to its pre-hammer level.
+func TestCoalesceHammer(t *testing.T) {
+	s, ts := resilientServer(t, Config{
+		Model:        testModel(t),
+		Options:      retrieval.Options{Beam: 4, TopK: 10},
+		Coalesce:     true,
+		FastLaneCost: 1 << 30,
+		MaxInflight:  32,
+	})
+	_, baseTS := resilientServer(t, Config{
+		Model:   testModel(t),
+		Options: retrieval.Options{Beam: 4, TopK: 10},
+	})
+
+	patterns := []string{"goal", "free_kick", "goal -> free_kick"}
+	baselines := make(map[string]*api.QueryResponse, len(patterns))
+	for _, p := range patterns {
+		code, qr := doQuery(http.DefaultClient, baseTS.URL, api.QueryRequest{Pattern: p})
+		if code != http.StatusOK || qr == nil {
+			t.Fatalf("baseline %q failed with status %d", p, code)
+		}
+		baselines[p] = qr
+	}
+	// The scoped-unique probes below must rank identically to the
+	// unscoped pattern (their ToMS is beyond every shot start); verify
+	// the premise once so a dataset change fails loudly here, not as a
+	// mystery diff inside the hammer.
+	code, probe := doQuery(http.DefaultClient, baseTS.URL,
+		api.QueryRequest{Pattern: "goal", ScopeToMS: 10_000_000})
+	if code != http.StatusOK || !reflect.DeepEqual(probe.Matches, baselines["goal"].Matches) {
+		t.Fatal("scoped probe does not match unscoped baseline; adjust ScopeToMS")
+	}
+
+	transport := &http.Transport{}
+	cl := &http.Client{Transport: transport}
+	g0 := runtime.NumGoroutine()
+
+	const (
+		workers = 8
+		iters   = 30
+	)
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*iters)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				pattern := patterns[(w+i)%len(patterns)]
+				switch i % 3 {
+				case 0: // repeated: prime coalescing material
+					code, qr := doQuery(cl, ts.URL, api.QueryRequest{Pattern: pattern})
+					if code != http.StatusOK {
+						errs <- fmt.Sprintf("repeated %q: status %d", pattern, code)
+					} else if !reflect.DeepEqual(qr.Matches, baselines[pattern].Matches) {
+						errs <- fmt.Sprintf("repeated %q: ranking diverged from baseline", pattern)
+					}
+				case 1: // unique: every request its own coalesce key
+					req := api.QueryRequest{Pattern: pattern, ScopeToMS: 10_000_000 + w*1000 + i}
+					code, qr := doQuery(cl, ts.URL, req)
+					if code != http.StatusOK {
+						errs <- fmt.Sprintf("unique %+v: status %d", req, code)
+					} else if !reflect.DeepEqual(qr.Matches, baselines[pattern].Matches) {
+						errs <- fmt.Sprintf("unique %+v: ranking diverged from baseline", req)
+					}
+				case 2: // cancelled: client hangs up mid-flight
+					ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+					body, _ := json.Marshal(api.QueryRequest{Pattern: pattern})
+					req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+						ts.URL+"/api/query", strings.NewReader(string(body)))
+					req.Header.Set("Content-Type", "application/json")
+					if resp, err := cl.Do(req); err == nil {
+						resp.Body.Close() // beat the deadline; that's fine too
+					}
+					cancel()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	// Quiescence: nothing left inside the coalescer or the lanes.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.coalescer.Inflight() != 0 || s.metrics.inflight.Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("coalescer still has %d in-flight calls after hammer", s.coalescer.Inflight())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	reqs := s.metrics.coalesceRequests.Value()
+	leaders := s.metrics.coalesceLeaders.Value()
+	hits := s.metrics.coalesceHits.Value()
+	if leaders+hits != reqs {
+		t.Errorf("leaders (%d) + hits (%d) != requests (%d)", leaders, hits, reqs)
+	}
+	if reqs == 0 {
+		t.Error("hammer never reached the coalescer")
+	}
+
+	// No goroutine leaks: after idle connections close, the count must
+	// settle back to (near) its pre-hammer level.
+	transport.CloseIdleConnections()
+	for runtime.NumGoroutine() > g0+5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before hammer, %d after", g0, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -54,7 +54,11 @@ func (s *Server) withAdmission(h http.Handler) http.Handler {
 			h.ServeHTTP(w, r)
 			return
 		}
-		if s.sem != nil {
+		// With the two-lane controller enabled, /api/query admission is
+		// owned by the lanes (inside the coalescer, so only execution
+		// leaders consume slots); the generic gate would double-count
+		// waiters. Every other route keeps the single semaphore.
+		if s.sem != nil && !(s.lanes != nil && r.URL.Path == "/api/query") {
 			select {
 			case s.sem <- struct{}{}:
 				defer func() { <-s.sem }()

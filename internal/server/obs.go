@@ -29,6 +29,20 @@ type serverMetrics struct {
 	slow      *obs.Counter // queries at/over the slow-query threshold
 	retrieval *retrieval.Metrics
 
+	// Request coalescing on /api/query: every request is exactly one of
+	// leader (ran the retrieval) or hit (rode an identical in-flight
+	// one), so leaders + hits == requests.
+	coalesceRequests *obs.Counter
+	coalesceLeaders  *obs.Counter
+	coalesceHits     *obs.Counter
+
+	// Two-lane admission ({lane} is "fast" or "heavy"); laneQueued is
+	// the heavy lane's bounded-queue depth.
+	laneInflight *obs.GaugeVec
+	laneAdmitted *obs.CounterVec
+	laneShed     *obs.CounterVec
+	laneQueued   *obs.Gauge
+
 	// Feedback and retraining.
 	feedback        *obs.Counter // positive marks accepted
 	persistFailures *obs.Counter // feedback-log persist errors
@@ -56,6 +70,20 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		slow: reg.Counter("hmmm_slow_queries_total",
 			"Queries at or over the slow-query threshold."),
 		retrieval: retrieval.NewMetrics(reg),
+		coalesceRequests: reg.Counter("hmmm_coalesce_requests_total",
+			"Query executions entering the request coalescer."),
+		coalesceLeaders: reg.Counter("hmmm_coalesce_leaders_total",
+			"Coalesced query executions that ran their own retrieval."),
+		coalesceHits: reg.Counter("hmmm_coalesce_hits_total",
+			"Query executions served by riding an identical in-flight retrieval."),
+		laneInflight: reg.GaugeVec("hmmm_lane_inflight",
+			"Queries holding an admission slot, by lane.", "lane"),
+		laneAdmitted: reg.CounterVec("hmmm_lane_admitted_total",
+			"Queries granted an admission slot, by lane.", "lane"),
+		laneShed: reg.CounterVec("hmmm_lane_shed_total",
+			"Queries shed with 503 by lane admission.", "lane"),
+		laneQueued: reg.Gauge("hmmm_lane_heavy_queued",
+			"Heavy queries waiting in the bounded admission queue."),
 		feedback: reg.Counter("hmmm_feedback_total",
 			"Positive feedback marks accepted."),
 		persistFailures: reg.Counter("hmmm_feedback_persist_failures_total",

@@ -23,6 +23,7 @@ import (
 
 	"github.com/videodb/hmmm/internal/api"
 	"github.com/videodb/hmmm/internal/atomicwrite"
+	"github.com/videodb/hmmm/internal/coalesce"
 	"github.com/videodb/hmmm/internal/features"
 	"github.com/videodb/hmmm/internal/feedback"
 	"github.com/videodb/hmmm/internal/hmmm"
@@ -68,6 +69,13 @@ type Server struct {
 	draining atomic.Bool
 	// sem is the admission semaphore (nil = unlimited).
 	sem chan struct{}
+	// lanes is the two-lane priority admission controller for /api/query
+	// (nil = single-semaphore admission via sem). When enabled, the
+	// generic gate skips the query route and lane slots are consumed by
+	// coalesce leaders only — waiters ride for free.
+	lanes *laneController
+	// coalescer deduplicates identical in-flight queries (nil = off).
+	coalescer *coalesce.Group[*queryOutcome]
 
 	// metrics is the server's observability catalog; its inflight gauge
 	// (maintained by the admission middleware) is the single source for
@@ -159,6 +167,25 @@ type Config struct {
 	// deadline in sharded mode; 0 means only the per-query deadline
 	// applies.
 	ShardTimeout time.Duration
+	// Coalesce deduplicates identical in-flight /api/query requests:
+	// requests whose canonical pattern, result-affecting options,
+	// deadline budget, and model generation all match share one
+	// retrieval execution, and the single ranking fans out to every
+	// caller. Results are bit-identical to uncoalesced serving. Off by
+	// default (hmmmd enables it via -coalesce).
+	Coalesce bool
+	// FastLaneCost, when > 0, replaces the single-semaphore admission of
+	// /api/query with the two-lane controller: queries whose estimated
+	// lattice cost (Engine.EstimateCost) is at or under this threshold
+	// take the fast lane; costlier queries take the heavy lane, whose
+	// concurrency is bounded and whose bounded wait queue sheds with
+	// 503 + Retry-After before a queued query's deadline could expire.
+	// The lanes split MaxInflight slots (heavy gets a quarter, minimum
+	// one). 0 keeps the single-semaphore behavior.
+	FastLaneCost int
+	// HeavyQueue bounds how many heavy queries may wait for a heavy-lane
+	// slot (0 = DefaultHeavyQueue). Only meaningful with FastLaneCost.
+	HeavyQueue int
 }
 
 // DefaultMaxRequestBytes caps request bodies when Config.MaxRequestBytes
@@ -218,6 +245,31 @@ func New(cfg Config) (*Server, error) {
 	}
 	if s.maxInflight > 0 {
 		s.sem = make(chan struct{}, s.maxInflight)
+	}
+	if cfg.FastLaneCost > 0 {
+		total := s.maxInflight
+		if total <= 0 {
+			total = defaultLaneSlots()
+		}
+		heavy := total / 4
+		if heavy < 1 {
+			heavy = 1
+		}
+		fast := total - heavy
+		if fast < 1 {
+			fast = 1
+		}
+		queue := cfg.HeavyQueue
+		if queue <= 0 {
+			queue = DefaultHeavyQueue
+		}
+		s.lanes = newLaneController(cfg.FastLaneCost, fast, heavy, queue, metrics)
+	}
+	if cfg.Coalesce {
+		s.coalescer = coalesce.NewGroup[*queryOutcome]()
+		s.coalescer.Requests = metrics.coalesceRequests
+		s.coalescer.Leaders = metrics.coalesceLeaders
+		s.coalescer.Hits = metrics.coalesceHits
 	}
 	if s.shards > 0 {
 		s.shardMetrics = shard.NewMetrics(reg)
@@ -405,6 +457,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		PendingFeedback: s.log.Pending(),
 		Inflight:        int(s.metrics.inflight.Value()),
 		MaxInflight:     s.maxInflight,
+		Lanes:           s.lanes.lanes(),
 	}
 	status := http.StatusOK
 	if s.draining.Load() {
@@ -463,7 +516,18 @@ func (s *Server) runtimeStats() *api.RuntimeStatsJSON {
 	if lookups > 0 {
 		hitRate = float64(hits) / float64(lookups)
 	}
+	coReq := m.coalesceRequests.Value()
+	coHits := m.coalesceHits.Value()
+	coRate := 0.0
+	if coReq > 0 {
+		coRate = float64(coHits) / float64(coReq)
+	}
 	return &api.RuntimeStatsJSON{
+		CoalesceRequests: coReq,
+		CoalesceLeaders:  m.coalesceLeaders.Value(),
+		CoalesceHits:     coHits,
+		CoalesceHitRate:  coRate,
+		Lanes:            s.lanes.lanes(),
 		UptimeSeconds:    uptime,
 		Requests:         requests,
 		QPS:              qps,
@@ -650,40 +714,43 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var req QueryRequest
-	if !decodeJSON(w, r, &req) {
-		return
-	}
-	queries, err := matn.CompileString(req.Pattern)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
+// queryOutcome is the result of one /api/query execution, shaped so a
+// coalesced waiter can render its response without re-running anything:
+// the snapshot the leader executed on (waiters must render event names
+// and Explain from the leader's generation, not whatever is published
+// when they wake), the derived engine for Explain, and the merged
+// ranking with its cost accounting.
+type queryOutcome struct {
+	snap    *snapshot
+	engine  *retrieval.Engine
+	matches []retrieval.Match
+	cost    retrieval.Cost
+}
 
-	// Per-request deadline: the server ceiling, tightened by the client's
-	// timeout_ms. The context also carries the client-disconnect signal,
-	// so an abandoned query stops consuming CPU at the next poll.
-	ctx := r.Context()
-	if d := s.effectiveQueryTimeout(req.TimeoutMS); d > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, d)
-		defer cancel()
-	}
-
-	// One snapshot load serves the whole request: the engine and the model
-	// read below are the same generation even if a retrain publishes a new
-	// one mid-request.
+// executeQuery runs one query through the coalescer (or directly when
+// coalescing is off — a nil group passes through). The key pins the
+// model generation of the snapshot loaded HERE: the leader executes on
+// exactly this snapshot, so two requests straddling a retrain publish
+// never share a result one of them could prove stale.
+func (s *Server) executeQuery(ctx context.Context, req QueryRequest, canonical string,
+	queries []retrieval.Query, scope *retrieval.Scope, opts retrieval.Options,
+	budget time.Duration) (*queryOutcome, error) {
 	snap := s.current.Load()
-	opts := s.opts
-	if req.TopK > 0 {
-		opts.TopK = req.TopK
-	}
-	if req.Beam > 0 {
-		opts.Beam = req.Beam
-	}
-	opts.CrossVideo = opts.CrossVideo || req.CrossVideo
-	opts.AnnotatedOnly = !req.SimilarShots
+	key := coalesce.QueryKey(snap.gen, canonical, opts, scope, int64(budget))
+	out, _, err := s.coalescer.Do(ctx, key, func(execCtx context.Context) (*queryOutcome, error) {
+		return s.runQuery(execCtx, req, snap, queries, scope, opts, budget)
+	})
+	return out, err
+}
+
+// runQuery is the leader body of one query execution: lane admission,
+// deadline start, retrieval over every compiled pattern, merge, and
+// slow-query accounting. ctx is the coalescer's execution context — it
+// stays live until every participant has gone, so one impatient waiter
+// never cancels a retrieval others still want.
+func (s *Server) runQuery(ctx context.Context, req QueryRequest, snap *snapshot,
+	queries []retrieval.Query, scope *retrieval.Scope, opts retrieval.Options,
+	budget time.Duration) (*queryOutcome, error) {
 	// With the slow-query log enabled, attach a per-request trace so a
 	// logged entry can say where its time went (order/search/rank).
 	var qtrace *obs.Trace
@@ -710,31 +777,38 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		search = snap.group.WithOptions(opts)
 	}
 
+	// Two-lane admission. Only this leader consumes a lane slot — every
+	// coalesced waiter rides it — and the execution deadline starts
+	// strictly AFTER admission, so time spent in the heavy queue never
+	// burns the budget the search was promised.
+	if s.lanes != nil {
+		est := 0
+		for _, q := range queries {
+			q.Scope = scope
+			est += engine.EstimateCost(q)
+		}
+		release, err := s.lanes.admit(ctx, est, budget)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+	}
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+
 	// An MATN may compile to several linear patterns (alternation,
 	// optional steps); results are merged and deduplicated by state
 	// sequence, keeping the best score.
-	var scope *retrieval.Scope
-	if req.ScopeVideo != 0 || req.ScopeFromMS != 0 || req.ScopeToMS != 0 {
-		scope = &retrieval.Scope{
-			Video:  videomodel.VideoID(req.ScopeVideo),
-			FromMS: req.ScopeFromMS,
-			ToMS:   req.ScopeToMS,
-		}
-		probe := queries[0]
-		probe.Scope = scope
-		if err := probe.Validate(); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-	}
 	var all []retrieval.Match
 	var cost retrieval.Cost
 	for _, q := range queries {
 		q.Scope = scope
 		res, err := search.RetrieveContext(ctx, q)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
+			return nil, err
 		}
 		all = append(all, res.Matches...)
 		cost.SimEvals += res.Cost.SimEvals
@@ -751,6 +825,82 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if qtrace != nil {
 		s.recordSlowQuery(req, qtrace, time.Since(qstart), len(merged), len(queries), cost, opts)
 	}
+	return &queryOutcome{snap: snap, engine: engine, matches: merged, cost: cost}, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	network, err := matn.Parse(req.Pattern)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	queries, err := network.Compile()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The coalesce key uses the canonical rendering, so spelling variants
+	// of the same network ("a->b", "a -> b") share one execution. Format
+	// round-trips anything Parse accepts; the raw text is a safe
+	// fallback (worst case: a missed coalescing opportunity).
+	canonical, err := network.Format()
+	if err != nil {
+		canonical = req.Pattern
+	}
+
+	var scope *retrieval.Scope
+	if req.ScopeVideo != 0 || req.ScopeFromMS != 0 || req.ScopeToMS != 0 {
+		scope = &retrieval.Scope{
+			Video:  videomodel.VideoID(req.ScopeVideo),
+			FromMS: req.ScopeFromMS,
+			ToMS:   req.ScopeToMS,
+		}
+		probe := queries[0]
+		probe.Scope = scope
+		if err := probe.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+
+	opts := s.opts
+	if req.TopK > 0 {
+		opts.TopK = req.TopK
+	}
+	if req.Beam > 0 {
+		opts.Beam = req.Beam
+	}
+	opts.CrossVideo = opts.CrossVideo || req.CrossVideo
+	opts.AnnotatedOnly = !req.SimilarShots
+
+	// The effective deadline budget is resolved here but started inside
+	// runQuery, after admission. It participates in the coalesce key so
+	// every rider shares the leader's truncation behavior.
+	budget := s.effectiveQueryTimeout(req.TimeoutMS)
+	out, err := s.executeQuery(r.Context(), req, canonical, queries, scope, opts, budget)
+	if err != nil {
+		var shed *shedError
+		switch {
+		case errors.As(err, &shed):
+			s.metrics.shed.Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(shed.retryAfter))
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, context.Canceled):
+			// This request's own client went away while waiting on a
+			// coalesced execution or in an admission queue; nobody is
+			// listening for the body.
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	snap, merged, cost := out.snap, out.matches, out.cost
+	engine := out.engine
 
 	var explain func(match retrieval.Match) []api.StepExplanationJSON
 	if req.Explain {
