@@ -8,10 +8,10 @@ BENCH_PATTERN := BenchmarkF2RetrievalGreedy$$|BenchmarkF5PaperQuery$$|BenchmarkP
 # Offline-pipeline benchmarks captured into BENCH_build.json.
 BENCH_BUILD_PATTERN := BenchmarkBuildPaperScale|BenchmarkRetrainPaperScale
 
-.PHONY: build vet test race race-server race-obs race-shard race-all verify bench bench-build bench-scale bench-million bench-serving bench-serving-smoke cover fuzz clean
+.PHONY: build vet test race race-server race-obs race-shard race-all verify e2e bench bench-build bench-scale bench-million bench-serving bench-serving-smoke cover fuzz clean
 
 # Packages whose per-package coverage `make cover` gates at 80%.
-COVER_GATED := internal/shard internal/retrieval internal/matn internal/index
+COVER_GATED := internal/shard internal/retrieval internal/matn internal/index internal/coord internal/rpc
 COVER_MIN := 80.0
 
 build:
@@ -45,6 +45,14 @@ race-all:
 
 verify: vet build test race race-server race-obs race-shard
 
+# End-to-end distributed serving: builds cmd/hmmm-shardd, boots 3 real
+# shard processes plus an in-process coordinator, and proves the
+# differential (bit-identity vs a local oracle), the chaos smoke
+# (SIGKILL one shard -> committed partials, restart -> exact again),
+# and goroutine-leak-free shutdown, all under the race detector.
+e2e:
+	$(GO) test -tags e2e -race -count=1 -timeout 5m ./e2e/
+
 # Heavy-traffic serving curve: cmd/hmmmload offers the same bursty
 # mixed workload (repeated + unique + heavy queries) to an in-process
 # server twice — coalescing + two-lane admission off, then on — and the
@@ -55,6 +63,9 @@ bench-serving:
 	$(GO) run ./cmd/hmmmload -compare -bench \
 		| $(GO) run ./cmd/benchjson -out BENCH_serving.json \
 			-note "request coalescing + two-lane admission vs single-semaphore serving"
+	$(GO) run ./cmd/hmmmload -coord 3 -bench -assert-degraded -assert-no-errors \
+		| $(GO) run ./cmd/benchjson -out BENCH_serving.json \
+			-note "coordinated 3-shard serving; one shard killed at t/3 and restarted at 2t/3 (goodput + degraded rate through the fault)"
 
 # CI smoke for the serving path: a short single run that must produce
 # coalesce hits and zero errors (admission 503s are not errors).

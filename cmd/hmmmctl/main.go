@@ -28,6 +28,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
@@ -117,43 +118,75 @@ func runStats(ctx context.Context, cl *client.Client) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("videos:            %d\n", st.Videos)
-	fmt.Printf("states:            %d\n", st.States)
-	fmt.Printf("concepts:          %d\n", st.Concepts)
-	fmt.Printf("features:          %d\n", st.Features)
-	fmt.Printf("distinct patterns: %d\n", st.DistinctPatterns)
-	fmt.Printf("pending feedback:  %d\n", st.PendingFeedback)
+	renderStats(os.Stdout, st)
+	return nil
+}
+
+// renderStats prints the stats report. Sections a server does not
+// report — older binaries predating lanes/coalesce/shards, local
+// servers with no coordinator — are omitted entirely rather than
+// rendered as zero-valued blocks, so `hmmmctl stats` stays honest
+// against every server version during a rolling rollout.
+func renderStats(w io.Writer, st *api.StatsResponse) {
+	fmt.Fprintf(w, "videos:            %d\n", st.Videos)
+	fmt.Fprintf(w, "states:            %d\n", st.States)
+	fmt.Fprintf(w, "concepts:          %d\n", st.Concepts)
+	fmt.Fprintf(w, "features:          %d\n", st.Features)
+	fmt.Fprintf(w, "distinct patterns: %d\n", st.DistinctPatterns)
+	fmt.Fprintf(w, "pending feedback:  %d\n", st.PendingFeedback)
 	if rt := st.Runtime; rt != nil {
-		fmt.Printf("runtime:\n")
-		fmt.Printf("  uptime:           %.0fs\n", rt.UptimeSeconds)
-		fmt.Printf("  requests:         %d (%.2f qps)\n", rt.Requests, rt.QPS)
-		fmt.Printf("  query latency:    p50=%.2fms p95=%.2fms p99=%.2fms\n",
+		fmt.Fprintf(w, "runtime:\n")
+		fmt.Fprintf(w, "  uptime:           %.0fs\n", rt.UptimeSeconds)
+		fmt.Fprintf(w, "  requests:         %d (%.2f qps)\n", rt.Requests, rt.QPS)
+		fmt.Fprintf(w, "  query latency:    p50=%.2fms p95=%.2fms p99=%.2fms\n",
 			rt.QueryP50MS, rt.QueryP95MS, rt.QueryP99MS)
-		fmt.Printf("  sim cache hits:   %.1f%%\n", rt.SimCacheHitRate*100)
-		fmt.Printf("  inflight:         %d\n", rt.Inflight)
-		fmt.Printf("  shed / panics:    %d / %d\n", rt.Shed, rt.Panics)
-		fmt.Printf("  slow / truncated: %d / %d\n", rt.SlowQueries, rt.TruncatedQueries)
-		fmt.Printf("  model generation: %d\n", rt.ModelGeneration)
-		fmt.Printf("  retrains:         %d (%d failed)\n", rt.Retrains, rt.RetrainFailures)
-		fmt.Printf("  persist failures: %d\n", rt.PersistFailures)
+		fmt.Fprintf(w, "  sim cache hits:   %.1f%%\n", rt.SimCacheHitRate*100)
+		fmt.Fprintf(w, "  inflight:         %d\n", rt.Inflight)
+		fmt.Fprintf(w, "  shed / panics:    %d / %d\n", rt.Shed, rt.Panics)
+		fmt.Fprintf(w, "  slow / truncated: %d / %d\n", rt.SlowQueries, rt.TruncatedQueries)
+		fmt.Fprintf(w, "  model generation: %d\n", rt.ModelGeneration)
+		fmt.Fprintf(w, "  retrains:         %d (%d failed)\n", rt.Retrains, rt.RetrainFailures)
+		fmt.Fprintf(w, "  persist failures: %d\n", rt.PersistFailures)
+		// A server predating coalescing reports no counters at all (all
+		// zero after decode); one with coalescing off reports zeros too.
+		// Either way there is nothing to say.
 		if rt.CoalesceRequests > 0 {
-			fmt.Printf("  coalesce:         %.1f%% hit rate (%d of %d requests rode an in-flight query)\n",
+			fmt.Fprintf(w, "  coalesce:         %.1f%% hit rate (%d of %d requests rode an in-flight query)\n",
 				rt.CoalesceHitRate*100, rt.CoalesceHits, rt.CoalesceRequests)
 		}
 		if l := rt.Lanes; l != nil {
-			fmt.Printf("  lanes (fast at cost <= %d):\n", l.FastLaneCost)
-			fmt.Printf("    fast:  %d/%d in flight, %d admitted, %d shed\n",
+			fmt.Fprintf(w, "  lanes (fast at cost <= %d):\n", l.FastLaneCost)
+			fmt.Fprintf(w, "    fast:  %d/%d in flight, %d admitted, %d shed\n",
 				l.Fast.Inflight, l.Fast.Capacity, l.Fast.Admitted, l.Fast.Shed)
-			fmt.Printf("    heavy: %d/%d in flight, %d/%d queued, %d admitted, %d shed\n",
+			fmt.Fprintf(w, "    heavy: %d/%d in flight, %d/%d queued, %d admitted, %d shed\n",
 				l.Heavy.Inflight, l.Heavy.Capacity, l.Heavy.Queued, l.Heavy.QueueCap,
 				l.Heavy.Admitted, l.Heavy.Shed)
 		}
 	}
-	fmt.Printf("events:\n")
-	for name, n := range st.EventCounts {
-		fmt.Printf("  %-14s %d\n", name, n)
+	if len(st.Shards) > 0 {
+		fmt.Fprintf(w, "shards:\n")
+		for _, sh := range st.Shards {
+			fmt.Fprintf(w, "  shard %-2d %3d videos, %5d states\n", sh.Shard, sh.Videos, sh.States)
+		}
 	}
-	return nil
+	if c := st.Coord; c != nil {
+		fmt.Fprintf(w, "coordinator (%d remote shards):\n", c.Shards)
+		fmt.Fprintf(w, "  queries:          %d (%d degraded)\n", c.Queries, c.DegradedQueries)
+		fmt.Fprintf(w, "  retries / hedges: %d / %d (%d hedge wins)\n", c.Retries, c.Hedges, c.HedgeWins)
+		fmt.Fprintf(w, "  ejections:        %d (%d readmitted)\n", c.Ejections, c.Readmissions)
+		fmt.Fprintf(w, "  gen conflicts:    %d\n", c.GenConflicts)
+		for _, ep := range c.Endpoints {
+			fmt.Fprintf(w, "  shard %-2d %-21s %-8s gen=%d", ep.Shard, ep.Addr, ep.State, ep.Generation)
+			if ep.ConsecutiveErrors > 0 {
+				fmt.Fprintf(w, " consecutive_errors=%d", ep.ConsecutiveErrors)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintf(w, "events:\n")
+	for name, n := range st.EventCounts {
+		fmt.Fprintf(w, "  %-14s %d\n", name, n)
+	}
 }
 
 func runMetrics(ctx context.Context, cl *client.Client) error {

@@ -26,6 +26,19 @@
 //	                   exact-only, bit-identical to prior releases; with
 //	                   -shards the budget applies per shard
 //
+// Distributed serving flags (DESIGN.md §5h):
+//
+//	-coord      string    serve /api/query by scatter-gather over remote
+//	                      shard servers (cmd/hmmm-shardd): ';' separates
+//	                      shards, ',' separates replica addresses of one
+//	                      shard ("h1:8090;h2:8090,h2b:8090"). The local
+//	                      model (same -model or -seed flags as the shard
+//	                      servers) still serves browse and Explain.
+//	                      Mutually exclusive with -shards
+//	-coord-wait duration  how long to wait at startup for every shard to
+//	                      report READY with the expected identity
+//	                      (default 30s; 0 skips the check)
+//
 // Resilience flags:
 //
 //	-query-timeout  duration  per-query deadline; expired queries return
@@ -85,6 +98,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/videodb/hmmm/internal/coord"
 	"github.com/videodb/hmmm/internal/dataset"
 	"github.com/videodb/hmmm/internal/hmmm"
 	"github.com/videodb/hmmm/internal/obs"
@@ -108,6 +122,9 @@ func main() {
 		fbLog     = flag.String("feedback-log", "", "persist the feedback log to this path")
 		shards    = flag.Int("shards", 0, "scatter-gather shard count (0 = unsharded)")
 		coarse    = flag.Int("coarse-candidates", 0, "coarse prefilter budget per query step (0 = exact-only)")
+
+		coordSpec = flag.String("coord", "", "remote shard servers to coordinate over (';' shards, ',' replicas; empty = local serving)")
+		coordWait = flag.Duration("coord-wait", 30*time.Second, "startup wait for every remote shard to report READY (0 skips)")
 
 		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "per-query deadline (0 disables)")
 		maxInflight  = flag.Int("max-inflight", 64, "max concurrently served requests (0 disables shedding)")
@@ -156,6 +173,29 @@ func main() {
 			time.Since(start).Seconds(), model.NumStates(), model.NumVideos())
 	}
 
+	var coordinator *coord.Coordinator
+	if *coordSpec != "" {
+		if *shards > 0 {
+			log.Fatalf("-coord and -shards are mutually exclusive")
+		}
+		var err error
+		coordinator, err = coord.Dial(*coordSpec, 2*time.Second,
+			coord.Options{Metrics: coord.NewMetrics(reg)},
+			retrieval.Options{Beam: 4, TopK: 10, CoarseCandidates: *coarse})
+		if err != nil {
+			log.Fatalf("coordinator: %v", err)
+		}
+		if *coordWait > 0 {
+			wctx, cancel := context.WithTimeout(context.Background(), *coordWait)
+			err := coordinator.WaitReady(wctx)
+			cancel()
+			if err != nil {
+				log.Fatalf("waiting for remote shards: %v", err)
+			}
+		}
+		fmt.Printf("coordinating %d remote shards (%s)\n", coordinator.NumShards(), *coordSpec)
+	}
+
 	var slowWriter io.Writer
 	if *slowQuery > 0 {
 		slowWriter = os.Stderr
@@ -166,6 +206,7 @@ func main() {
 		RetrainThreshold:   *retrain,
 		FeedbackLogPath:    *fbLog,
 		Shards:             *shards,
+		Coordinator:        coordinator,
 		QueryTimeout:       *queryTimeout,
 		MaxInflight:        *maxInflight,
 		Coalesce:           *coalesceQ,
@@ -220,6 +261,9 @@ func main() {
 		log.Printf("signal received; draining for up to %v", *grace)
 		if err := srv.Shutdown(hs, *grace); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			log.Fatalf("shutdown: %v", err)
+		}
+		if coordinator != nil {
+			coordinator.Close()
 		}
 		log.Printf("drained and persisted; bye")
 	}

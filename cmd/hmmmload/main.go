@@ -49,6 +49,19 @@
 //	-assert-coalesce   require at least one coalesce hit
 //	-assert-no-errors  require zero transport errors and zero 5xx other
 //	                   than admission 503s
+//
+// Distributed-serving scenario (in-process only):
+//
+//	-coord N        serve the workload through a coordinator over N real
+//	                TCP shard servers (internal/rpc) instead of a single
+//	                engine; goodput and the degraded-query rate are
+//	                reported and emitted on the -bench line
+//	-coord-fault    kill one shard a third of the way into the run and
+//	                restart it at two thirds (default true with -coord):
+//	                queries through the fault window return committed
+//	                partials (200 + cost.degraded_shards), never errors
+//	-assert-degraded   require at least one degraded query (proves the
+//	                   fault window actually hit traffic)
 package main
 
 import (
@@ -67,11 +80,15 @@ import (
 	"time"
 
 	"github.com/videodb/hmmm/internal/api"
+	"github.com/videodb/hmmm/internal/coord"
 	"github.com/videodb/hmmm/internal/dataset"
 	"github.com/videodb/hmmm/internal/hmmm"
 	"github.com/videodb/hmmm/internal/matn"
+	"github.com/videodb/hmmm/internal/obs"
 	"github.com/videodb/hmmm/internal/retrieval"
+	"github.com/videodb/hmmm/internal/rpc"
 	"github.com/videodb/hmmm/internal/server"
+	"github.com/videodb/hmmm/internal/shard"
 )
 
 // cheapPool is the repeated-query substrate: a handful of patterns so
@@ -102,8 +119,12 @@ type opts struct {
 	coalesce                 bool
 	fastLaneCost             int
 
+	coord      int
+	coordFault bool
+
 	assertCoalesce bool
 	assertNoErrors bool
+	assertDegraded bool
 }
 
 func main() {
@@ -130,13 +151,19 @@ func main() {
 	flag.IntVar(&o.maxInflight, "max-inflight", 8, "in-process admission ceiling")
 	flag.BoolVar(&o.coalesce, "coalesce", true, "in-process: enable coalescing + two-lane admission")
 	flag.IntVar(&o.fastLaneCost, "fast-lane-cost", 0, "in-process lane threshold (0 = auto)")
+	flag.IntVar(&o.coord, "coord", 0, "serve through a coordinator over this many TCP shard servers (0 = off)")
+	flag.BoolVar(&o.coordFault, "coord-fault", true, "with -coord: kill one shard at t/3, restart it at 2t/3")
 	flag.BoolVar(&o.assertCoalesce, "assert-coalesce", false, "fail unless at least one coalesce hit occurred")
 	flag.BoolVar(&o.assertNoErrors, "assert-no-errors", false, "fail on any transport error or non-503 5xx")
+	flag.BoolVar(&o.assertDegraded, "assert-degraded", false, "fail unless at least one query degraded (with -coord-fault)")
 	flag.Parse()
 	o.corpusSeed = corpusSeed
 
 	if o.compare && o.addr != "" {
 		log.Fatal("-compare needs the in-process server (drop -addr)")
+	}
+	if o.coord > 0 && (o.addr != "" || o.compare) {
+		log.Fatal("-coord needs the in-process server and is incompatible with -compare")
 	}
 
 	var model *hmmm.Model
@@ -158,6 +185,25 @@ func main() {
 	}
 
 	failed := false
+	if o.coord > 0 {
+		rep := runCoord(model, o)
+		rep.report(os.Stderr)
+		if o.bench {
+			rep.benchLine(os.Stdout)
+		}
+		if o.assertNoErrors && rep.errors > 0 {
+			log.Printf("ASSERT FAILED (%s): %d errors", rep.mode, rep.errors)
+			failed = true
+		}
+		if o.assertDegraded && rep.degradedQueries == 0 {
+			log.Printf("ASSERT FAILED (%s): no degraded queries — the fault window missed all traffic", rep.mode)
+			failed = true
+		}
+		if failed {
+			os.Exit(3)
+		}
+		return
+	}
 	run := func(mode string, coalesce bool) {
 		url := o.addr
 		var stop func()
@@ -249,6 +295,126 @@ func selfServe(model *hmmm.Model, o opts, coalesce bool) (string, func(), error)
 	return "http://" + ln.Addr().String(), stop, nil
 }
 
+// runCoord serves the workload through a real distributed deployment:
+// the archive is split into o.coord shards, each served by its own
+// internal/rpc TCP server, and the HTTP front end scatter-gathers
+// through a coordinator. With -coord-fault, shard 0's server is killed
+// a third of the way into the run and restarted on the same address at
+// two thirds; queries through the window return committed partials
+// (cost.degraded_shards > 0), never errors, and the report carries the
+// measured degraded rate from the coordinator's own counters.
+func runCoord(model *hmmm.Model, o opts) *report {
+	base := retrieval.Options{Beam: 4, TopK: 10}
+	shards, err := shard.Split(model, o.coord)
+	if err != nil {
+		log.Fatalf("splitting model: %v", err)
+	}
+	if len(shards) != o.coord {
+		log.Fatalf("archive splits into %d shards, not the requested %d; lower -coord", len(shards), o.coord)
+	}
+
+	addrs := make([]string, o.coord)
+	servers := make([]*rpc.Server, o.coord)
+	svcs := make([]*rpc.ShardService, o.coord)
+	for i, sh := range shards {
+		svc, err := rpc.NewShardService(sh, i, o.coord, base, 1)
+		if err != nil {
+			log.Fatalf("shard %d service: %v", i, err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("shard %d listen: %v", i, err)
+		}
+		srv := rpc.NewServer(svc, nil)
+		go srv.Serve(ln)
+		svcs[i], servers[i], addrs[i] = svc, srv, ln.Addr().String()
+	}
+
+	reg := obs.NewRegistry()
+	co, err := coord.Dial(strings.Join(addrs, ";"), 2*time.Second, coord.Options{
+		AttemptTimeout: 500 * time.Millisecond,
+		Metrics:        coord.NewMetrics(reg),
+	}, base)
+	if err != nil {
+		log.Fatalf("coordinator: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	err = co.WaitReady(ctx)
+	cancel()
+	if err != nil {
+		log.Fatalf("waiting for shards: %v", err)
+	}
+
+	srv, err := server.New(server.Config{
+		Model: model,
+		Options: retrieval.Options{
+			Beam: 4, TopK: 10, Parallel: 4, MinParallelWork: -1,
+		},
+		MaxInflight:  o.maxInflight,
+		QueryTimeout: time.Duration(o.timeoutMS) * time.Millisecond,
+		Registry:     reg,
+		Coordinator:  co,
+	})
+	if err != nil {
+		log.Fatalf("in-process server: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	fmt.Fprintf(os.Stderr, "hmmmload: coordinating %d shards over %s\n",
+		o.coord, strings.Join(addrs, " "))
+
+	// The fault injector owns servers[0] for the whole run; the cleanup
+	// below only reads it after faultWG.Wait().
+	var faultWG sync.WaitGroup
+	if o.coordFault {
+		faultWG.Add(1)
+		go func() {
+			defer faultWG.Done()
+			victim := addrs[0]
+			time.Sleep(o.duration / 3)
+			servers[0].Close()
+			fmt.Fprintf(os.Stderr, "hmmmload: FAULT shard 0 (%s) killed\n", victim)
+			time.Sleep(o.duration / 3)
+			var rln net.Listener
+			var rerr error
+			for attempt := 0; attempt < 20; attempt++ {
+				if rln, rerr = net.Listen("tcp", victim); rerr == nil {
+					break
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			if rerr != nil {
+				log.Printf("restarting shard 0 on %s: %v", victim, rerr)
+				return
+			}
+			servers[0] = rpc.NewServer(svcs[0], nil)
+			go servers[0].Serve(rln)
+			fmt.Fprintf(os.Stderr, "hmmmload: shard 0 restarted on %s\n", victim)
+		}()
+	}
+
+	rep := drive("http://"+ln.Addr().String(), o)
+	rep.mode = fmt.Sprintf("coord-%d", o.coord)
+	if rep.coordShards == 0 {
+		// /api/stats was unreachable; keep the bench label honest.
+		rep.coordShards = o.coord
+	}
+
+	faultWG.Wait()
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	hs.Shutdown(sctx)
+	scancel()
+	co.Close()
+	for _, s := range servers {
+		s.Close()
+	}
+	return rep
+}
+
 // autoFastLaneCost places the lane threshold halfway between the most
 // expensive cheap-pool estimate and the cheapest heavy-pool estimate,
 // so the generator's own traffic classes provably split across lanes.
@@ -323,6 +489,12 @@ type report struct {
 	coalesceRequests uint64
 	coalesceHits     uint64
 	coalesceHitRate  float64
+
+	coordShards     int
+	coordQueries    uint64
+	degradedQueries uint64
+	coordRetries    uint64
+	coordEjections  uint64
 }
 
 // drive offers the mixed workload open-loop at o.qps for o.duration and
@@ -430,10 +602,19 @@ loop:
 		rep.cheapP99 = percentile(cheapLat, 0.99)
 	}
 
-	if stats := fetchStats(cl, url); stats != nil && stats.Runtime != nil {
-		rep.coalesceRequests = stats.Runtime.CoalesceRequests
-		rep.coalesceHits = stats.Runtime.CoalesceHits
-		rep.coalesceHitRate = stats.Runtime.CoalesceHitRate
+	if stats := fetchStats(cl, url); stats != nil {
+		if stats.Runtime != nil {
+			rep.coalesceRequests = stats.Runtime.CoalesceRequests
+			rep.coalesceHits = stats.Runtime.CoalesceHits
+			rep.coalesceHitRate = stats.Runtime.CoalesceHitRate
+		}
+		if stats.Coord != nil {
+			rep.coordShards = stats.Coord.Shards
+			rep.coordQueries = stats.Coord.Queries
+			rep.degradedQueries = stats.Coord.DegradedQueries
+			rep.coordRetries = stats.Coord.Retries
+			rep.coordEjections = stats.Coord.Ejections
+		}
 	}
 	return rep
 }
@@ -469,15 +650,39 @@ func (r *report) shedRate() float64 {
 	return float64(r.shed) / float64(r.sent)
 }
 
+// degradedRate is the fraction of coordinated queries that committed a
+// partial (some shard unreachable through retries and failover).
+func (r *report) degradedRate() float64 {
+	if r.coordQueries == 0 {
+		return 0
+	}
+	return float64(r.degradedQueries) / float64(r.coordQueries)
+}
+
+// label names the run for the human report and the bench line: the
+// coalesce on/off axis for single-engine runs, the shard count for
+// coordinated ones.
+func (r *report) label() string {
+	if r.coordShards > 0 {
+		return fmt.Sprintf("coord=%d", r.coordShards)
+	}
+	return "coalesce=" + r.mode
+}
+
 func (r *report) report(w *os.File) {
-	fmt.Fprintf(w, "hmmmload: coalesce=%s offered %.0f qps for %.1fs: sent %d, ok %d (goodput %.1f qps), shed %d (%.1f%%), errors %d\n",
-		r.mode, r.offered, r.elapsed.Seconds(), r.sent, r.ok, r.goodput(), r.shed, 100*r.shedRate(), r.errors)
+	fmt.Fprintf(w, "hmmmload: %s offered %.0f qps for %.1fs: sent %d, ok %d (goodput %.1f qps), shed %d (%.1f%%), errors %d\n",
+		r.label(), r.offered, r.elapsed.Seconds(), r.sent, r.ok, r.goodput(), r.shed, 100*r.shedRate(), r.errors)
 	fmt.Fprintf(w, "hmmmload:   latency mean %s p50 %s p95 %s p99 %s (cheap p99 %s)\n",
 		r.mean.Round(time.Microsecond), r.p50.Round(time.Microsecond),
 		r.p95.Round(time.Microsecond), r.p99.Round(time.Microsecond),
 		r.cheapP99.Round(time.Microsecond))
 	fmt.Fprintf(w, "hmmmload:   coalesce: %d requests, %d hits (rate %.2f)\n",
 		r.coalesceRequests, r.coalesceHits, r.coalesceHitRate)
+	if r.coordShards > 0 {
+		fmt.Fprintf(w, "hmmmload:   coord: %d shards, %d queries, %d degraded (rate %.4f), %d retries, %d ejections\n",
+			r.coordShards, r.coordQueries, r.degradedQueries, r.degradedRate(),
+			r.coordRetries, r.coordEjections)
+	}
 }
 
 // benchLine renders the run as one `go test -bench`-style line so
@@ -485,8 +690,15 @@ func (r *report) report(w *os.File) {
 // successful-query latency; the custom units land in the entry's Extra
 // map.
 func (r *report) benchLine(w *os.File) {
-	fmt.Fprintf(w, "BenchmarkServing/coalesce=%s %d %.0f ns/op %d p50-ns/op %d p95-ns/op %d p99-ns/op %d cheap-p99-ns/op %.2f goodput-qps %.2f offered-qps %.4f shed-rate %.4f coalesce-hit-rate\n",
-		r.mode, r.sent, float64(r.mean), r.p50.Nanoseconds(), r.p95.Nanoseconds(),
+	if r.coordShards > 0 {
+		fmt.Fprintf(w, "BenchmarkServing/%s %d %.0f ns/op %d p50-ns/op %d p95-ns/op %d p99-ns/op %.2f goodput-qps %.2f offered-qps %.4f shed-rate %.4f degraded-rate %d degraded-queries %d coord-retries\n",
+			r.label(), r.sent, float64(r.mean), r.p50.Nanoseconds(), r.p95.Nanoseconds(),
+			r.p99.Nanoseconds(), r.goodput(), r.offered, r.shedRate(),
+			r.degradedRate(), r.degradedQueries, r.coordRetries)
+		return
+	}
+	fmt.Fprintf(w, "BenchmarkServing/%s %d %.0f ns/op %d p50-ns/op %d p95-ns/op %d p99-ns/op %d cheap-p99-ns/op %.2f goodput-qps %.2f offered-qps %.4f shed-rate %.4f coalesce-hit-rate\n",
+		r.label(), r.sent, float64(r.mean), r.p50.Nanoseconds(), r.p95.Nanoseconds(),
 		r.p99.Nanoseconds(), r.cheapP99.Nanoseconds(), r.goodput(), r.offered,
 		r.shedRate(), r.coalesceHitRate)
 }

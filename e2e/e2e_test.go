@@ -1,0 +1,297 @@
+//go:build e2e
+
+// Package e2e boots the real distributed deployment — N hmmm-shardd
+// processes speaking the internal/rpc TCP protocol, coordinated by
+// internal/coord — and runs the differential and fault-injection
+// smoke against it. This is the layer the in-process suites cannot
+// cover: real process boundaries, real sockets, real SIGKILL.
+//
+// Gated behind the e2e build tag (`make e2e`) because it shells out to
+// `go build` and boots child processes; the tier-1 loop stays hermetic.
+package e2e
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/videodb/hmmm/internal/coord"
+	"github.com/videodb/hmmm/internal/dataset"
+	"github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/matn"
+	"github.com/videodb/hmmm/internal/obs"
+	"github.com/videodb/hmmm/internal/retrieval"
+	"github.com/videodb/hmmm/internal/retrieval/retrievaltest"
+)
+
+// The corpus every process generates independently: the build is
+// deterministic, so three child processes and the in-test oracle all
+// derive the identical model, which is what makes the differential
+// meaningful across real process boundaries.
+const (
+	corpusSeed      = 31
+	corpusVideos    = 6
+	corpusShots     = 900
+	corpusAnnotated = 300
+	numShards       = 3
+)
+
+var patterns = []string{
+	"goal",
+	"free_kick",
+	"goal -> free_kick",
+	"foul -> goal",
+	"corner_kick",
+}
+
+// buildShardd compiles cmd/hmmm-shardd once into dir.
+func buildShardd(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "hmmm-shardd")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/hmmm-shardd")
+	cmd.Dir = ".."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building hmmm-shardd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freeAddr reserves a loopback port and releases it for the child to
+// bind. The tiny reuse race is acceptable in a test harness.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// startShardd boots one shard server process.
+func startShardd(t *testing.T, bin, addr string, idx int) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-shard", fmt.Sprint(idx), "-of", fmt.Sprint(numShards),
+		"-addr", addr,
+		"-seed", fmt.Sprint(corpusSeed),
+		"-videos", fmt.Sprint(corpusVideos),
+		"-shots", fmt.Sprint(corpusShots),
+		"-annotated", fmt.Sprint(corpusAnnotated),
+		"-shutdown-grace", "200ms",
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting shard %d: %v", idx, err)
+	}
+	return cmd
+}
+
+// TestDistributedServing is the end-to-end pass: boot the fleet, prove
+// bit-identity against a local oracle, SIGKILL a shard and prove
+// committed partials, restart it and prove full recovery, then shut
+// everything down without leaking a goroutine.
+func TestDistributedServing(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	bin := buildShardd(t, t.TempDir())
+	addrs := make([]string, numShards)
+	procs := make([]*exec.Cmd, numShards)
+	for i := range addrs {
+		addrs[i] = freeAddr(t)
+		procs[i] = startShardd(t, bin, addrs[i], i)
+	}
+	defer func() {
+		for _, p := range procs {
+			if p != nil && p.Process != nil {
+				p.Process.Kill()
+				p.Wait()
+			}
+		}
+	}()
+
+	// The in-test oracle: the identical deterministic build the three
+	// child processes each run for themselves.
+	corpus, err := dataset.Build(dataset.Config{
+		Seed: corpusSeed, Videos: corpusVideos, Shots: corpusShots,
+		Annotated: corpusAnnotated, Fast: true,
+	})
+	if err != nil {
+		t.Fatalf("building corpus: %v", err)
+	}
+	model, err := hmmm.Build(corpus.Archive, corpus.Features, hmmm.BuildOptions{LearnP12: true})
+	if err != nil {
+		t.Fatalf("building model: %v", err)
+	}
+	base := retrieval.Options{Beam: 4, TopK: 10}
+	oracle, err := retrieval.NewEngine(model, base)
+	if err != nil {
+		t.Fatalf("oracle engine: %v", err)
+	}
+
+	reg := obs.NewRegistry()
+	co, err := coord.Dial(strings.Join(addrs, ";"), 2*time.Second, coord.Options{
+		RetryBase:      5 * time.Millisecond,
+		RetryMax:       50 * time.Millisecond,
+		AttemptTimeout: 2 * time.Second,
+		EjectBackoff:   100 * time.Millisecond,
+		Metrics:        coord.NewMetrics(reg),
+	}, base)
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	err = co.WaitReady(ctx)
+	cancel()
+	if err != nil {
+		t.Fatalf("fleet never became ready: %v", err)
+	}
+
+	queries := compileAll(t)
+
+	// Phase 1: differential. Every pattern's coordinated ranking must be
+	// bit-identical to the local single-engine oracle, with no shard
+	// degraded — across real sockets and real gob frames.
+	for qi, q := range queries {
+		want, err := oracle.Retrieve(q)
+		if err != nil {
+			t.Fatalf("query %d: oracle: %v", qi, err)
+		}
+		got, err := co.Retrieve(q)
+		if err != nil {
+			t.Fatalf("query %d: coordinator: %v", qi, err)
+		}
+		if got.Cost.DegradedShards != 0 || got.Cost.Truncated {
+			t.Fatalf("query %d degraded on a healthy fleet: %+v", qi, got.Cost)
+		}
+		retrievaltest.RequireSameMatches(t, fmt.Sprintf("query %d", qi), want.Matches, got.Matches)
+	}
+	t.Logf("differential: %d queries bit-identical across %d processes", len(queries), numShards)
+
+	// Phase 2: chaos smoke. SIGKILL shard 0 — no drain, no goodbye —
+	// and the fleet must keep answering with committed partials
+	// (Truncated + DegradedShards), never an error.
+	if err := procs[0].Process.Kill(); err != nil {
+		t.Fatalf("killing shard 0: %v", err)
+	}
+	procs[0].Wait()
+	procs[0] = nil
+	degraded := false
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		res, err := co.Retrieve(queries[0])
+		if err != nil {
+			t.Fatalf("query against degraded fleet errored: %v", err)
+		}
+		if res.Cost.DegradedShards > 0 {
+			if !res.Cost.Truncated {
+				t.Fatal("degraded result must set Cost.Truncated")
+			}
+			degraded = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !degraded {
+		t.Fatal("killed shard never surfaced as degraded")
+	}
+	if st := co.Stats(); st.DegradedQueries == 0 {
+		t.Fatalf("stats report no degraded queries after the kill: %+v", st)
+	}
+
+	// Phase 3: recovery. Restart shard 0 on the same address; the
+	// health gate must re-admit it and the ranking must return to the
+	// exact oracle — no residue from the fault.
+	procs[0] = startShardd(t, bin, addrs[0], 0)
+	recovered := false
+	deadline = time.Now().Add(90 * time.Second)
+	for time.Now().Before(deadline) {
+		res, err := co.Retrieve(queries[0])
+		if err != nil {
+			t.Fatalf("query during recovery errored: %v", err)
+		}
+		if res.Cost.DegradedShards == 0 && !res.Cost.Truncated {
+			recovered = true
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("restarted shard was never re-admitted")
+	}
+	for qi, q := range queries {
+		want, _ := oracle.Retrieve(q)
+		got, err := co.Retrieve(q)
+		if err != nil {
+			t.Fatalf("post-recovery query %d: %v", qi, err)
+		}
+		retrievaltest.RequireSameMatches(t, fmt.Sprintf("post-recovery query %d", qi), want.Matches, got.Matches)
+	}
+	t.Logf("recovery: fleet exact again after SIGKILL + restart")
+
+	// Phase 4: clean shutdown. SIGTERM drains each process (exit 0),
+	// the coordinator closes, and the test process must return to its
+	// baseline goroutine count — a leaked rpc client or prober would
+	// hold the count up.
+	for i, p := range procs {
+		if err := p.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatalf("signalling shard %d: %v", i, err)
+		}
+	}
+	for i, p := range procs {
+		if err := waitFor(p, 30*time.Second); err != nil {
+			t.Fatalf("shard %d did not drain cleanly: %v", i, err)
+		}
+		procs[i] = nil
+	}
+	co.Close()
+
+	settle := time.Now().Add(10 * time.Second)
+	for time.Now().Before(settle) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Fatalf("goroutine leak after shutdown: %d, baseline %d\n%s",
+		runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+}
+
+func compileAll(t *testing.T) []retrieval.Query {
+	t.Helper()
+	var out []retrieval.Query
+	for _, p := range patterns {
+		qs, err := matn.CompileString(p)
+		if err != nil {
+			t.Fatalf("compiling %q: %v", p, err)
+		}
+		out = append(out, qs...)
+	}
+	return out
+}
+
+// waitFor waits for a child to exit, failing on a non-zero status or a
+// timeout.
+func waitFor(cmd *exec.Cmd, timeout time.Duration) error {
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		cmd.Process.Kill()
+		<-done
+		return fmt.Errorf("timed out after %v", timeout)
+	}
+}

@@ -77,6 +77,11 @@ type CostJSON struct {
 	// disconnected) before the traversal finished: the matches are a
 	// valid ranking of the part of the archive that was searched.
 	Truncated bool `json:"truncated,omitempty"`
+	// DegradedShards counts remote shards missing from this ranking
+	// because they stayed unreachable past the coordinator's retry
+	// budget; non-zero implies truncated. Absent on single-process
+	// servers.
+	DegradedShards int `json:"degraded_shards,omitempty"`
 }
 
 // FeedbackRequest marks one retrieved pattern positive.
@@ -106,6 +111,36 @@ type StatsResponse struct {
 	// Shards lists per-shard totals when the server runs sharded
 	// scatter-gather retrieval; absent on an unsharded server.
 	Shards []ShardStatsJSON `json:"shards,omitempty"`
+	// Coord is the distributed-serving roll-up when the server runs as
+	// a coordinator over remote shard servers; absent otherwise.
+	Coord *CoordStatsJSON `json:"coord,omitempty"`
+}
+
+// CoordStatsJSON summarizes the coordinator's view of its remote
+// shards: fan-out health, hedging/retry activity, and degradation.
+type CoordStatsJSON struct {
+	Shards          int                 `json:"shards"`
+	Queries         uint64              `json:"queries"`
+	Retries         uint64              `json:"retries"`
+	Hedges          uint64              `json:"hedges"`
+	HedgeWins       uint64              `json:"hedge_wins"`
+	Ejections       uint64              `json:"ejections"`
+	Readmissions    uint64              `json:"readmissions"`
+	DegradedQueries uint64              `json:"degraded_queries"`
+	GenConflicts    uint64              `json:"gen_conflicts"`
+	Endpoints       []CoordEndpointJSON `json:"endpoints"`
+}
+
+// CoordEndpointJSON is one remote shard replica as the coordinator
+// sees it.
+type CoordEndpointJSON struct {
+	Shard int    `json:"shard"`
+	Addr  string `json:"addr"`
+	// State is "healthy", "ejected", or "probing" (half-open).
+	State string `json:"state"`
+	// ConsecutiveErrors is the current transient-error streak.
+	ConsecutiveErrors int    `json:"consecutive_errors,omitempty"`
+	Generation        uint64 `json:"generation,omitempty"`
 }
 
 // ShardStatsJSON summarizes one retrieval shard.

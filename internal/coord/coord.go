@@ -1,0 +1,579 @@
+// Package coord is the network coordinator of distributed shard
+// serving: it scatters retrievals over remote shard servers
+// (cmd/hmmm-shardd, spoken to through internal/rpc) and gathers the
+// per-shard rankings with the same MergeRanked path the in-process
+// shard.Group uses — so with every shard healthy the coordinated
+// ranking is bit-identical to the local group's, scores and tie-breaks
+// included.
+//
+// Robustness around that exact core:
+//
+//   - Retry: each shard request is retried on connect/transient errors
+//     with capped exponential backoff plus jitter.
+//   - Hedging: after a delay derived from the endpoint's own p95
+//     latency, a second, speculative request goes to another replica;
+//     the first response wins and the loser is cancelled.
+//   - Health gating: passive failure detection ejects an endpoint after
+//     a run of consecutive transient errors, backs off with capped
+//     doubling, then half-opens a single probe to readmit it.
+//   - Replica fan-out: each shard may list several replica addresses;
+//     routing round-robins across the healthy ones.
+//   - Generation consistency: responses carry the model generation, and
+//     the coordinator refuses to merge mixed generations — stale shards
+//     are re-queried, then dropped (degraded) rather than merged.
+//   - Graceful degradation: a shard that stays down past the retry
+//     budget is dropped from the merge; the query still returns the
+//     committed partial ranking with Cost.Truncated set and
+//     Cost.DegradedShards counting the missing shards. A coordinated
+//     query never fails because a shard did.
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/videodb/hmmm/internal/api"
+	"github.com/videodb/hmmm/internal/par"
+	"github.com/videodb/hmmm/internal/retrieval"
+	"github.com/videodb/hmmm/internal/rpc"
+)
+
+// Options tunes the coordinator's robustness machinery. The zero value
+// of every field is replaced with the stated default.
+type Options struct {
+	// MaxAttempts bounds tries per shard per query (first + retries).
+	// Default 3.
+	MaxAttempts int
+	// RetryBase / RetryMax bound the capped exponential retry backoff
+	// (base doubles per retry, jittered ±50%). Defaults 10ms / 250ms.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// HedgeMin / HedgeMax clamp the p95-derived hedge delay; until an
+	// endpoint has HedgeAfterN observations the delay is HedgeMax.
+	// Defaults 1ms / 100ms / 16.
+	HedgeMin    time.Duration
+	HedgeMax    time.Duration
+	HedgeAfterN uint64
+	// AttemptTimeout bounds a single shard attempt even when the query
+	// context has no deadline — the cap that turns a blackholed server
+	// into a retryable failure instead of a hang. Default 2s.
+	AttemptTimeout time.Duration
+	// EjectThreshold is the consecutive-transient-error run that ejects
+	// an endpoint; EjectBackoff / EjectBackoffMax bound the doubling
+	// re-probe backoff. Defaults 3 / 250ms / 4s.
+	EjectThreshold  int
+	EjectBackoff    time.Duration
+	EjectBackoffMax time.Duration
+	// GenRetries bounds re-query rounds for generation-stale shards
+	// before they are dropped as degraded. Default 2.
+	GenRetries int
+	// Workers bounds the scatter fan-out (0 = one goroutine per shard,
+	// capped by GOMAXPROCS via par.For).
+	Workers int
+	// Seed seeds the jitter RNG (0 = a fixed default; determinism in
+	// tests, decorrelation in production comes from per-process seeds).
+	Seed uint64
+	// Metrics, when non-nil, receives the hmmm_coord_* observations.
+	Metrics *Metrics
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 10 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 250 * time.Millisecond
+	}
+	if o.HedgeMin <= 0 {
+		o.HedgeMin = time.Millisecond
+	}
+	if o.HedgeMax <= 0 {
+		o.HedgeMax = 100 * time.Millisecond
+	}
+	if o.HedgeAfterN == 0 {
+		o.HedgeAfterN = 16
+	}
+	if o.AttemptTimeout <= 0 {
+		o.AttemptTimeout = 2 * time.Second
+	}
+	if o.EjectThreshold <= 0 {
+		o.EjectThreshold = 3
+	}
+	if o.EjectBackoff <= 0 {
+		o.EjectBackoff = 250 * time.Millisecond
+	}
+	if o.EjectBackoffMax <= 0 {
+		o.EjectBackoffMax = 4 * time.Second
+	}
+	if o.GenRetries <= 0 {
+		o.GenRetries = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x6d6d6d // "mmm"
+	}
+	return o
+}
+
+// errAllEjected reports a shard whose every replica is ejected and
+// still backing off: the query degrades immediately instead of paying
+// doomed dials.
+var errAllEjected = errors.New("coord: all replicas ejected")
+
+// errAttemptTimeout marks an attempt that exhausted AttemptTimeout
+// while the query itself still had budget — retryable, unlike a parent
+// deadline.
+var errAttemptTimeout = errors.New("coord: shard attempt timed out")
+
+// Coordinator scatters retrievals over remote shards and gathers them
+// into one exact global ranking. It is safe for concurrent use;
+// WithOptions derives per-request views sharing all health state.
+type Coordinator struct {
+	sets  []*shardSet
+	opts  retrieval.Options
+	copts Options
+	met   *Metrics
+
+	rngMu *sync.Mutex
+	rng   *rand.Rand
+}
+
+// New builds a coordinator over transports[i] = the replica transports
+// of shard i. baseOpts carries the result-affecting retrieval options
+// (observers are ignored; the coordinator records Metrics instead).
+func New(transports [][]Transport, baseOpts retrieval.Options, copts Options) (*Coordinator, error) {
+	if len(transports) == 0 {
+		return nil, errors.New("coord: no shards")
+	}
+	copts = copts.withDefaults()
+	c := &Coordinator{
+		opts:  baseOpts,
+		copts: copts,
+		met:   copts.Metrics,
+		rngMu: &sync.Mutex{},
+		rng:   rand.New(rand.NewSource(int64(copts.Seed))),
+	}
+	for i, group := range transports {
+		if len(group) == 0 {
+			return nil, fmt.Errorf("coord: shard %d has no endpoints", i)
+		}
+		set := &shardSet{}
+		for _, tr := range group {
+			set.endpoints = append(set.endpoints, newEndpoint(tr))
+		}
+		c.sets = append(c.sets, set)
+	}
+	return c, nil
+}
+
+// Dial parses spec (see ParseShards) and connects an rpc client per
+// replica address.
+func Dial(spec string, dialTimeout time.Duration, copts Options, baseOpts retrieval.Options) (*Coordinator, error) {
+	groups, err := ParseShards(spec)
+	if err != nil {
+		return nil, err
+	}
+	transports := make([][]Transport, len(groups))
+	for i, addrs := range groups {
+		for _, addr := range addrs {
+			transports[i] = append(transports[i], rpc.NewClient(addr, dialTimeout, 2))
+		}
+	}
+	return New(transports, baseOpts, copts)
+}
+
+// ParseShards parses a shard spec: ';' separates shards, ',' separates
+// replica addresses of one shard. "a:1;b:1,b:2" = two shards, the
+// second with two replicas.
+func ParseShards(spec string) ([][]string, error) {
+	var out [][]string
+	for _, shardSpec := range strings.Split(spec, ";") {
+		var addrs []string
+		for _, a := range strings.Split(shardSpec, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			return nil, fmt.Errorf("coord: empty shard in spec %q", spec)
+		}
+		out = append(out, addrs)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("coord: empty shard spec")
+	}
+	return out, nil
+}
+
+// WithOptions returns a coordinator view using opts for its requests
+// (and the merge's TopK) while sharing every endpoint's health state,
+// latency history, and metrics with the receiver.
+func (c *Coordinator) WithOptions(opts retrieval.Options) *Coordinator {
+	nc := *c
+	nc.opts = opts
+	return &nc
+}
+
+// NumShards returns the shard fan-out.
+func (c *Coordinator) NumShards() int { return len(c.sets) }
+
+// Close closes every replica transport.
+func (c *Coordinator) Close() {
+	for _, set := range c.sets {
+		for _, ep := range set.endpoints {
+			ep.tr.Close()
+		}
+	}
+}
+
+// Retrieve is RetrieveContext with a background context.
+func (c *Coordinator) Retrieve(q retrieval.Query) (*retrieval.Result, error) {
+	return c.RetrieveContext(context.Background(), q)
+}
+
+// RetrieveContext scatters q over the remote shards and gathers the
+// rankings. Shard failures degrade the result (Cost.Truncated +
+// Cost.DegradedShards) — the only errors returned are q's own
+// validation failures.
+func (c *Coordinator) RetrieveContext(ctx context.Context, q retrieval.Query) (*retrieval.Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if c.met != nil {
+		c.met.Queries.Inc()
+	}
+	req := &rpc.RetrieveRequest{Query: q, Options: rpc.FromOptions(c.opts)}
+
+	type shardOut struct {
+		resp *rpc.RetrieveResponse
+		err  error
+	}
+	outs := make([]shardOut, len(c.sets))
+	scatter := func(idxs []int) {
+		par.For(c.copts.Workers, len(idxs), func(j int) {
+			i := idxs[j]
+			resp, err := c.queryShard(ctx, c.sets[i], req)
+			outs[i] = shardOut{resp, err}
+		})
+	}
+	all := make([]int, len(c.sets))
+	for i := range all {
+		all[i] = i
+	}
+	scatter(all)
+
+	// Generation consistency: never merge rankings computed on
+	// different model generations. Stale shards are re-queried (a
+	// rolling rollout usually lands within a round), then dropped as
+	// degraded rather than merged.
+	maxGen := func() uint64 {
+		var g uint64
+		for _, o := range outs {
+			if o.err == nil && o.resp.Generation > g {
+				g = o.resp.Generation
+			}
+		}
+		return g
+	}
+	for round := 0; round < c.copts.GenRetries; round++ {
+		target := maxGen()
+		var stale []int
+		for i, o := range outs {
+			if o.err == nil && o.resp.Generation < target {
+				stale = append(stale, i)
+			}
+		}
+		if len(stale) == 0 {
+			break
+		}
+		scatter(stale)
+	}
+
+	target := maxGen()
+	out := &retrieval.Result{}
+	degraded := 0
+	var matches []retrieval.Match
+	for _, o := range outs {
+		if o.err != nil {
+			// A parent-context expiry is a truncation (the caller's
+			// deadline), not a shard failure.
+			if errors.Is(o.err, context.Canceled) || errors.Is(o.err, context.DeadlineExceeded) {
+				out.Cost.Truncated = true
+				continue
+			}
+			degraded++
+			continue
+		}
+		if o.resp.Generation != target {
+			if c.met != nil {
+				c.met.GenConflicts.Inc()
+			}
+			degraded++
+			continue
+		}
+		matches = append(matches, o.resp.Matches...)
+		out.Cost.SimEvals += o.resp.Cost.SimEvals
+		out.Cost.EdgeEvals += o.resp.Cost.EdgeEvals
+		out.Cost.VideosSeen += o.resp.Cost.VideosSeen
+		out.Cost.Truncated = out.Cost.Truncated || o.resp.Cost.Truncated
+		out.Cost.DegradedShards += o.resp.Cost.DegradedShards
+	}
+	out.Matches = retrieval.MergeRanked(matches, c.opts.TopK)
+	if degraded > 0 {
+		out.Cost.Truncated = true
+		out.Cost.DegradedShards += degraded
+		if c.met != nil {
+			c.met.Degraded.Inc()
+			c.met.DegradedShards.Add(uint64(degraded))
+		}
+	}
+	if ctx.Err() != nil {
+		out.Cost.Truncated = true
+	}
+	return out, nil
+}
+
+// queryShard runs the retry loop for one shard: pick a replica, attempt
+// (with hedging), back off with jitter on transient failure.
+func (c *Coordinator) queryShard(ctx context.Context, set *shardSet, req *rpc.RetrieveRequest) (*rpc.RetrieveResponse, error) {
+	var lastErr error = errAllEjected
+	for attempt := 0; attempt < c.copts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if c.met != nil {
+				c.met.Retries.Inc()
+			}
+			select {
+			case <-time.After(c.backoff(attempt)):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ep := set.pick(time.Now())
+		if ep == nil {
+			lastErr = errAllEjected
+			continue
+		}
+		resp, err := c.attempt(ctx, set, ep, req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if !rpc.IsTransient(err) && !errors.Is(err, errAttemptTimeout) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// attempt runs one (possibly hedged) exchange against ep. After the
+// p95-derived hedge delay with no response, a speculative second
+// request goes to another replica; the first success wins, the shared
+// cancel abandons the loser, and the buffered channel lets the loser's
+// goroutine exit regardless.
+func (c *Coordinator) attempt(ctx context.Context, set *shardSet, primary *endpoint, req *rpc.RetrieveRequest) (*rpc.RetrieveResponse, error) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type result struct {
+		resp   *rpc.RetrieveResponse
+		err    error
+		ep     *endpoint
+		hedged bool
+	}
+	ch := make(chan result, 2)
+	run := func(ep *endpoint, hedged bool) {
+		if c.met != nil {
+			c.met.ShardRequests.Inc()
+		}
+		go func() {
+			actx, acancel := context.WithTimeout(hctx, c.copts.AttemptTimeout)
+			defer acancel()
+			// The server gets 80% of the attempt window as execution
+			// budget, so a truncated partial still has time to travel
+			// back before the client abandons the attempt.
+			r := *req
+			if d, ok := actx.Deadline(); ok {
+				if budget := time.Until(d) * 8 / 10; budget > 0 {
+					if r.BudgetNS == 0 || int64(budget) < r.BudgetNS {
+						r.BudgetNS = int64(budget)
+					}
+				}
+			}
+			start := time.Now()
+			resp, err := ep.tr.Retrieve(actx, &r)
+			elapsed := time.Since(start)
+			if c.met != nil {
+				c.met.ShardSeconds.ObserveDuration(elapsed)
+			}
+			if err == nil {
+				ep.lat.ObserveDuration(elapsed)
+			} else if actx.Err() != nil && hctx.Err() == nil {
+				// The attempt cap fired while the query still had
+				// budget: retryable, unlike a parent deadline.
+				err = errAttemptTimeout
+			}
+			ch <- result{resp, err, ep, hedged}
+		}()
+	}
+	run(primary, false)
+
+	var hedgeC <-chan time.Time
+	if len(set.endpoints) > 1 {
+		timer := time.NewTimer(c.hedgeDelay(primary))
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+
+	pending := 1
+	var firstErr error
+	for pending > 0 {
+		select {
+		case r := <-ch:
+			pending--
+			if r.err == nil {
+				if r.ep.success(r.resp.Generation) && c.met != nil {
+					c.met.Readmissions.Inc()
+				}
+				if r.hedged && c.met != nil {
+					c.met.HedgeWins.Inc()
+				}
+				return r.resp, nil
+			}
+			c.noteFailure(r.ep, r.err)
+			if firstErr == nil {
+				firstErr = r.err
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if other := set.pickOther(time.Now(), primary); other != nil {
+				if c.met != nil {
+					c.met.Hedges.Inc()
+				}
+				run(other, true)
+				pending++
+			}
+		}
+	}
+	return nil, firstErr
+}
+
+// noteFailure feeds the endpoint's failure detector; only transient
+// failures (a down/peer problem) eject — application errors do not.
+func (c *Coordinator) noteFailure(ep *endpoint, err error) {
+	if !rpc.IsTransient(err) && !errors.Is(err, errAttemptTimeout) {
+		return
+	}
+	if ep.failure(time.Now(), c.copts.EjectThreshold, c.copts.EjectBackoff, c.copts.EjectBackoffMax) && c.met != nil {
+		c.met.Ejections.Inc()
+	}
+}
+
+// hedgeDelay derives the speculative-request delay from the endpoint's
+// own latency history: p95 clamped to [HedgeMin, HedgeMax], or HedgeMax
+// until enough observations accumulated. Hedging at p95 bounds the
+// extra load at ~5% of requests while cutting the tail.
+func (c *Coordinator) hedgeDelay(ep *endpoint) time.Duration {
+	if ep.lat.Count() < c.copts.HedgeAfterN {
+		return c.copts.HedgeMax
+	}
+	d := time.Duration(ep.lat.Snapshot().Quantile(0.95) * float64(time.Second))
+	if d < c.copts.HedgeMin {
+		d = c.copts.HedgeMin
+	}
+	if d > c.copts.HedgeMax {
+		d = c.copts.HedgeMax
+	}
+	return d
+}
+
+// backoff returns the jittered capped-exponential delay before retry
+// `attempt` (attempt >= 1): base·2^(attempt-1) capped at RetryMax, then
+// uniformly jittered in [d/2, d) so synchronized retries decorrelate.
+func (c *Coordinator) backoff(attempt int) time.Duration {
+	d := c.copts.RetryBase << (attempt - 1)
+	if d > c.copts.RetryMax {
+		d = c.copts.RetryMax
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	c.rngMu.Lock()
+	j := c.rng.Int63n(half)
+	c.rngMu.Unlock()
+	return time.Duration(half + j)
+}
+
+// WaitReady blocks until every shard has at least one endpoint
+// reporting READY (verifying each endpoint serves the shard index it is
+// configured as), or ctx expires.
+func (c *Coordinator) WaitReady(ctx context.Context) error {
+	for {
+		ready := 0
+		for i, set := range c.sets {
+			for _, ep := range set.endpoints {
+				sctx, cancel := context.WithTimeout(ctx, time.Second)
+				st, err := ep.tr.Status(sctx)
+				cancel()
+				if err != nil || st.State != rpc.StateReady {
+					continue
+				}
+				if st.OfShards != len(c.sets) || st.Shard != i {
+					return fmt.Errorf("coord: endpoint %s serves shard %d of %d, configured as shard %d of %d",
+						ep.tr.Addr(), st.Shard, st.OfShards, i, len(c.sets))
+				}
+				ready++
+				break
+			}
+		}
+		if ready == len(c.sets) {
+			return nil
+		}
+		select {
+		case <-time.After(100 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Stats reports the coordinator roll-up for /api/stats.
+func (c *Coordinator) Stats() *api.CoordStatsJSON {
+	out := &api.CoordStatsJSON{Shards: len(c.sets)}
+	if c.met != nil {
+		out.Queries = c.met.Queries.Value()
+		out.Retries = c.met.Retries.Value()
+		out.Hedges = c.met.Hedges.Value()
+		out.HedgeWins = c.met.HedgeWins.Value()
+		out.Ejections = c.met.Ejections.Value()
+		out.Readmissions = c.met.Readmissions.Value()
+		out.DegradedQueries = c.met.Degraded.Value()
+		out.GenConflicts = c.met.GenConflicts.Value()
+	}
+	for i, set := range c.sets {
+		for _, ep := range set.endpoints {
+			state, consec, gen := ep.snapshotState()
+			out.Endpoints = append(out.Endpoints, api.CoordEndpointJSON{
+				Shard:             i,
+				Addr:              ep.tr.Addr(),
+				State:             state,
+				ConsecutiveErrors: consec,
+				Generation:        gen,
+			})
+		}
+	}
+	return out
+}

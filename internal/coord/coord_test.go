@@ -1,0 +1,527 @@
+package coord
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/videodb/hmmm/internal/obs"
+	"github.com/videodb/hmmm/internal/retrieval"
+	"github.com/videodb/hmmm/internal/retrieval/retrievaltest"
+	"github.com/videodb/hmmm/internal/rpc"
+	"github.com/videodb/hmmm/internal/shard"
+)
+
+// localTransport is the in-process loopback: it calls the ShardService
+// directly, honoring the request budget exactly like rpc.Server does.
+type localTransport struct {
+	svc  *rpc.ShardService
+	name string
+}
+
+func (t *localTransport) Retrieve(ctx context.Context, req *rpc.RetrieveRequest) (*rpc.RetrieveResponse, error) {
+	if req.BudgetNS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.BudgetNS))
+		defer cancel()
+	}
+	return t.svc.Retrieve(ctx, req)
+}
+
+func (t *localTransport) Status(ctx context.Context) (*rpc.StatusResponse, error) {
+	st := t.svc.Status()
+	return &st, nil
+}
+
+func (t *localTransport) Addr() string { return t.name }
+func (t *localTransport) Close()       {}
+
+// flakyTransport wraps a Transport with injectable failure and delay.
+type flakyTransport struct {
+	Transport
+	fail  atomic.Bool  // every Retrieve fails with a transient error
+	delay atomic.Int64 // added latency (ns), honoring ctx
+	calls atomic.Int64
+}
+
+func (t *flakyTransport) Retrieve(ctx context.Context, req *rpc.RetrieveRequest) (*rpc.RetrieveResponse, error) {
+	t.calls.Add(1)
+	if d := t.delay.Load(); d > 0 {
+		select {
+		case <-time.After(time.Duration(d)):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if t.fail.Load() {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return t.Transport.Retrieve(ctx, req)
+}
+
+// services returns one ShardService per shard, all at generation gen.
+func services(t *testing.T, shards []*shard.Shard, gen uint64) []*rpc.ShardService {
+	t.Helper()
+	out := make([]*rpc.ShardService, len(shards))
+	for i, sh := range shards {
+		svc, err := rpc.NewShardService(sh, i, len(shards), retrieval.Options{}, gen)
+		if err != nil {
+			t.Fatalf("shard service %d: %v", i, err)
+		}
+		out[i] = svc
+	}
+	return out
+}
+
+// loopbackCoordinator builds a coordinator over in-process transports,
+// one replica per shard, with fast test timings.
+func loopbackCoordinator(t *testing.T, svcs []*rpc.ShardService, baseOpts retrieval.Options, copts Options) (*Coordinator, []*flakyTransport) {
+	t.Helper()
+	transports := make([][]Transport, len(svcs))
+	flaky := make([]*flakyTransport, len(svcs))
+	for i, svc := range svcs {
+		ft := &flakyTransport{Transport: &localTransport{svc: svc, name: fmt.Sprintf("local-%d", i)}}
+		flaky[i] = ft
+		transports[i] = []Transport{ft}
+	}
+	c, err := New(transports, baseOpts, copts)
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	return c, flaky
+}
+
+// fastOptions keeps test retries/backoffs in the milliseconds.
+func fastOptions(met *Metrics) Options {
+	return Options{
+		RetryBase:      time.Millisecond,
+		RetryMax:       5 * time.Millisecond,
+		AttemptTimeout: time.Second,
+		EjectBackoff:   20 * time.Millisecond,
+		Metrics:        met,
+	}
+}
+
+// TestCoordinatorBitIdentical is the tentpole differential: for
+// K∈{1,2,3,7}, with every shard healthy, the coordinated ranking must
+// be bit-identical — matches, scores, tie-breaks, and cost — to the
+// in-process shard.Group over the same split.
+func TestCoordinatorBitIdentical(t *testing.T) {
+	m := retrievaltest.RandomModel(t, retrievaltest.Config{Seed: 21, Videos: 9, MaxShots: 10})
+	for _, k := range []int{1, 2, 3, 7} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			shards, err := shard.Split(m, k)
+			if err != nil {
+				t.Fatalf("split: %v", err)
+			}
+			svcs := services(t, shards, 1)
+			c, _ := loopbackCoordinator(t, svcs, retrieval.Options{}, fastOptions(nil))
+			group, err := shard.NewGroup(m, k, retrieval.Options{}, shard.GroupOptions{})
+			if err != nil {
+				t.Fatalf("group: %v", err)
+			}
+			for qi, q := range retrievaltest.Queries(m) {
+				want, err := group.Retrieve(q)
+				if err != nil {
+					t.Fatalf("query %d: group: %v", qi, err)
+				}
+				got, err := c.Retrieve(q)
+				if err != nil {
+					t.Fatalf("query %d: coord: %v", qi, err)
+				}
+				label := fmt.Sprintf("query %d", qi)
+				retrievaltest.RequireSameMatches(t, label, want.Matches, got.Matches)
+				if got.Cost != want.Cost {
+					t.Fatalf("%s: cost = %+v, want %+v", label, got.Cost, want.Cost)
+				}
+			}
+
+			// The WithOptions view must stay exact under different
+			// result-affecting options.
+			opts := retrieval.Options{TopK: 3, Beam: 2}
+			q := retrievaltest.Queries(m)[2]
+			want, err := group.WithOptions(opts).Retrieve(q)
+			if err != nil {
+				t.Fatalf("group with options: %v", err)
+			}
+			got, err := c.WithOptions(opts).Retrieve(q)
+			if err != nil {
+				t.Fatalf("coord with options: %v", err)
+			}
+			retrievaltest.RequireSameMatches(t, "with-options", want.Matches, got.Matches)
+		})
+	}
+}
+
+// TestDegradedShardDown pins graceful degradation: a shard that fails
+// past the retry budget is dropped, the query returns the committed
+// partial with Truncated + DegradedShards — never an error — and the
+// hmmm_coord_degraded_total accounting is correct.
+func TestDegradedShardDown(t *testing.T) {
+	m := retrievaltest.RandomModel(t, retrievaltest.Config{Seed: 22, Videos: 6})
+	shards, err := shard.Split(m, 2)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	if len(shards) != 2 {
+		t.Fatalf("got %d shards, want 2", len(shards))
+	}
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	svcs := services(t, shards, 1)
+	c, flaky := loopbackCoordinator(t, svcs, retrieval.Options{}, fastOptions(met))
+	flaky[1].fail.Store(true)
+
+	q := retrievaltest.Queries(m)[0]
+	res, err := c.Retrieve(q)
+	if err != nil {
+		t.Fatalf("degraded query returned error: %v", err)
+	}
+	if !res.Cost.Truncated {
+		t.Fatal("degraded result must set Cost.Truncated")
+	}
+	if res.Cost.DegradedShards != 1 {
+		t.Fatalf("DegradedShards = %d, want 1", res.Cost.DegradedShards)
+	}
+	// The surviving shard's ranking must still be the exact committed
+	// partial: shard 0's own matches.
+	eng, err := retrieval.NewEngine(shards[0].Model, retrieval.Options{})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	want, err := eng.Retrieve(q)
+	if err != nil {
+		t.Fatalf("shard 0 local: %v", err)
+	}
+	shards[0].Remap(want.Matches)
+	retrievaltest.RequireSameMatches(t, "partial", retrieval.MergeRanked(want.Matches, 0), res.Matches)
+
+	if met.Degraded.Value() != 1 {
+		t.Fatalf("hmmm_coord_degraded_total = %d, want 1", met.Degraded.Value())
+	}
+	if met.DegradedShards.Value() != 1 {
+		t.Fatalf("degraded shards counter = %d, want 1", met.DegradedShards.Value())
+	}
+	if met.Retries.Value() == 0 {
+		t.Fatal("expected retries before degrading")
+	}
+
+	// All shards down: still no error — an empty committed ranking.
+	flaky[0].fail.Store(true)
+	res, err = c.Retrieve(q)
+	if err != nil {
+		t.Fatalf("all-down query returned error: %v", err)
+	}
+	if len(res.Matches) != 0 || res.Cost.DegradedShards != 2 || !res.Cost.Truncated {
+		t.Fatalf("all-down result = %d matches, cost %+v", len(res.Matches), res.Cost)
+	}
+}
+
+// TestEjectionAndReadmission pins the passive health gate: consecutive
+// transient errors eject the endpoint, a later query after the backoff
+// half-opens a probe, and a successful probe readmits.
+func TestEjectionAndReadmission(t *testing.T) {
+	m := retrievaltest.RandomModel(t, retrievaltest.Config{Seed: 23})
+	shards, err := shard.Split(m, 1)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	svcs := services(t, shards, 1)
+	c, flaky := loopbackCoordinator(t, svcs, retrieval.Options{}, fastOptions(met))
+
+	q := retrievaltest.Queries(m)[0]
+	flaky[0].fail.Store(true)
+	if _, err := c.Retrieve(q); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if met.Ejections.Value() != 1 {
+		t.Fatalf("ejections = %d, want 1 (3 consecutive transient errors)", met.Ejections.Value())
+	}
+	st := c.Stats()
+	if st.Endpoints[0].State != stateEjected {
+		t.Fatalf("endpoint state = %q, want ejected", st.Endpoints[0].State)
+	}
+
+	// While ejected, queries fail fast without touching the endpoint.
+	calls := flaky[0].calls.Load()
+	if _, err := c.Retrieve(q); err != nil {
+		t.Fatalf("query during ejection: %v", err)
+	}
+	if flaky[0].calls.Load() != calls {
+		t.Fatal("ejected endpoint still received requests")
+	}
+
+	// Heal, wait out the backoff: the next query's half-open probe
+	// readmits the endpoint and serves the full result.
+	flaky[0].fail.Store(false)
+	time.Sleep(25 * time.Millisecond)
+	res, err := c.Retrieve(q)
+	if err != nil {
+		t.Fatalf("query after heal: %v", err)
+	}
+	if res.Cost.DegradedShards != 0 || res.Cost.Truncated {
+		t.Fatalf("healed result still degraded: %+v", res.Cost)
+	}
+	if met.Readmissions.Value() != 1 {
+		t.Fatalf("readmissions = %d, want 1", met.Readmissions.Value())
+	}
+	if got := c.Stats().Endpoints[0].State; got != stateHealthy {
+		t.Fatalf("endpoint state after readmission = %q", got)
+	}
+}
+
+// TestHedging pins the p95-hedge path: with a slow primary replica and
+// a fast secondary, the hedge fires after the clamped delay and its
+// response wins.
+func TestHedging(t *testing.T) {
+	m := retrievaltest.RandomModel(t, retrievaltest.Config{Seed: 24})
+	shards, err := shard.Split(m, 1)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	svc := services(t, shards, 1)[0]
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+
+	slow := &flakyTransport{Transport: &localTransport{svc: svc, name: "slow"}}
+	slow.delay.Store(int64(300 * time.Millisecond))
+	fast := &localTransport{svc: svc, name: "fast"}
+	c, err := New([][]Transport{{slow, fast}}, retrieval.Options{}, Options{
+		HedgeMax:       5 * time.Millisecond,
+		AttemptTimeout: 2 * time.Second,
+		Metrics:        met,
+	})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+
+	q := retrievaltest.Queries(m)[0]
+	start := time.Now()
+	res, err := c.Retrieve(q)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Fatalf("hedge did not cut the slow primary: took %v", elapsed)
+	}
+	if res.Cost.Truncated || len(res.Matches) == 0 {
+		t.Fatalf("hedged result degraded: %+v", res.Cost)
+	}
+	if met.Hedges.Value() != 1 || met.HedgeWins.Value() != 1 {
+		t.Fatalf("hedges = %d, wins = %d; want 1, 1", met.Hedges.Value(), met.HedgeWins.Value())
+	}
+}
+
+// TestGenerationConsistency pins the mixed-generation rules: a shard
+// that catches up within the re-query rounds merges cleanly; one stuck
+// on an old model is dropped as degraded with a gen-conflict count,
+// never merged.
+func TestGenerationConsistency(t *testing.T) {
+	m := retrievaltest.RandomModel(t, retrievaltest.Config{Seed: 25, Videos: 6})
+	shards, err := shard.Split(m, 2)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	if len(shards) != 2 {
+		t.Fatalf("got %d shards, want 2", len(shards))
+	}
+	q := retrievaltest.Queries(m)[0]
+
+	t.Run("catches-up", func(t *testing.T) {
+		reg := obs.NewRegistry()
+		met := NewMetrics(reg)
+		svcs := services(t, shards, 2)
+		svcs[0].SetGeneration(1) // lags one generation behind
+		c, _ := loopbackCoordinator(t, svcs, retrieval.Options{}, fastOptions(met))
+		// The rollout lands after the first scatter: the re-query sees
+		// the new generation and the merge stays complete.
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			time.Sleep(2 * time.Millisecond)
+			svcs[0].SetGeneration(2)
+		}()
+		res, err := c.Retrieve(q)
+		<-done
+		if err != nil {
+			t.Fatalf("query: %v", err)
+		}
+		// Whether the shard caught up mid-query or was dropped depends
+		// on timing; what must never happen is a silent merge of mixed
+		// generations: either complete and exact, or degraded.
+		if res.Cost.DegradedShards == 0 {
+			group, err := shard.NewGroup(m, 2, retrieval.Options{}, shard.GroupOptions{})
+			if err != nil {
+				t.Fatalf("group: %v", err)
+			}
+			want, err := group.Retrieve(q)
+			if err != nil {
+				t.Fatalf("group query: %v", err)
+			}
+			retrievaltest.RequireSameMatches(t, "caught-up", want.Matches, res.Matches)
+		} else if !res.Cost.Truncated {
+			t.Fatal("degraded result must set Truncated")
+		}
+	})
+
+	t.Run("stuck-stale", func(t *testing.T) {
+		reg := obs.NewRegistry()
+		met := NewMetrics(reg)
+		svcs := services(t, shards, 2)
+		svcs[0].SetGeneration(1) // permanently stale
+		c, _ := loopbackCoordinator(t, svcs, retrieval.Options{}, fastOptions(met))
+		res, err := c.Retrieve(q)
+		if err != nil {
+			t.Fatalf("query: %v", err)
+		}
+		if res.Cost.DegradedShards != 1 || !res.Cost.Truncated {
+			t.Fatalf("stale shard not degraded: %+v", res.Cost)
+		}
+		if met.GenConflicts.Value() == 0 {
+			t.Fatal("gen conflict not counted")
+		}
+		// The merged ranking is exactly the up-to-date shard's.
+		eng, err := retrieval.NewEngine(shards[1].Model, retrieval.Options{})
+		if err != nil {
+			t.Fatalf("engine: %v", err)
+		}
+		want, err := eng.Retrieve(q)
+		if err != nil {
+			t.Fatalf("shard 1 local: %v", err)
+		}
+		shards[1].Remap(want.Matches)
+		retrievaltest.RequireSameMatches(t, "fresh-only", retrieval.MergeRanked(want.Matches, 0), res.Matches)
+	})
+}
+
+// TestParentDeadlineTruncates pins that a query-level deadline yields a
+// truncated partial, not an error and not degraded-shard accounting.
+func TestParentDeadlineTruncates(t *testing.T) {
+	m := retrievaltest.RandomModel(t, retrievaltest.Config{Seed: 26})
+	shards, err := shard.Split(m, 1)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	svcs := services(t, shards, 1)
+	c, flaky := loopbackCoordinator(t, svcs, retrieval.Options{}, fastOptions(met))
+	flaky[0].delay.Store(int64(time.Second))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	res, err := c.RetrieveContext(ctx, retrievaltest.Queries(m)[0])
+	if err != nil {
+		t.Fatalf("deadline query returned error: %v", err)
+	}
+	if !res.Cost.Truncated {
+		t.Fatal("deadline must truncate")
+	}
+	if res.Cost.DegradedShards != 0 {
+		t.Fatalf("parent deadline counted as degraded: %+v", res.Cost)
+	}
+	if met.Degraded.Value() != 0 {
+		t.Fatal("parent deadline must not increment hmmm_coord_degraded_total")
+	}
+}
+
+func TestParseShards(t *testing.T) {
+	got, err := ParseShards("a:1; b:1 , b:2;c:1")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := [][]string{{"a:1"}, {"b:1", "b:2"}, {"c:1"}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("shard %d: got %v", i, got[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("shard %d: got %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+	if _, err := ParseShards(" ; "); err == nil {
+		t.Fatal("empty shard spec must fail")
+	}
+}
+
+func TestWaitReadyDetectsMisconfiguration(t *testing.T) {
+	m := retrievaltest.RandomModel(t, retrievaltest.Config{Seed: 27, Videos: 6})
+	shards, err := shard.Split(m, 2)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	svcs := services(t, shards, 1)
+	// Swap the transports: shard 0's address actually serves shard 1.
+	transports := [][]Transport{
+		{&localTransport{svc: svcs[1], name: "swapped-0"}},
+		{&localTransport{svc: svcs[0], name: "swapped-1"}},
+	}
+	c, err := New(transports, retrieval.Options{}, fastOptions(nil))
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := c.WaitReady(ctx); err == nil || !strings.Contains(err.Error(), "serves shard") {
+		t.Fatalf("WaitReady on swapped shards: err = %v, want index mismatch", err)
+	}
+
+	// Correctly wired, WaitReady returns promptly.
+	ok, err := New([][]Transport{
+		{&localTransport{svc: svcs[0], name: "ok-0"}},
+		{&localTransport{svc: svcs[1], name: "ok-1"}},
+	}, retrieval.Options{}, fastOptions(nil))
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	if err := ok.WaitReady(ctx); err != nil {
+		t.Fatalf("WaitReady: %v", err)
+	}
+}
+
+// TestMain verifies the package leaves no coordinator or rpc goroutine
+// behind — hedges, retries, and chaos teardown must all join.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if !suspectGoroutines() {
+				os.Exit(0)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		println("coord: goroutine leak after tests:")
+		buf := make([]byte, 1<<20)
+		println(string(buf[:runtime.Stack(buf, true)]))
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func suspectGoroutines() bool {
+	buf := make([]byte, 1<<20)
+	stacks := string(buf[:runtime.Stack(buf, true)])
+	for _, g := range strings.Split(stacks, "\n\n") {
+		if strings.Contains(g, "internal/coord.") || strings.Contains(g, "internal/rpc.") {
+			if strings.Contains(g, "coord.TestMain") || strings.Contains(g, "testing.") {
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}

@@ -191,6 +191,11 @@ type Cost struct {
 	// client disconnect) before the traversal finished: the matches are a
 	// valid ranking of what was searched, not of the whole archive.
 	Truncated bool
+	// DegradedShards counts shards whose ranking is missing from this
+	// result because they stayed unreachable past the retry budget
+	// (network-distributed serving only; always zero in-process).
+	// DegradedShards > 0 implies Truncated.
+	DegradedShards int
 }
 
 // add accumulates another cost counter into c.
@@ -199,6 +204,7 @@ func (c *Cost) add(o Cost) {
 	c.EdgeEvals += o.EdgeEvals
 	c.VideosSeen += o.VideosSeen
 	c.Truncated = c.Truncated || o.Truncated
+	c.DegradedShards += o.DegradedShards
 }
 
 // Result is a ranked retrieval outcome.

@@ -1,0 +1,196 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// aLongTimeAgo pokes a connection's deadline into the past, failing any
+// blocked read/write immediately (the net/http cancellation idiom).
+var aLongTimeAgo = time.Unix(1, 0)
+
+// Client is a pooled rpc client for one endpoint address. Connections
+// are dialed lazily, run one request at a time, and are returned to a
+// small idle pool on clean completion; any error discards the
+// connection (the protocol cannot resynchronize mid-stream).
+//
+// Cancellation is exact: a context that expires or is cancelled
+// mid-request pokes the connection deadline, the blocked I/O fails, and
+// Do returns ctx.Err(). That is what lets the coordinator abandon a
+// hedged request's loser without leaking a goroutine or a connection.
+type Client struct {
+	addr        string
+	dialTimeout time.Duration
+	maxIdle     int
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+}
+
+// NewClient returns a client for addr. dialTimeout bounds each dial (0
+// means 2s); up to maxIdle connections are kept warm (0 means 2).
+func NewClient(addr string, dialTimeout time.Duration, maxIdle int) *Client {
+	if dialTimeout <= 0 {
+		dialTimeout = 2 * time.Second
+	}
+	if maxIdle <= 0 {
+		maxIdle = 2
+	}
+	return &Client{addr: addr, dialTimeout: dialTimeout, maxIdle: maxIdle}
+}
+
+// Addr returns the endpoint address the client dials.
+func (c *Client) Addr() string { return c.addr }
+
+// Close discards the idle pool. In-flight requests keep their
+// connections and discard them on completion.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, conn := range c.idle {
+		conn.Close()
+	}
+	c.idle = nil
+}
+
+// Retrieve round-trips a retrieval request.
+func (c *Client) Retrieve(ctx context.Context, req *RetrieveRequest) (*RetrieveResponse, error) {
+	var resp RetrieveResponse
+	if err := c.call(ctx, tagRetrieveReq, req, tagRetrieveResp, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Status round-trips a status probe.
+func (c *Client) Status(ctx context.Context) (*StatusResponse, error) {
+	var resp StatusResponse
+	if err := c.call(ctx, tagStatusReq, &StatusRequest{}, tagStatusResp, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// call runs one request/response exchange. A request that fails on a
+// pooled connection before any response bytes arrive is retried once on
+// a fresh dial — the pooled connection may simply have been closed by
+// the server side (drain, idle timeout) since it was parked.
+func (c *Client) call(ctx context.Context, reqTag byte, req any, respTag byte, resp any) error {
+	for attempt := 0; ; attempt++ {
+		conn, pooled, err := c.conn(ctx)
+		if err != nil {
+			return err
+		}
+		err = c.roundTrip(ctx, conn, reqTag, req, respTag, resp)
+		if err == nil {
+			return nil
+		}
+		// Retry only transport failures on a pooled connection: the
+		// server may have closed it while parked. A ServerError arrived
+		// over a working exchange — redialing cannot change the answer.
+		var se *ServerError
+		if pooled && attempt == 0 && ctx.Err() == nil && !errors.As(err, &se) && IsTransient(err) {
+			continue
+		}
+		return err
+	}
+}
+
+// conn pops an idle connection or dials a fresh one.
+func (c *Client) conn(ctx context.Context) (conn net.Conn, pooled bool, err error) {
+	c.mu.Lock()
+	if n := len(c.idle); n > 0 {
+		conn = c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, true, nil
+	}
+	c.mu.Unlock()
+	d := net.Dialer{Timeout: c.dialTimeout}
+	conn, err = d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, false, fmt.Errorf("rpc: dial %s: %w", c.addr, err)
+	}
+	return conn, false, nil
+}
+
+// roundTrip writes one frame and reads the reply on conn, honoring ctx.
+// On success the connection returns to the idle pool; on any failure it
+// is closed.
+func (c *Client) roundTrip(ctx context.Context, conn net.Conn, reqTag byte, req any, respTag byte, resp any) (err error) {
+	// Arm cancellation: the deadline covers ctx's deadline, and the
+	// AfterFunc covers explicit cancel. poked records that the deadline
+	// was yanked so a completed-anyway response cannot park a poisoned
+	// connection in the pool.
+	var poked atomic.Bool
+	if d, ok := ctx.Deadline(); ok {
+		// Small grace past the context deadline: the context timer must
+		// fire first (and poke via AfterFunc) so the caller sees
+		// ctx.Err(), not a bare i/o timeout; the conn deadline is only
+		// the backstop if the AfterFunc is delayed.
+		conn.SetDeadline(d.Add(100 * time.Millisecond))
+	} else {
+		conn.SetDeadline(time.Time{})
+	}
+	stop := context.AfterFunc(ctx, func() {
+		poked.Store(true)
+		conn.SetDeadline(aLongTimeAgo)
+	})
+	defer func() {
+		stop()
+		// A ServerError rode a clean, fully-framed exchange: the
+		// connection is still usable.
+		var se *ServerError
+		if (err == nil || errors.As(err, &se)) && !poked.Load() {
+			c.park(conn)
+			return
+		}
+		conn.Close()
+		// Report cancellation as the context's error, not the opaque
+		// i/o timeout the poked deadline produces.
+		if err != nil && ctx.Err() != nil {
+			err = ctx.Err()
+		}
+	}()
+
+	if err = writeFrame(conn, reqTag, req); err != nil {
+		return err
+	}
+	tag, body, err := readFrame(conn)
+	if err != nil {
+		return err
+	}
+	switch tag {
+	case respTag:
+		return decodeFrame(body, resp)
+	case tagError:
+		var e ErrorResponse
+		if err := decodeFrame(body, &e); err != nil {
+			return err
+		}
+		return &ServerError{Code: e.Code, Msg: e.Msg}
+	default:
+		return fmt.Errorf("rpc: unexpected frame tag %q", tag)
+	}
+}
+
+// park returns a clean connection to the idle pool, or closes it when
+// the pool is full or the client closed.
+func (c *Client) park(conn net.Conn) {
+	conn.SetDeadline(time.Time{})
+	c.mu.Lock()
+	if c.closed || len(c.idle) >= c.maxIdle {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	c.idle = append(c.idle, conn)
+	c.mu.Unlock()
+}

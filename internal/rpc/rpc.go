@@ -1,0 +1,268 @@
+// Package rpc is the compact length-prefixed TCP protocol between the
+// retrieval coordinator and the shard servers (cmd/hmmm-shardd): the
+// network promotion of the in-process scatter-gather in internal/shard.
+//
+// Wire format. Every message is one frame:
+//
+//	uint32 big-endian payload length (tag byte included)
+//	1 tag byte naming the message type
+//	gob-encoded message struct
+//
+// Each frame is a self-contained gob stream (a fresh encoder per
+// frame), so a reader never depends on type descriptors from an earlier
+// frame — a connection can be picked up, cut, or replayed at any frame
+// boundary, which is what makes the fault-injection proxy's mid-stream
+// cuts recoverable by a plain retry on a new connection. Frames are
+// capped at MaxFrame to bound the damage of a corrupt or hostile length
+// prefix.
+//
+// The protocol is strictly request/response per connection (no
+// multiplexing): the client owns a small pool of connections and runs
+// one request on each at a time. That keeps cancellation exact — a
+// hedged request's loser is abandoned by poking the connection deadline,
+// and the connection is discarded rather than resynchronized.
+//
+// Semantics carried by the protocol, not just bytes:
+//
+//   - Per-request deadlines: RetrieveRequest.BudgetNS is the execution
+//     budget the server must honor (it becomes the context deadline of
+//     the shard-local retrieval, which returns its committed partial
+//     ranking with Cost.Truncated on expiry, exactly like a local
+//     engine).
+//   - Generation stamps: every RetrieveResponse carries the serving
+//     model's generation, so the coordinator can refuse to merge
+//     rankings computed on different model generations during a rolling
+//     rollout.
+//   - READY/DRAINING: StatusResponse reports the server's lifecycle
+//     state, and a draining server rejects new retrievals with
+//     CodeDraining — a transient error the coordinator routes around.
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"syscall"
+
+	"github.com/videodb/hmmm/internal/retrieval"
+)
+
+// MaxFrame bounds a frame's payload (tag + gob body). Retrieval
+// responses are a few KiB; 16 MiB leaves three orders of magnitude of
+// headroom while keeping a corrupt length prefix from allocating the
+// machine away.
+const MaxFrame = 16 << 20
+
+// Frame tags.
+const (
+	tagRetrieveReq  = 'R'
+	tagRetrieveResp = 'r'
+	tagStatusReq    = 'S'
+	tagStatusResp   = 's'
+	tagError        = 'E'
+)
+
+// Server lifecycle states reported by StatusResponse.
+const (
+	StateReady    = "READY"
+	StateDraining = "DRAINING"
+)
+
+// Error codes carried by ErrorResponse.
+const (
+	// CodeDraining rejects new retrievals during graceful shutdown;
+	// transient — the coordinator retries another replica.
+	CodeDraining = "draining"
+	// CodeBadRequest marks a request the server understood and refused
+	// (invalid query); permanent — retrying cannot help.
+	CodeBadRequest = "bad_request"
+	// CodeInternal marks a server-side execution failure.
+	CodeInternal = "internal"
+)
+
+// QueryOptions is the result-affecting slice of retrieval.Options a
+// request carries over the wire: exactly the fields covered by
+// coalesce.OptionsKey, because those are the fields that can change the
+// ranking. Execution plumbing (workers, arenas, caches,
+// observers) stays a per-server concern.
+type QueryOptions struct {
+	TopK             int
+	Beam             int
+	CrossVideo       bool
+	SimEpsilon       float64
+	AnnotatedOnly    bool
+	StopAfterMatches bool
+	CoarseCandidates int
+}
+
+// FromOptions extracts the wire options from full engine options.
+func FromOptions(o retrieval.Options) QueryOptions {
+	return QueryOptions{
+		TopK:             o.TopK,
+		Beam:             o.Beam,
+		CrossVideo:       o.CrossVideo,
+		SimEpsilon:       o.SimEpsilon,
+		AnnotatedOnly:    o.AnnotatedOnly,
+		StopAfterMatches: o.StopAfterMatches,
+		CoarseCandidates: o.CoarseCandidates,
+	}
+}
+
+// Apply overlays the wire options onto a server's base options,
+// preserving the base's execution plumbing.
+func (qo QueryOptions) Apply(base retrieval.Options) retrieval.Options {
+	base.TopK = qo.TopK
+	base.Beam = qo.Beam
+	base.CrossVideo = qo.CrossVideo
+	base.SimEpsilon = qo.SimEpsilon
+	base.AnnotatedOnly = qo.AnnotatedOnly
+	base.StopAfterMatches = qo.StopAfterMatches
+	base.CoarseCandidates = qo.CoarseCandidates
+	return base
+}
+
+// RetrieveRequest asks a shard server for its ranking of one query.
+type RetrieveRequest struct {
+	Query   retrieval.Query
+	Options QueryOptions
+	// BudgetNS bounds the retrieval's execution on the server; 0 means
+	// no server-side deadline beyond the connection's I/O deadlines. On
+	// expiry the response carries the committed partial ranking with
+	// Cost.Truncated set — a deadline is a degraded answer, not an error.
+	BudgetNS int64
+}
+
+// RetrieveResponse is a shard's ranking, with state indices already
+// remapped to parent-model (global) indices, so the coordinator's merge
+// is exactly the in-process Group gather.
+type RetrieveResponse struct {
+	Matches []retrieval.Match
+	Cost    retrieval.Cost
+	// Generation stamps the model snapshot that produced this ranking.
+	// The coordinator refuses to merge mixed generations.
+	Generation uint64
+}
+
+// StatusRequest asks for the server's health/readiness report.
+type StatusRequest struct{}
+
+// StatusResponse is the shard server's /healthz equivalent.
+type StatusResponse struct {
+	// State is StateReady or StateDraining.
+	State      string
+	Generation uint64
+	// Shard / OfShards locate this server in the split ("shard 2 of 5").
+	Shard    int
+	OfShards int
+	Videos   int
+	States   int
+}
+
+// ErrorResponse is the error frame.
+type ErrorResponse struct {
+	Code string
+	Msg  string
+}
+
+// ServerError is an application-level error returned by the remote
+// server (as opposed to a transport failure).
+type ServerError struct {
+	Code string
+	Msg  string
+}
+
+func (e *ServerError) Error() string { return fmt.Sprintf("rpc: server error (%s): %s", e.Code, e.Msg) }
+
+// IsTransient classifies an error as retryable: transport failures
+// (refused, reset, timed-out, torn mid-frame) and a draining server are
+// transient — the request can be retried on another connection or
+// replica; context errors and application errors are not. The
+// coordinator's retry, hedging, and ejection logic all key off this.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *ServerError
+	if errors.As(err, &se) {
+		return se.Code == CodeDraining
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) || errors.Is(err, syscall.ETIMEDOUT) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}
+
+// writeFrame writes one length-prefixed frame. The length prefix and
+// body go out in a single Write so a mid-stream cut can only tear a
+// frame, never interleave two.
+func writeFrame(w io.Writer, tag byte, msg any) error {
+	var body bytes.Buffer
+	body.Write(make([]byte, 4)) // length placeholder
+	body.WriteByte(tag)
+	if msg != nil {
+		if err := gob.NewEncoder(&body).Encode(msg); err != nil {
+			return fmt.Errorf("rpc: encoding %c frame: %w", tag, err)
+		}
+	}
+	b := body.Bytes()
+	n := len(b) - 4
+	if n > MaxFrame {
+		return fmt.Errorf("rpc: frame of %d bytes exceeds MaxFrame", n)
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(n))
+	_, err := w.Write(b)
+	return err
+}
+
+// readFrame reads one frame, returning its tag and gob body.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return 0, nil, errors.New("rpc: empty frame")
+	}
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("rpc: frame length %d exceeds MaxFrame", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		// A frame torn mid-body is an unexpected EOF even when the
+		// underlying read reports a bare EOF.
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// decodeFrame decodes a frame body into msg.
+func decodeFrame(body []byte, msg any) error {
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(msg); err != nil {
+		return fmt.Errorf("rpc: decoding frame: %w", err)
+	}
+	return nil
+}

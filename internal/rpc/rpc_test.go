@@ -1,0 +1,382 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/videodb/hmmm/internal/retrieval"
+	"github.com/videodb/hmmm/internal/retrieval/retrievaltest"
+	"github.com/videodb/hmmm/internal/shard"
+)
+
+// startShard boots a Server over shard index of a k-way split on a
+// loopback listener and returns a connected client. Everything is torn
+// down via t.Cleanup, and the goroutine-leak check in TestMain keeps
+// the teardown honest.
+func startShard(t *testing.T, sh *shard.Shard, index, of int, gen uint64) (*Server, *Client) {
+	t.Helper()
+	svc, err := NewShardService(sh, index, of, retrieval.Options{}, gen)
+	if err != nil {
+		t.Fatalf("shard service: %v", err)
+	}
+	srv := NewServer(svc, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	cl := NewClient(ln.Addr().String(), time.Second, 2)
+	t.Cleanup(func() {
+		cl.Close()
+		srv.Close()
+	})
+	return srv, cl
+}
+
+// TestRetrieveBitIdentical is the loopback differential: every query of
+// the corpus answered over the wire must be bit-identical to the same
+// shard engine answered in-process — gob carries float64 exactly, and
+// the ShardService remap is the Group remap.
+func TestRetrieveBitIdentical(t *testing.T) {
+	m := retrievaltest.RandomModel(t, retrievaltest.Config{Seed: 11, Videos: 5})
+	shards, err := shard.Split(m, 2)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	sh := shards[0]
+	_, cl := startShard(t, sh, 0, len(shards), 7)
+
+	eng, err := retrieval.NewEngine(sh.Model, retrieval.Options{})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	for qi, q := range retrievaltest.Queries(m) {
+		if q.Scope != nil {
+			continue // the scoped query's video may live in the other shard
+		}
+		want, err := eng.Retrieve(q)
+		if err != nil {
+			t.Fatalf("query %d: local: %v", qi, err)
+		}
+		sh.Remap(want.Matches)
+		got, err := cl.Retrieve(context.Background(), &RetrieveRequest{Query: q})
+		if err != nil {
+			t.Fatalf("query %d: remote: %v", qi, err)
+		}
+		if got.Generation != 7 {
+			t.Fatalf("query %d: generation = %d, want 7", qi, got.Generation)
+		}
+		retrievaltest.RequireSameMatches(t, "loopback", want.Matches, got.Matches)
+		if got.Cost != want.Cost {
+			t.Fatalf("query %d: cost = %+v, want %+v", qi, got.Cost, want.Cost)
+		}
+	}
+}
+
+func TestStatusAndDraining(t *testing.T) {
+	m := retrievaltest.RandomModel(t, retrievaltest.Config{Seed: 3})
+	shards, err := shard.Split(m, 1)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	srv, cl := startShard(t, shards[0], 0, 1, 42)
+
+	st, err := cl.Status(context.Background())
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.State != StateReady || st.Generation != 42 || st.OfShards != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.Videos == 0 || st.States == 0 {
+		t.Fatalf("status reports empty shard: %+v", st)
+	}
+
+	srv.Drain()
+	st, err = cl.Status(context.Background())
+	if err != nil {
+		t.Fatalf("status while draining: %v", err)
+	}
+	if st.State != StateDraining {
+		t.Fatalf("state = %q, want DRAINING", st.State)
+	}
+	q := retrievaltest.Queries(m)[0]
+	_, err = cl.Retrieve(context.Background(), &RetrieveRequest{Query: q})
+	var se *ServerError
+	if !errors.As(err, &se) || se.Code != CodeDraining {
+		t.Fatalf("retrieve while draining: err = %v, want draining ServerError", err)
+	}
+	if !IsTransient(err) {
+		t.Fatal("draining must classify as transient (coordinator retries another replica)")
+	}
+}
+
+func TestInvalidQueryIsPermanentError(t *testing.T) {
+	m := retrievaltest.RandomModel(t, retrievaltest.Config{Seed: 5})
+	shards, _ := shard.Split(m, 1)
+	_, cl := startShard(t, shards[0], 0, 1, 1)
+
+	_, err := cl.Retrieve(context.Background(), &RetrieveRequest{}) // empty query
+	var se *ServerError
+	if !errors.As(err, &se) || se.Code != CodeBadRequest {
+		t.Fatalf("err = %v, want bad_request ServerError", err)
+	}
+	if IsTransient(err) {
+		t.Fatal("bad_request must not classify as transient")
+	}
+}
+
+// blockingHandler parks retrievals until released — the unit-level
+// stand-in for a blackholed server.
+type blockingHandler struct {
+	release chan struct{}
+	entered chan struct{}
+}
+
+func (h *blockingHandler) Retrieve(ctx context.Context, req *RetrieveRequest) (*RetrieveResponse, error) {
+	select {
+	case h.entered <- struct{}{}:
+	default:
+	}
+	select {
+	case <-h.release:
+		return &RetrieveResponse{}, nil
+	case <-ctx.Done():
+		return nil, &ServerError{Code: CodeInternal, Msg: ctx.Err().Error()}
+	}
+}
+
+func (h *blockingHandler) Status() StatusResponse { return StatusResponse{State: StateReady} }
+
+func TestClientCancellation(t *testing.T) {
+	h := &blockingHandler{release: make(chan struct{}), entered: make(chan struct{}, 1)}
+	srv := NewServer(h, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	defer close(h.release)
+
+	cl := NewClient(ln.Addr().String(), time.Second, 2)
+	defer cl.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.Retrieve(ctx, &RetrieveRequest{})
+		done <- err
+	}()
+	<-h.entered
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not unblock the request")
+	}
+}
+
+func TestClientDeadline(t *testing.T) {
+	h := &blockingHandler{release: make(chan struct{}), entered: make(chan struct{}, 1)}
+	srv := NewServer(h, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	defer close(h.release)
+
+	cl := NewClient(ln.Addr().String(), time.Second, 2)
+	defer cl.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err = cl.Retrieve(ctx, &RetrieveRequest{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestPooledConnRetry parks a connection, has the server close it, and
+// checks the next call transparently redials instead of failing.
+func TestPooledConnRetry(t *testing.T) {
+	m := retrievaltest.RandomModel(t, retrievaltest.Config{Seed: 8})
+	shards, _ := shard.Split(m, 1)
+	srv, cl := startShard(t, shards[0], 0, 1, 1)
+
+	q := retrievaltest.Queries(m)[0]
+	if _, err := cl.Retrieve(context.Background(), &RetrieveRequest{Query: q}); err != nil {
+		t.Fatalf("first call: %v", err)
+	}
+	// Close the server's side of every tracked connection; the parked
+	// client connection is now dead.
+	srv.mu.Lock()
+	for c := range srv.conns {
+		c.Close()
+	}
+	srv.mu.Unlock()
+	// Give the close a moment to propagate through loopback.
+	time.Sleep(10 * time.Millisecond)
+	if _, err := cl.Retrieve(context.Background(), &RetrieveRequest{Query: q}); err != nil {
+		t.Fatalf("call after server closed pooled conn: %v", err)
+	}
+}
+
+func TestServerCloseUnblocksConnections(t *testing.T) {
+	h := &blockingHandler{release: make(chan struct{}), entered: make(chan struct{}, 1)}
+	srv := NewServer(h, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	close(h.release) // handler returns immediately; the conn loop blocks in readFrame
+
+	cl := NewClient(ln.Addr().String(), time.Second, 2)
+	defer cl.Close()
+	if _, err := cl.Retrieve(context.Background(), &RetrieveRequest{}); err != nil {
+		t.Fatalf("retrieve: %v", err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		srv.Close() // must close the idle server conn and join its goroutine
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Server.Close hung on an idle connection")
+	}
+}
+
+func TestFrameRoundTripAndLimits(t *testing.T) {
+	var buf bytes.Buffer
+	want := RetrieveResponse{Generation: 9, Cost: retrieval.Cost{SimEvals: 3}}
+	if err := writeFrame(&buf, tagRetrieveResp, &want); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	tag, body, err := readFrame(&buf)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	if tag != tagRetrieveResp {
+		t.Fatalf("tag = %q", tag)
+	}
+	var got RetrieveResponse
+	if err := decodeFrame(body, &got); err != nil {
+		t.Fatalf("decodeFrame: %v", err)
+	}
+	if got.Generation != 9 || got.Cost.SimEvals != 3 {
+		t.Fatalf("got %+v", got)
+	}
+
+	// Oversized length prefix must be rejected before allocation.
+	var big bytes.Buffer
+	hdr := make([]byte, 4)
+	binary.BigEndian.PutUint32(hdr, MaxFrame+1)
+	big.Write(hdr)
+	if _, _, err := readFrame(&big); err == nil || !strings.Contains(err.Error(), "MaxFrame") {
+		t.Fatalf("oversized frame: err = %v", err)
+	}
+
+	// A frame torn mid-body reads as unexpected EOF — transient.
+	var torn bytes.Buffer
+	binary.BigEndian.PutUint32(hdr, 100)
+	torn.Write(hdr)
+	torn.WriteString("short")
+	if _, _, err := readFrame(&torn); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("torn frame: err = %v, want unexpected EOF", err)
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"canceled", context.Canceled, false},
+		{"deadline", context.DeadlineExceeded, false},
+		{"eof", io.EOF, true},
+		{"unexpected-eof", io.ErrUnexpectedEOF, true},
+		{"conn-refused", &net.OpError{Op: "dial", Err: syscall.ECONNREFUSED}, true},
+		{"conn-reset", &net.OpError{Op: "read", Err: syscall.ECONNRESET}, true},
+		{"io-deadline", os.ErrDeadlineExceeded, true},
+		{"net-closed", net.ErrClosed, true},
+		{"draining", &ServerError{Code: CodeDraining}, true},
+		{"bad-request", &ServerError{Code: CodeBadRequest}, false},
+		{"internal", &ServerError{Code: CodeInternal}, false},
+		{"plain", errors.New("boom"), false},
+	}
+	for _, tc := range cases {
+		if got := IsTransient(tc.err); got != tc.want {
+			t.Errorf("IsTransient(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestBudgetTruncates sends a vanishing execution budget and expects a
+// committed (possibly empty) partial ranking with Truncated set — not
+// an error: deadlines degrade, they don't fail.
+func TestBudgetTruncates(t *testing.T) {
+	m := retrievaltest.RandomModel(t, retrievaltest.Config{Seed: 13, Videos: 6, MaxShots: 20})
+	shards, _ := shard.Split(m, 1)
+	_, cl := startShard(t, shards[0], 0, 1, 1)
+
+	q := retrievaltest.Queries(m)[0]
+	got, err := cl.Retrieve(context.Background(), &RetrieveRequest{Query: q, BudgetNS: 1})
+	if err != nil {
+		t.Fatalf("retrieve: %v", err)
+	}
+	if !got.Cost.Truncated {
+		t.Fatal("budget of 1ns did not set Cost.Truncated")
+	}
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		// Leak check: after every test's cleanup ran, no rpc goroutine
+		// (server conn loops, Serve accepts) may remain.
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if !rpcGoroutinesRunning() {
+				os.Exit(0)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		println("rpc: goroutine leak after tests:")
+		buf := make([]byte, 1<<20)
+		println(string(buf[:runtime.Stack(buf, true)]))
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func rpcGoroutinesRunning() bool {
+	buf := make([]byte, 1<<20)
+	stacks := string(buf[:runtime.Stack(buf, true)])
+	for _, g := range strings.Split(stacks, "\n\n") {
+		if strings.Contains(g, "internal/rpc.(*Server)") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,208 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Handler executes requests for a Server. Implementations must be safe
+// for concurrent use; ShardService is the production implementation.
+type Handler interface {
+	Retrieve(ctx context.Context, req *RetrieveRequest) (*RetrieveResponse, error)
+	Status() StatusResponse
+}
+
+// Server serves the rpc protocol over a net.Listener: one goroutine per
+// connection, strictly request/response. It tracks every live
+// connection so Close is leak-free — after Close returns, no server
+// goroutine remains.
+type Server struct {
+	handler Handler
+	logf    func(format string, args ...any)
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a server dispatching to h. logf, when non-nil,
+// receives per-connection error logs (nil discards them — tests).
+func NewServer(h Handler, logf func(format string, args ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{handler: h, logf: logf, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close. It always returns a
+// non-nil error; after Close the error is net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+			conn.Close()
+		}()
+	}
+}
+
+// Drain flips the server to DRAINING: Status reports it, and new
+// retrieve requests are refused with CodeDraining while in-flight ones
+// finish. Draining is one-way; a drained server is shut down, not
+// readmitted.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Close stops the listener, closes every live connection, and waits for
+// all connection goroutines to exit. Safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// Addr returns the listener address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// serveConn runs the request/response loop for one connection until the
+// peer hangs up, a protocol error occurs, or the server closes.
+func (s *Server) serveConn(conn net.Conn) {
+	for {
+		tag, body, err := readFrame(conn)
+		if err != nil {
+			// EOF, reset, and closed-connection errors are the normal
+			// end of a connection; anything else is a protocol error
+			// worth a log line before the connection drops (the framing
+			// gives no way to resynchronize mid-stream).
+			if !quietClose(err) {
+				s.logf("rpc: %s: read: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		if err := s.dispatch(conn, tag, body); err != nil {
+			s.logf("rpc: %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// quietClose reports whether err is an ordinary end-of-connection.
+func quietClose(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}
+
+// dispatch handles one decoded frame. A returned error tears down the
+// connection (protocol-level failure); request-level failures are
+// answered with an ErrorResponse frame and keep the connection.
+func (s *Server) dispatch(conn net.Conn, tag byte, body []byte) error {
+	switch tag {
+	case tagStatusReq:
+		st := s.handler.Status()
+		s.mu.Lock()
+		if s.draining {
+			st.State = StateDraining
+		}
+		s.mu.Unlock()
+		return writeFrame(conn, tagStatusResp, &st)
+
+	case tagRetrieveReq:
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			return writeFrame(conn, tagError, &ErrorResponse{Code: CodeDraining, Msg: "server draining"})
+		}
+		var req RetrieveRequest
+		if err := decodeFrame(body, &req); err != nil {
+			return writeFrame(conn, tagError, &ErrorResponse{Code: CodeBadRequest, Msg: err.Error()})
+		}
+		ctx := context.Background()
+		if req.BudgetNS > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.BudgetNS))
+			defer cancel()
+		}
+		resp, err := s.handler.Retrieve(ctx, &req)
+		if err != nil {
+			code := CodeInternal
+			var se *ServerError
+			if errors.As(err, &se) {
+				code = se.Code
+			}
+			return writeFrame(conn, tagError, &ErrorResponse{Code: code, Msg: err.Error()})
+		}
+		return writeFrame(conn, tagRetrieveResp, resp)
+
+	default:
+		return writeFrame(conn, tagError, &ErrorResponse{Code: CodeBadRequest, Msg: "unknown frame tag"})
+	}
+}
+
+// ListenAndServe listens on addr (TCP) and serves until Close. The
+// bound address is reported through Addr once listening.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}

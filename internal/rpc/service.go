@@ -1,0 +1,81 @@
+package rpc
+
+import (
+	"context"
+	"sync/atomic"
+
+	"github.com/videodb/hmmm/internal/retrieval"
+	"github.com/videodb/hmmm/internal/shard"
+)
+
+// ShardService serves one shard of a split model: the production
+// Handler behind cmd/hmmm-shardd and the in-process loopback tests. It
+// owns an engine over the shard's sub-model and remaps every response
+// to parent-model state indices, so the coordinator's gather is
+// exactly the in-process Group gather.
+type ShardService struct {
+	sh     *shard.Shard
+	engine *retrieval.Engine
+	base   retrieval.Options
+	index  int
+	of     int
+	gen    atomic.Uint64
+}
+
+// NewShardService builds the service for shard index of a split into
+// `of` shards. base configures the engine the same way Group does:
+// observers are per-process concerns and result-affecting fields are
+// overridden per request from the wire options.
+func NewShardService(sh *shard.Shard, index, of int, base retrieval.Options, generation uint64) (*ShardService, error) {
+	base.Metrics = nil
+	base.Trace = nil
+	engine, err := retrieval.NewEngine(sh.Model, base)
+	if err != nil {
+		return nil, err
+	}
+	s := &ShardService{sh: sh, engine: engine, base: base, index: index, of: of}
+	s.gen.Store(generation)
+	return s, nil
+}
+
+// SetGeneration updates the generation stamped on responses; rollout
+// tests use it to simulate a shard that lags a model rollout.
+func (s *ShardService) SetGeneration(gen uint64) { s.gen.Store(gen) }
+
+// Generation returns the currently served generation.
+func (s *ShardService) Generation() uint64 { return s.gen.Load() }
+
+// Retrieve runs the query on the shard engine with the request's
+// result-affecting options and budget, remaps the ranking to parent
+// indices, and stamps the generation. A context expiry is a degraded
+// answer (partial ranking, Cost.Truncated), mirroring the local engine.
+func (s *ShardService) Retrieve(ctx context.Context, req *RetrieveRequest) (*RetrieveResponse, error) {
+	if err := req.Query.Validate(); err != nil {
+		return nil, &ServerError{Code: CodeBadRequest, Msg: err.Error()}
+	}
+	// Stamp the generation before searching: if a rollout lands
+	// mid-request the response reports the older generation it actually
+	// computed against, and the coordinator's consistency check catches
+	// the skew.
+	gen := s.gen.Load()
+	eng := s.engine.WithOptions(req.Options.Apply(s.base))
+	res, err := eng.RetrieveContext(ctx, req.Query)
+	if err != nil {
+		return nil, &ServerError{Code: CodeInternal, Msg: err.Error()}
+	}
+	s.sh.Remap(res.Matches)
+	return &RetrieveResponse{Matches: res.Matches, Cost: res.Cost, Generation: gen}, nil
+}
+
+// Status reports the shard's identity and size; the Server overlays the
+// DRAINING state.
+func (s *ShardService) Status() StatusResponse {
+	return StatusResponse{
+		State:      StateReady,
+		Generation: s.gen.Load(),
+		Shard:      s.index,
+		OfShards:   s.of,
+		Videos:     len(s.sh.Videos),
+		States:     len(s.sh.StateMap),
+	}
+}

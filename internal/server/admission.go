@@ -3,7 +3,9 @@ package server
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"runtime"
+	"sync"
 	"time"
 
 	"github.com/videodb/hmmm/internal/api"
@@ -42,6 +44,25 @@ type shedError struct {
 }
 
 func (e *shedError) Error() string { return e.msg }
+
+// shedRng backs shedRetryAfter; one process-wide source is enough — the
+// hint is advisory and a handful of nanoseconds of lock hold per shed is
+// noise next to writing the 503 itself.
+var shedRng = struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}{r: rand.New(rand.NewSource(0x526574))}
+
+// shedRetryAfter jitters the Retry-After hint attached to 503 sheds
+// across 1-3 seconds. A fixed hint tells every client shed in the same
+// overload instant to come back in the same instant — re-creating the
+// herd the ceiling just rejected. Spreading the hint decorrelates the
+// re-arrivals at the cost of at most two extra seconds of client wait.
+func shedRetryAfter() int {
+	shedRng.mu.Lock()
+	defer shedRng.mu.Unlock()
+	return 1 + shedRng.r.Intn(3)
+}
 
 // lane is one admission class: a slot semaphore plus its metrics.
 type lane struct {
@@ -133,7 +154,7 @@ func (lc *laneController) admit(ctx context.Context, cost int, budget time.Durat
 		return nil, &shedError{
 			msg: fmt.Sprintf("heavy-query queue full (%d waiting), retry shortly",
 				cap(lc.queue)),
-			retryAfter: 1,
+			retryAfter: shedRetryAfter(),
 		}
 	}
 	lc.queued.Inc()
@@ -171,7 +192,7 @@ func (lc *laneController) acquire(ctx context.Context, l *lane, budget time.Dura
 		return nil, &shedError{
 			msg: fmt.Sprintf("%s lane saturated (%d in flight), retry shortly",
 				l.name, cap(l.slots)),
-			retryAfter: 1,
+			retryAfter: shedRetryAfter(),
 		}
 	}
 }

@@ -293,3 +293,64 @@ func TestDeadlineStartsAfterAdmission(t *testing.T) {
 			"(deadline must start after admission)", elapsed)
 	}
 }
+
+// TestShedRetryAfterSpread pins the jitter on the 503 Retry-After hint:
+// synchronized clients shed in the same overload instant must receive a
+// spread of re-arrival hints, not one value that re-creates the herd.
+func TestShedRetryAfterSpread(t *testing.T) {
+	seen := make(map[int]int)
+	for i := 0; i < 200; i++ {
+		v := shedRetryAfter()
+		if v < 1 || v > 3 {
+			t.Fatalf("shedRetryAfter() = %d, want within [1, 3]", v)
+		}
+		seen[v]++
+	}
+	if len(seen) < 2 {
+		t.Fatalf("200 shed hints collapsed to one value %v — no spread", seen)
+	}
+}
+
+// TestShedErrorsCarryJitteredHint drives both shed paths — heavy queue
+// full and lane saturated — and checks the shedError hints stay in the
+// jitter range (the handler forwards them verbatim as Retry-After).
+func TestShedErrorsCarryJitteredHint(t *testing.T) {
+	lc := testLaneController(10, 1, 1, 1)
+
+	// Saturate the heavy slot and the single queue position.
+	relHeavy, err := lc.admit(context.Background(), 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relHeavy()
+	lc.queue <- struct{}{}
+	defer func() { <-lc.queue }()
+
+	for i := 0; i < 20; i++ {
+		_, err := lc.admit(context.Background(), 100, 0)
+		var shed *shedError
+		if !errors.As(err, &shed) {
+			t.Fatalf("full heavy queue returned %v, want *shedError", err)
+		}
+		if shed.retryAfter < 1 || shed.retryAfter > 3 {
+			t.Fatalf("heavy-queue shed Retry-After = %d, want within [1, 3]", shed.retryAfter)
+		}
+	}
+
+	// Saturate the fast lane; a tiny budget makes the slot wait shed fast.
+	relFast, err := lc.admit(context.Background(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relFast()
+	for i := 0; i < 5; i++ {
+		_, err := lc.admit(context.Background(), 1, 2*time.Millisecond)
+		var shed *shedError
+		if !errors.As(err, &shed) {
+			t.Fatalf("saturated fast lane returned %v, want *shedError", err)
+		}
+		if shed.retryAfter < 1 || shed.retryAfter > 3 {
+			t.Fatalf("fast-lane shed Retry-After = %d, want within [1, 3]", shed.retryAfter)
+		}
+	}
+}

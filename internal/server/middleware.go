@@ -64,7 +64,7 @@ func (s *Server) withAdmission(h http.Handler) http.Handler {
 				defer func() { <-s.sem }()
 			default:
 				s.metrics.shed.Inc()
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", strconv.Itoa(shedRetryAfter()))
 				writeError(w, http.StatusServiceUnavailable,
 					fmt.Errorf("server at capacity (%d requests in flight), retry shortly", s.maxInflight))
 				return

@@ -24,6 +24,7 @@ import (
 	"github.com/videodb/hmmm/internal/api"
 	"github.com/videodb/hmmm/internal/atomicwrite"
 	"github.com/videodb/hmmm/internal/coalesce"
+	"github.com/videodb/hmmm/internal/coord"
 	"github.com/videodb/hmmm/internal/features"
 	"github.com/videodb/hmmm/internal/feedback"
 	"github.com/videodb/hmmm/internal/hmmm"
@@ -90,6 +91,11 @@ type Server struct {
 	shards       int
 	shardTimeout time.Duration
 	shardMetrics *shard.Metrics
+
+	// coordinator, when non-nil, serves /api/query by scatter-gather over
+	// remote shard servers (see Config.Coordinator). The local snapshot
+	// engine still serves browse, Explain, and cost estimation.
+	coordinator *coord.Coordinator
 }
 
 // snapshot is one immutable published generation: a trained model, the
@@ -186,6 +192,13 @@ type Config struct {
 	// HeavyQueue bounds how many heavy queries may wait for a heavy-lane
 	// slot (0 = DefaultHeavyQueue). Only meaningful with FastLaneCost.
 	HeavyQueue int
+	// Coordinator, when non-nil, serves /api/query retrievals by
+	// network scatter-gather over remote shard servers (cmd/hmmm-shardd)
+	// instead of the local engine or an in-process shard group. The
+	// local Model must still be the same archive the remote shards were
+	// split from: browse endpoints, Explain, and lane cost estimation
+	// read it directly. Mutually exclusive with Shards.
+	Coordinator *coord.Coordinator
 }
 
 // DefaultMaxRequestBytes caps request bodies when Config.MaxRequestBytes
@@ -214,10 +227,14 @@ func New(cfg Config) (*Server, error) {
 	// built here or by a retrain (both derive from s.opts) reports into
 	// the same counters.
 	cfg.Options.Metrics = metrics.retrieval
+	if cfg.Coordinator != nil && cfg.Shards > 0 {
+		return nil, errors.New("server: Coordinator and Shards are mutually exclusive")
+	}
 	s := &Server{
 		opts:         cfg.Options,
 		shards:       cfg.Shards,
 		shardTimeout: cfg.ShardTimeout,
+		coordinator:  cfg.Coordinator,
 		log:          feedback.NewLog(),
 		trainer:      feedback.NewTrainer(cfg.RetrainThreshold),
 		logPath:      cfg.FeedbackLogPath,
@@ -485,6 +502,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 	}
+	var coordStats *api.CoordStatsJSON
+	if s.coordinator != nil {
+		coordStats = s.coordinator.Stats()
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Videos:           m.NumVideos(),
 		States:           m.NumStates(),
@@ -495,6 +516,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		EventCounts:      counts,
 		Runtime:          s.runtimeStats(),
 		Shards:           shardStats,
+		Coord:            coordStats,
 	})
 }
 
@@ -773,7 +795,14 @@ func (s *Server) runQuery(ctx context.Context, req QueryRequest, snap *snapshot,
 	}
 	engine := snap.engine.WithOptions(eopts)
 	var search retriever = engine
-	if snap.group != nil {
+	switch {
+	case s.coordinator != nil:
+		// Coordinator mode: retrieval scatters over remote shard servers.
+		// Observer options (Metrics, Trace) stay local — the coordinator
+		// strips them from the wire request and records hmmm_coord_*
+		// instead; the local engine above still serves Explain.
+		search = s.coordinator.WithOptions(opts)
+	case snap.group != nil:
 		search = snap.group.WithOptions(opts)
 	}
 
@@ -815,6 +844,7 @@ func (s *Server) runQuery(ctx context.Context, req QueryRequest, snap *snapshot,
 		cost.EdgeEvals += res.Cost.EdgeEvals
 		cost.VideosSeen += res.Cost.VideosSeen
 		cost.Truncated = cost.Truncated || res.Cost.Truncated
+		cost.DegradedShards += res.Cost.DegradedShards
 		if cost.Truncated {
 			// The deadline is spent; later alternation branches would each
 			// pay a poll round-trip just to return empty.
@@ -942,6 +972,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Cost: CostJSON{
 			SimEvals: cost.SimEvals, EdgeEvals: cost.EdgeEvals,
 			VideosSeen: cost.VideosSeen, Truncated: cost.Truncated,
+			DegradedShards: cost.DegradedShards,
 		},
 	}
 	for i, match := range merged {

@@ -228,6 +228,12 @@ func (s *Shard) remap(ms []retrieval.Match) {
 	}
 }
 
+// Remap rewrites shard-local state indices in ms to parent-model
+// indices, in place. It is the same operation Group's gather performs;
+// exported for out-of-process servers (internal/rpc) that must remap
+// before replying so the coordinator's merge sees global indices.
+func (s *Shard) Remap(ms []retrieval.Match) { s.remap(ms) }
+
 // Stat summarizes one shard for operational reporting (/api/stats).
 type Stat struct {
 	Videos int

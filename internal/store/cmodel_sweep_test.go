@@ -1,0 +1,128 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/videodb/hmmm/internal/atomicwrite"
+)
+
+// TestLoadCompactModelEveryByteFlip sweeps all single-bit corruptions
+// of a compact ("cmodel") snapshot, mirroring the feedback log's sweep:
+// every flip must make LoadModel fail with a classified error
+// (ErrChecksum / ErrBadFormat) or load a model that still validates —
+// never panic — and LoadModelRecover must fall back through the
+// recovery chain to the good .bak regardless of where the flip landed.
+// This is the compact layout's half of the recovery contract the server
+// boot depends on: cmodel is the layout operators actually ship
+// (a third of the bytes), so its corruption behavior cannot be weaker
+// than the full-precision one's.
+func TestLoadCompactModelEveryByteFlip(t *testing.T) {
+	m := recoverTestModel(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.gob")
+	// Two compact saves: the second's rename chain leaves the first
+	// behind as the .bak recovery candidate.
+	if err := SaveModelCompact(path, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveModelCompact(path, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(atomicwrite.BakPath(path)); err != nil {
+		t.Fatalf("no .bak after two saves: %v", err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stride := 1
+	if testing.Short() {
+		stride = 17
+	}
+	for i := 0; i < len(good); i += stride {
+		for _, bit := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), good...)
+			mut[i] ^= bit
+			if err := os.WriteFile(path, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			func() {
+				defer func() {
+					if v := recover(); v != nil {
+						t.Fatalf("flip byte %d bit %#x: LoadModel panicked: %v", i, bit, v)
+					}
+				}()
+				loaded, err := LoadModel(path)
+				switch {
+				case err == nil:
+					// A flip the format tolerated must still yield the
+					// real model (gob self-description slack, not a
+					// silently different archive).
+					if loaded.NumStates() != m.NumStates() || loaded.NumVideos() != m.NumVideos() {
+						t.Fatalf("flip byte %d bit %#x: loaded shape %d/%d, want %d/%d",
+							i, bit, loaded.NumStates(), loaded.NumVideos(), m.NumStates(), m.NumVideos())
+					}
+				case errors.Is(err, ErrChecksum) || errors.Is(err, ErrBadFormat):
+					// Classified corruption: the recovery chain's cue.
+				default:
+					t.Fatalf("flip byte %d bit %#x: unclassified error %v", i, bit, err)
+				}
+
+				rec, used, rerr := LoadModelRecover(path)
+				if rerr != nil {
+					t.Fatalf("flip byte %d bit %#x: recovery chain failed: %v", i, bit, rerr)
+				}
+				if err != nil && used == path {
+					t.Fatalf("flip byte %d bit %#x: corrupt primary reported as recovered from itself", i, bit)
+				}
+				if rec.NumStates() != m.NumStates() {
+					t.Fatalf("flip byte %d bit %#x: recovered model has %d states, want %d",
+						i, bit, rec.NumStates(), m.NumStates())
+				}
+			}()
+		}
+	}
+}
+
+// TestLoadCompactModelTornWrite pins truncation at every length
+// (sampled) of a cmodel snapshot: a torn tail must be a classified
+// error, and recovery must still serve the .bak.
+func TestLoadCompactModelTornWrite(t *testing.T) {
+	m := recoverTestModel(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.gob")
+	if err := SaveModelCompact(path, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveModelCompact(path, m); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, 7, len(good) / 4, len(good) / 2, len(good) - 1} {
+		if err := os.WriteFile(path, good[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadModel(path); err == nil {
+			t.Fatalf("truncation to %d bytes loaded cleanly", n)
+		} else if !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("truncation to %d bytes: unclassified error %v", n, err)
+		}
+		rec, used, err := LoadModelRecover(path)
+		if err != nil {
+			t.Fatalf("truncation to %d bytes: recovery failed: %v", n, err)
+		}
+		if used == path {
+			t.Fatalf("truncation to %d bytes: recovered from the torn primary", n)
+		}
+		if rec.NumStates() != m.NumStates() {
+			t.Fatalf("truncation to %d bytes: recovered %d states, want %d", n, rec.NumStates(), m.NumStates())
+		}
+	}
+}
