@@ -87,6 +87,8 @@ package main
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"flag"
 	"fmt"
@@ -106,6 +108,20 @@ import (
 	"github.com/videodb/hmmm/internal/server"
 	"github.com/videodb/hmmm/internal/store"
 )
+
+// processSeed returns a per-process seed for the coordinator's
+// retry/backoff jitter. A fleet of coordinators sharing the library's
+// fixed default seed would draw identical jitter sequences and re-arrive
+// in lockstep — exactly the synchronization the jitter exists to break.
+func processSeed() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		if s := binary.LittleEndian.Uint64(b[:]); s != 0 {
+			return s
+		}
+	}
+	return uint64(os.Getpid()) ^ uint64(time.Now().UnixNano())
+}
 
 func main() {
 	log.SetFlags(0)
@@ -180,7 +196,7 @@ func main() {
 		}
 		var err error
 		coordinator, err = coord.Dial(*coordSpec, 2*time.Second,
-			coord.Options{Metrics: coord.NewMetrics(reg)},
+			coord.Options{Metrics: coord.NewMetrics(reg), Seed: processSeed()},
 			retrieval.Options{Beam: 4, TopK: 10, CoarseCandidates: *coarse})
 		if err != nil {
 			log.Fatalf("coordinator: %v", err)

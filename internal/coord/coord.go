@@ -132,6 +132,11 @@ var errAllEjected = errors.New("coord: all replicas ejected")
 // deadline.
 var errAttemptTimeout = errors.New("coord: shard attempt timed out")
 
+// errShardMismatch marks a response stamped with the wrong shard
+// identity: a mis-wired replica. Permanent — merging it would silently
+// mix partitions, so the shard degrades instead.
+var errShardMismatch = errors.New("coord: shard identity mismatch")
+
 // Coordinator scatters retrievals over remote shards and gathers them
 // into one exact global ranking. It is safe for concurrent use;
 // WithOptions derives per-request views sharing all health state.
@@ -259,7 +264,7 @@ func (c *Coordinator) RetrieveContext(ctx context.Context, q retrieval.Query) (*
 	scatter := func(idxs []int) {
 		par.For(c.copts.Workers, len(idxs), func(j int) {
 			i := idxs[j]
-			resp, err := c.queryShard(ctx, c.sets[i], req)
+			resp, err := c.queryShard(ctx, i, req)
 			outs[i] = shardOut{resp, err}
 		})
 	}
@@ -342,7 +347,8 @@ func (c *Coordinator) RetrieveContext(ctx context.Context, q retrieval.Query) (*
 
 // queryShard runs the retry loop for one shard: pick a replica, attempt
 // (with hedging), back off with jitter on transient failure.
-func (c *Coordinator) queryShard(ctx context.Context, set *shardSet, req *rpc.RetrieveRequest) (*rpc.RetrieveResponse, error) {
+func (c *Coordinator) queryShard(ctx context.Context, shardIdx int, req *rpc.RetrieveRequest) (*rpc.RetrieveResponse, error) {
+	set := c.sets[shardIdx]
 	var lastErr error = errAllEjected
 	for attempt := 0; attempt < c.copts.MaxAttempts; attempt++ {
 		if attempt > 0 {
@@ -363,7 +369,7 @@ func (c *Coordinator) queryShard(ctx context.Context, set *shardSet, req *rpc.Re
 			lastErr = errAllEjected
 			continue
 		}
-		resp, err := c.attempt(ctx, set, ep, req)
+		resp, err := c.attempt(ctx, shardIdx, set, ep, req)
 		if err == nil {
 			return resp, nil
 		}
@@ -378,22 +384,26 @@ func (c *Coordinator) queryShard(ctx context.Context, set *shardSet, req *rpc.Re
 	return nil, lastErr
 }
 
+// attemptResult is one exchange's outcome flowing back to attempt() —
+// or, when attempt() already returned, to drainAbandoned().
+type attemptResult struct {
+	resp   *rpc.RetrieveResponse
+	err    error
+	ep     *endpoint
+	hedged bool
+}
+
 // attempt runs one (possibly hedged) exchange against ep. After the
 // p95-derived hedge delay with no response, a speculative second
-// request goes to another replica; the first success wins, the shared
-// cancel abandons the loser, and the buffered channel lets the loser's
-// goroutine exit regardless.
-func (c *Coordinator) attempt(ctx context.Context, set *shardSet, primary *endpoint, req *rpc.RetrieveRequest) (*rpc.RetrieveResponse, error) {
+// request goes to another replica; the first response wins, the shared
+// cancel abandons the loser, and drainAbandoned resolves the loser's
+// outcome so its endpoint's health state (in particular a half-open
+// probe) never dangles.
+func (c *Coordinator) attempt(ctx context.Context, shardIdx int, set *shardSet, primary *endpoint, req *rpc.RetrieveRequest) (*rpc.RetrieveResponse, error) {
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	type result struct {
-		resp   *rpc.RetrieveResponse
-		err    error
-		ep     *endpoint
-		hedged bool
-	}
-	ch := make(chan result, 2)
+	ch := make(chan attemptResult, 2)
 	run := func(ep *endpoint, hedged bool) {
 		if c.met != nil {
 			c.met.ShardRequests.Inc()
@@ -419,13 +429,16 @@ func (c *Coordinator) attempt(ctx context.Context, set *shardSet, primary *endpo
 				c.met.ShardSeconds.ObserveDuration(elapsed)
 			}
 			if err == nil {
+				err = c.identityErr(shardIdx, ep, resp)
+			}
+			if err == nil {
 				ep.lat.ObserveDuration(elapsed)
-			} else if actx.Err() != nil && hctx.Err() == nil {
+			} else if resp == nil && actx.Err() != nil && hctx.Err() == nil {
 				// The attempt cap fired while the query still had
 				// budget: retryable, unlike a parent deadline.
 				err = errAttemptTimeout
 			}
-			ch <- result{resp, err, ep, hedged}
+			ch <- attemptResult{resp, err, ep, hedged}
 		}()
 	}
 	run(primary, false)
@@ -450,6 +463,9 @@ func (c *Coordinator) attempt(ctx context.Context, set *shardSet, primary *endpo
 				if r.hedged && c.met != nil {
 					c.met.HedgeWins.Inc()
 				}
+				if pending > 0 {
+					go c.drainAbandoned(ch, pending)
+				}
 				return r.resp, nil
 			}
 			c.noteFailure(r.ep, r.err)
@@ -470,10 +486,51 @@ func (c *Coordinator) attempt(ctx context.Context, set *shardSet, primary *endpo
 	return nil, firstErr
 }
 
+// drainAbandoned resolves exchanges still in flight when attempt()
+// returned early (the hedge loser after a winner came back). Every
+// outcome must reach the health machine: an abandoned half-open probe
+// would otherwise wedge its endpoint in probing, where usable() refuses
+// it forever and — with one replica per shard — silently drops the
+// recovered shard from every future query. The attempt timeout bounds
+// how long this goroutine lives; the shared cancel usually resolves it
+// immediately.
+func (c *Coordinator) drainAbandoned(ch <-chan attemptResult, pending int) {
+	for ; pending > 0; pending-- {
+		r := <-ch
+		if r.err == nil {
+			if r.ep.success(r.resp.Generation) && c.met != nil {
+				c.met.Readmissions.Inc()
+			}
+		} else {
+			c.noteFailure(r.ep, r.err)
+		}
+	}
+}
+
+// identityErr rejects a response stamped with the wrong shard identity:
+// a mis-wired replica answering for another partition must degrade the
+// shard, never merge. Responses without a stamp (OfShards == 0, an
+// older server during rolling rollout) pass — WaitReady still covers
+// those at startup.
+func (c *Coordinator) identityErr(shardIdx int, ep *endpoint, resp *rpc.RetrieveResponse) error {
+	if resp.OfShards == 0 || (resp.Shard == shardIdx && resp.OfShards == len(c.sets)) {
+		return nil
+	}
+	return fmt.Errorf("%w: endpoint %s answered as shard %d of %d, configured as shard %d of %d",
+		errShardMismatch, ep.tr.Addr(), resp.Shard, resp.OfShards, shardIdx, len(c.sets))
+}
+
 // noteFailure feeds the endpoint's failure detector; only transient
-// failures (a down/peer problem) eject — application errors do not.
+// failures (a down/peer problem) eject — application errors and
+// cancellations do not. A half-open probe, however, must resolve on ANY
+// outcome: an unresolved probe (cancelled by the parent context, beaten
+// by a hedge winner, or answered with the wrong identity) re-ejects so
+// the endpoint never sticks in probing.
 func (c *Coordinator) noteFailure(ep *endpoint, err error) {
 	if !rpc.IsTransient(err) && !errors.Is(err, errAttemptTimeout) {
+		if ep.abortProbe(time.Now(), c.copts.EjectBackoffMax) && c.met != nil {
+			c.met.Ejections.Inc()
+		}
 		return
 	}
 	if ep.failure(time.Now(), c.copts.EjectThreshold, c.copts.EjectBackoff, c.copts.EjectBackoffMax) && c.met != nil {
@@ -518,25 +575,33 @@ func (c *Coordinator) backoff(attempt int) time.Duration {
 }
 
 // WaitReady blocks until every shard has at least one endpoint
-// reporting READY (verifying each endpoint serves the shard index it is
-// configured as), or ctx expires.
+// reporting READY, or ctx expires. It verifies the identity (shard
+// index and split size) of EVERY endpoint that answers Status — not
+// just the first READY one per shard — so a mis-wired second replica
+// fails fast at startup instead of surfacing as silently merged
+// wrong-partition matches when failover or hedging later routes to it.
 func (c *Coordinator) WaitReady(ctx context.Context) error {
 	for {
 		ready := 0
 		for i, set := range c.sets {
+			anyReady := false
 			for _, ep := range set.endpoints {
 				sctx, cancel := context.WithTimeout(ctx, time.Second)
 				st, err := ep.tr.Status(sctx)
 				cancel()
-				if err != nil || st.State != rpc.StateReady {
+				if err != nil {
 					continue
 				}
 				if st.OfShards != len(c.sets) || st.Shard != i {
 					return fmt.Errorf("coord: endpoint %s serves shard %d of %d, configured as shard %d of %d",
 						ep.tr.Addr(), st.Shard, st.OfShards, i, len(c.sets))
 				}
+				if st.State == rpc.StateReady {
+					anyReady = true
+				}
+			}
+			if anyReady {
 				ready++
-				break
 			}
 		}
 		if ready == len(c.sets) {

@@ -479,6 +479,21 @@ func TestWaitReadyDetectsMisconfiguration(t *testing.T) {
 		t.Fatalf("WaitReady on swapped shards: err = %v, want index mismatch", err)
 	}
 
+	// A mis-wired SECOND replica must also fail fast: identity is
+	// verified for every endpoint that answers Status, not just the
+	// first READY one per shard — otherwise the bad replica surfaces
+	// only when failover or hedging routes to it mid-query.
+	bad, err := New([][]Transport{
+		{&localTransport{svc: svcs[0], name: "r0-ok"}, &localTransport{svc: svcs[1], name: "r0-miswired"}},
+		{&localTransport{svc: svcs[1], name: "r1-ok"}},
+	}, retrieval.Options{}, fastOptions(nil))
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	if err := bad.WaitReady(ctx); err == nil || !strings.Contains(err.Error(), "serves shard") {
+		t.Fatalf("WaitReady on mis-wired second replica: err = %v, want index mismatch", err)
+	}
+
 	// Correctly wired, WaitReady returns promptly.
 	ok, err := New([][]Transport{
 		{&localTransport{svc: svcs[0], name: "ok-0"}},
@@ -490,6 +505,175 @@ func TestWaitReadyDetectsMisconfiguration(t *testing.T) {
 	if err := ok.WaitReady(ctx); err != nil {
 		t.Fatalf("WaitReady: %v", err)
 	}
+}
+
+// TestAbandonedProbeResolves pins the stuck-probe fix: a half-open
+// probe whose request is cancelled by the parent context must re-eject
+// the endpoint — never wedge it in "probing", where it would be
+// unroutable forever — and a later clean probe must still readmit it.
+func TestAbandonedProbeResolves(t *testing.T) {
+	m := retrievaltest.RandomModel(t, retrievaltest.Config{Seed: 28})
+	shards, err := shard.Split(m, 1)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	svcs := services(t, shards, 1)
+	c, flaky := loopbackCoordinator(t, svcs, retrieval.Options{}, fastOptions(met))
+	q := retrievaltest.Queries(m)[0]
+
+	// Eject the only replica.
+	flaky[0].fail.Store(true)
+	if _, err := c.Retrieve(q); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if got := c.Stats().Endpoints[0].State; got != stateEjected {
+		t.Fatalf("endpoint state = %q, want ejected", got)
+	}
+
+	// Heal the transport but keep it slow; after the backoff the next
+	// query half-opens a probe that the parent deadline then cancels.
+	flaky[0].fail.Store(false)
+	flaky[0].delay.Store(int64(300 * time.Millisecond))
+	time.Sleep(25 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	res, err := c.RetrieveContext(ctx, q)
+	cancel()
+	if err != nil {
+		t.Fatalf("cancelled-probe query: %v", err)
+	}
+	if !res.Cost.Truncated {
+		t.Fatal("parent deadline must truncate")
+	}
+	// The abandoned probe must have resolved back to ejected.
+	if got := c.Stats().Endpoints[0].State; got != stateEjected {
+		t.Fatalf("endpoint state after cancelled probe = %q, want ejected (stuck probe)", got)
+	}
+
+	// A clean probe after the (doubled) backoff readmits the endpoint.
+	flaky[0].delay.Store(0)
+	time.Sleep(60 * time.Millisecond)
+	res, err = c.Retrieve(q)
+	if err != nil {
+		t.Fatalf("query after heal: %v", err)
+	}
+	if res.Cost.Truncated || res.Cost.DegradedShards != 0 {
+		t.Fatalf("healed result still degraded: %+v", res.Cost)
+	}
+	if got := c.Stats().Endpoints[0].State; got != stateHealthy {
+		t.Fatalf("endpoint state after readmission = %q, want healthy", got)
+	}
+}
+
+// TestHedgeAbandonedProbeResolves pins the other stuck-probe path: a
+// hedge sent to a probing replica is abandoned when the primary wins,
+// and the drained outcome must re-eject the probe instead of leaving it
+// in "probing" forever.
+func TestHedgeAbandonedProbeResolves(t *testing.T) {
+	m := retrievaltest.RandomModel(t, retrievaltest.Config{Seed: 29})
+	shards, err := shard.Split(m, 1)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	svc := services(t, shards, 1)[0]
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+
+	primary := &flakyTransport{Transport: &localTransport{svc: svc, name: "primary"}}
+	primary.delay.Store(int64(50 * time.Millisecond))
+	secondary := &flakyTransport{Transport: &localTransport{svc: svc, name: "secondary"}}
+	secondary.delay.Store(int64(time.Second))
+	c, err := New([][]Transport{{primary, secondary}}, retrieval.Options{}, Options{
+		HedgeMax:       5 * time.Millisecond,
+		AttemptTimeout: 2 * time.Second,
+		EjectBackoff:   20 * time.Millisecond,
+		Metrics:        met,
+	})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+
+	// Park the secondary in ejected with an elapsed backoff: the hedge
+	// will half-open its probe.
+	ep := c.sets[0].endpoints[1]
+	ep.mu.Lock()
+	ep.state = stateEjected
+	ep.backoff = 20 * time.Millisecond
+	ep.ejectedUntil = time.Now().Add(-time.Millisecond)
+	ep.mu.Unlock()
+
+	res, err := c.Retrieve(retrievaltest.Queries(m)[0])
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if res.Cost.Truncated || len(res.Matches) == 0 {
+		t.Fatalf("primary win degraded: %+v", res.Cost)
+	}
+	if met.Hedges.Value() != 1 {
+		t.Fatalf("hedges = %d, want 1 (test did not exercise the hedge path)", met.Hedges.Value())
+	}
+	// The abandoned hedge probe resolves asynchronously (drain goroutine
+	// after the shared cancel): it must land back in ejected, not wedge
+	// in probing.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		state, _, _ := ep.snapshotState()
+		if state == stateEjected {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned hedge probe state = %q, want ejected", state)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestShardIdentityStampRejected pins the per-response identity check:
+// a mis-wired replica that escaped the startup sweep (WaitReady skipped
+// or the replica down at boot) must degrade its shard — wrong-partition
+// matches are never silently merged into the ranking.
+func TestShardIdentityStampRejected(t *testing.T) {
+	m := retrievaltest.RandomModel(t, retrievaltest.Config{Seed: 30, Videos: 6})
+	shards, err := shard.Split(m, 2)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	svcs := services(t, shards, 1)
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg)
+	// Shard 1's only replica actually serves shard 0: same model, wrong
+	// partition — exactly the mis-wiring WaitReady would catch, except
+	// no WaitReady ran.
+	transports := [][]Transport{
+		{&localTransport{svc: svcs[0], name: "ok-0"}},
+		{&localTransport{svc: svcs[0], name: "miswired-1"}},
+	}
+	c, err := New(transports, retrieval.Options{}, fastOptions(met))
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+
+	q := retrievaltest.Queries(m)[0]
+	res, err := c.Retrieve(q)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if res.Cost.DegradedShards != 1 || !res.Cost.Truncated {
+		t.Fatalf("mis-wired shard not degraded: %+v", res.Cost)
+	}
+	// The merged ranking is exactly shard 0's committed partial — the
+	// duplicate wrong-identity answer contributed nothing.
+	eng, err := retrieval.NewEngine(shards[0].Model, retrieval.Options{})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	want, err := eng.Retrieve(q)
+	if err != nil {
+		t.Fatalf("shard 0 local: %v", err)
+	}
+	shards[0].Remap(want.Matches)
+	retrievaltest.RequireSameMatches(t, "identity", retrieval.MergeRanked(want.Matches, 0), res.Matches)
 }
 
 // TestMain verifies the package leaves no coordinator or rpc goroutine

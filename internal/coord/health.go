@@ -95,6 +95,27 @@ func (e *endpoint) failure(now time.Time, threshold int, base, max time.Duration
 	}
 }
 
+// abortProbe resolves a half-open probe whose outcome is unusable as
+// health evidence — the probe was cancelled mid-flight, abandoned after
+// a hedge winner, or answered with the wrong shard identity. The
+// endpoint reverts to ejected with a doubled, capped backoff instead of
+// wedging in probing (where usable() would refuse it forever). Reports
+// whether it re-ejected.
+func (e *endpoint) abortProbe(now time.Time, max time.Duration) (ejected bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state != stateProbing {
+		return false
+	}
+	e.backoff *= 2
+	if e.backoff > max {
+		e.backoff = max
+	}
+	e.state = stateEjected
+	e.ejectedUntil = now.Add(e.backoff)
+	return true
+}
+
 // usable reports whether the endpoint may serve a request now; an
 // ejected endpoint whose backoff has elapsed transitions to probing
 // (half-open) and is usable exactly once until its probe resolves.

@@ -147,6 +147,13 @@ type RetrieveResponse struct {
 	// Generation stamps the model snapshot that produced this ranking.
 	// The coordinator refuses to merge mixed generations.
 	Generation uint64
+	// Shard / OfShards echo the serving shard's identity so the
+	// coordinator can reject a mis-wired replica on every response, not
+	// only during the startup WaitReady sweep. OfShards == 0 means an
+	// older server that does not stamp (gob omits zero fields); the
+	// coordinator skips the check for those.
+	Shard    int
+	OfShards int
 }
 
 // StatusRequest asks for the server's health/readiness report.

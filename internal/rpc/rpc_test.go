@@ -265,6 +265,47 @@ func TestServerCloseUnblocksConnections(t *testing.T) {
 	}
 }
 
+// TestCloseCancelsUnbudgetedRequest pins bounded shutdown: a retrieval
+// with no BudgetNS runs under the server's base context, so Close (the
+// shutdown grace path in hmmm-shardd) cancels it instead of waiting on
+// it forever.
+func TestCloseCancelsUnbudgetedRequest(t *testing.T) {
+	h := &blockingHandler{release: make(chan struct{}), entered: make(chan struct{}, 1)}
+	srv := NewServer(h, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+
+	cl := NewClient(ln.Addr().String(), time.Second, 2)
+	defer cl.Close()
+	done := make(chan error, 1)
+	go func() {
+		// No budget: the handler blocks until its context cancels —
+		// h.release is never closed, so only Close can unblock it.
+		_, err := cl.Retrieve(context.Background(), &RetrieveRequest{})
+		done <- err
+	}()
+	<-h.entered
+
+	closed := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Server.Close hung on an unbudgeted in-flight request")
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("client call did not return after server close")
+	}
+}
+
 func TestFrameRoundTripAndLimits(t *testing.T) {
 	var buf bytes.Buffer
 	want := RetrieveResponse{Generation: 9, Cost: retrieval.Cost{SimEvals: 3}}

@@ -24,6 +24,12 @@ type Server struct {
 	handler Handler
 	logf    func(format string, args ...any)
 
+	// baseCtx parents every request handler and is cancelled by Close,
+	// so even an unbudgeted retrieval (BudgetNS == 0) cannot outlive the
+	// server and hold up the shutdown grace window.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
@@ -38,7 +44,11 @@ func NewServer(h Handler, logf func(format string, args ...any)) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{handler: h, logf: logf, conns: make(map[net.Conn]struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		handler: h, logf: logf, conns: make(map[net.Conn]struct{}),
+		baseCtx: ctx, baseCancel: cancel,
+	}
 }
 
 // Serve accepts connections on ln until Close. It always returns a
@@ -87,8 +97,9 @@ func (s *Server) Drain() {
 	s.mu.Unlock()
 }
 
-// Close stops the listener, closes every live connection, and waits for
-// all connection goroutines to exit. Safe to call more than once.
+// Close stops the listener, cancels every in-flight handler (budgeted
+// or not), closes every live connection, and waits for all connection
+// goroutines to exit. Safe to call more than once.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -97,6 +108,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.baseCancel()
 	ln := s.ln
 	for c := range s.conns {
 		c.Close()
@@ -175,7 +187,10 @@ func (s *Server) dispatch(conn net.Conn, tag byte, body []byte) error {
 		if err := decodeFrame(body, &req); err != nil {
 			return writeFrame(conn, tagError, &ErrorResponse{Code: CodeBadRequest, Msg: err.Error()})
 		}
-		ctx := context.Background()
+		// The handler context descends from baseCtx so Close bounds even
+		// unbudgeted requests; BudgetNS layers the per-request deadline
+		// on top.
+		ctx := s.baseCtx
 		if req.BudgetNS > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.BudgetNS))

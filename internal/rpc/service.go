@@ -64,7 +64,10 @@ func (s *ShardService) Retrieve(ctx context.Context, req *RetrieveRequest) (*Ret
 		return nil, &ServerError{Code: CodeInternal, Msg: err.Error()}
 	}
 	s.sh.Remap(res.Matches)
-	return &RetrieveResponse{Matches: res.Matches, Cost: res.Cost, Generation: gen}, nil
+	return &RetrieveResponse{
+		Matches: res.Matches, Cost: res.Cost, Generation: gen,
+		Shard: s.index, OfShards: s.of,
+	}, nil
 }
 
 // Status reports the shard's identity and size; the Server overlays the
