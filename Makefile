@@ -8,10 +8,10 @@ BENCH_PATTERN := BenchmarkF2RetrievalGreedy$$|BenchmarkF5PaperQuery$$|BenchmarkP
 # Offline-pipeline benchmarks captured into BENCH_build.json.
 BENCH_BUILD_PATTERN := BenchmarkBuildPaperScale|BenchmarkRetrainPaperScale
 
-.PHONY: build vet test race race-server race-obs race-shard race-all verify e2e bench bench-build bench-scale bench-million bench-serving bench-serving-smoke cover fuzz clean
+.PHONY: build vet test race race-server race-obs race-shard race-live race-all verify e2e bench bench-build bench-scale bench-million bench-serving bench-serving-smoke bench-ingest cover fuzz clean
 
 # Packages whose per-package coverage `make cover` gates at 80%.
-COVER_GATED := internal/shard internal/retrieval internal/matn internal/index internal/coord internal/rpc
+COVER_GATED := internal/shard internal/retrieval internal/matn internal/index internal/coord internal/rpc internal/live
 COVER_MIN := 80.0
 
 build:
@@ -38,12 +38,17 @@ race-obs:
 race-shard:
 	$(GO) test -race ./internal/shard/...
 
+# The live-ingest journal and delta sub-model under the race detector
+# (the server-side ingest/compaction hammer runs in race-server).
+race-live:
+	$(GO) test -race ./internal/live/...
+
 # Full-repo race sweep; slower than the targeted race targets, meant
 # for CI and pre-release checks.
 race-all:
 	$(GO) test -race ./...
 
-verify: vet build test race race-server race-obs race-shard
+verify: vet build test race race-server race-obs race-shard race-live
 
 # End-to-end distributed serving: builds cmd/hmmm-shardd, boots 3 real
 # shard processes plus an in-process coordinator, and proves the
@@ -66,6 +71,19 @@ bench-serving:
 	$(GO) run ./cmd/hmmmload -coord 3 -bench -assert-degraded -assert-no-errors \
 		| $(GO) run ./cmd/benchjson -out BENCH_serving.json \
 			-note "coordinated 3-shard serving; one shard killed at t/3 and restarted at 2t/3 (goodput + degraded rate through the fault)"
+
+# Live-ingest serving curve: cmd/hmmmload offers videos to POST
+# /api/ingest at a fixed rate (journal + compaction snapshot on disk, so
+# the ack latency includes the fsync) while a background prober queries
+# continuously; the record lands in BENCH_serving.json with the accept
+# latency, the freshness lag (submit -> first scoped-query hit), the
+# prober's tail latency (a serving pause during compaction would surface
+# as its max), and the compaction count.
+bench-ingest:
+	$(GO) run ./cmd/hmmmload -ingest-rate 4 -duration 5s -ingest-compact-after 4 \
+		-bench -assert-no-errors \
+		| $(GO) run ./cmd/benchjson -out BENCH_serving.json \
+			-note "live ingest at 4 videos/s: accept latency, freshness lag, prober tail through background compaction"
 
 # CI smoke for the serving path: a short single run that must produce
 # coalesce hits and zero errors (admission 503s are not errors).
@@ -93,6 +111,7 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz=FuzzMATNParse -fuzztime=$(FUZZTIME) ./internal/matn/
 	$(GO) test -fuzz=FuzzFeedbackLogDecode -fuzztime=$(FUZZTIME) ./internal/feedback/
+	$(GO) test -fuzz=FuzzJournalDecode -fuzztime=$(FUZZTIME) ./internal/live/
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime=200x -count=1 . \

@@ -22,6 +22,10 @@
 //	feedback <state> [...]     mark a retrieved pattern positive by its
 //	                           state indices (from query output)
 //	retrain                    force offline retraining now
+//	ingest [flags]             submit one synthetic video for live ingest
+//	                           (server must run with -ingest), e.g.
+//	                           hmmmctl ingest -name cam7 -seed 42 \
+//	                             -events goal,none,corner_kick
 package main
 
 import (
@@ -80,6 +84,8 @@ func main() {
 		err = runFeedback(ctx, cl, args[1:])
 	case "retrain":
 		err = runRetrain(ctx, cl)
+	case "ingest":
+		err = runIngest(ctx, cl, args[1:])
 	default:
 		usage()
 		os.Exit(2)
@@ -110,6 +116,12 @@ commands:
   similar <video-id>       videos similar to the given one
   feedback <state>...      mark a pattern positive by state indices
   retrain                  force offline retraining
+  ingest [flags]           submit one synthetic video for live ingest
+      -name string   video name (required)
+      -seed uint     renderer seed (default 1)
+      -events list   comma-separated shot events, "none" for plain play
+                     (default "none,goal,none")
+      -shot-ms int   rendered shot duration in ms (default 3000)
 `)
 }
 
@@ -168,6 +180,23 @@ func renderStats(w io.Writer, st *api.StatsResponse) {
 		for _, sh := range st.Shards {
 			fmt.Fprintf(w, "  shard %-2d %3d videos, %5d states\n", sh.Shard, sh.Videos, sh.States)
 		}
+	}
+	if ig := st.Ingest; ig != nil {
+		fmt.Fprintf(w, "live ingest:\n")
+		fmt.Fprintf(w, "  accepted / rejected: %d / %d\n", ig.Accepted, ig.Rejected)
+		fmt.Fprintf(w, "  fresh videos:        %d (delta generation %d)\n", ig.FreshVideos, ig.DeltaGeneration)
+		fmt.Fprintf(w, "  journal records:     %d (%d persist failures)\n", ig.JournalRecords, ig.PersistFailures)
+		if ig.Replayed+ig.ReplaySkipped > 0 {
+			fmt.Fprintf(w, "  boot replay:         %d replayed, %d already compacted\n", ig.Replayed, ig.ReplaySkipped)
+		}
+		fmt.Fprintf(w, "  compactions:         %d (%d failed)", ig.Compactions, ig.CompactFailures)
+		if ig.CompactAfter > 0 {
+			fmt.Fprintf(w, ", fold at %d fresh", ig.CompactAfter)
+		}
+		if ig.LastCompactUnixMS > 0 {
+			fmt.Fprintf(w, ", last %s", time.UnixMilli(ig.LastCompactUnixMS).UTC().Format(time.RFC3339))
+		}
+		fmt.Fprintln(w)
 	}
 	if c := st.Coord; c != nil {
 		fmt.Fprintf(w, "coordinator (%d remote shards):\n", c.Shards)
@@ -252,8 +281,12 @@ func runQuery(ctx context.Context, cl *client.Client, args []string) error {
 	}
 	fmt.Printf("pattern %q expanded to %d linear pattern(s); %d matches in %v\n",
 		resp.Pattern, resp.Expanded, len(resp.Matches), time.Since(start).Round(time.Millisecond))
-	fmt.Printf("cost: %d sim evals, %d edges, %d videos\n\n",
+	fmt.Printf("cost: %d sim evals, %d edges, %d videos\n",
 		resp.Cost.SimEvals, resp.Cost.EdgeEvals, resp.Cost.VideosSeen)
+	if resp.FreshVideos > 0 {
+		fmt.Printf("fresh: ranking includes %d live-ingested video(s) not yet compacted\n", resp.FreshVideos)
+	}
+	fmt.Println()
 	for _, m := range resp.Matches {
 		fmt.Printf("#%-2d score=%.4f states=%v\n", m.Rank, m.Score, m.States)
 		for i := range m.Shots {
@@ -353,6 +386,35 @@ func runFeedback(ctx context.Context, cl *client.Client, args []string) error {
 		return err
 	}
 	fmt.Printf("recorded; pending=%d retrained=%v\n", resp.Pending, resp.Retrained)
+	return nil
+}
+
+func runIngest(ctx context.Context, cl *client.Client, args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	name := fs.String("name", "", "video name (required)")
+	seed := fs.Uint64("seed", 1, "renderer seed")
+	events := fs.String("events", "none,goal,none", "comma-separated shot events")
+	shotMS := fs.Int("shot-ms", 0, "rendered shot duration in ms (0 = server default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("ingest: -name is required")
+	}
+	resp, err := cl.Ingest(ctx, api.IngestRequest{
+		Name:   *name,
+		Seed:   *seed,
+		Events: strings.Split(*events, ","),
+		ShotMS: *shotMS,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("accepted: video %d, %d shots (%d auto-annotated)\n",
+		resp.VideoID, resp.Shots, resp.AutoAnnotated)
+	fmt.Printf("serving now from delta generation %d (model generation %d, %d fresh video(s))\n",
+		resp.DeltaGeneration, resp.ModelGeneration, resp.FreshVideos)
+	fmt.Printf("query it with: hmmmctl query <pattern> -video %d\n", resp.VideoID)
 	return nil
 }
 

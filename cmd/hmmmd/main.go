@@ -39,6 +39,31 @@
 //	                      report READY with the expected identity
 //	                      (default 30s; 0 skips the check)
 //
+// Live ingest flags (DESIGN.md §5i):
+//
+//	-ingest            bool      accept new videos at runtime via POST
+//	                             /api/ingest: journaled durably, served
+//	                             immediately from a delta sub-model, and
+//	                             folded into full rebuilds by background
+//	                             compaction. Requires the corpus, so it
+//	                             runs in generated-corpus mode (no
+//	                             -model) or resumes from a compacted
+//	                             -ingest-snapshot. Mutually exclusive
+//	                             with -coord
+//	-ingest-log        string    crash-safe ingest journal path; replayed
+//	                             at startup so every acknowledged video
+//	                             survives a crash (empty = memory only)
+//	-ingest-snapshot   string    persist the merged corpus here at each
+//	                             compaction (and resume from it at boot);
+//	                             only with it set may compaction truncate
+//	                             the journal
+//	-compact-after     int       fold the delta into a full rebuild once
+//	                             it holds this many videos (default 8;
+//	                             0 disables the size trigger)
+//	-compact-age       duration  fold once the oldest delta video is this
+//	                             old, checked at accept time (default 0 =
+//	                             disabled)
+//
 // Resilience flags:
 //
 //	-query-timeout  duration  per-query deadline; expired queries return
@@ -103,11 +128,35 @@ import (
 	"github.com/videodb/hmmm/internal/coord"
 	"github.com/videodb/hmmm/internal/dataset"
 	"github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/ingest"
+	"github.com/videodb/hmmm/internal/live"
+	"github.com/videodb/hmmm/internal/mining"
 	"github.com/videodb/hmmm/internal/obs"
 	"github.com/videodb/hmmm/internal/retrieval"
 	"github.com/videodb/hmmm/internal/server"
+	"github.com/videodb/hmmm/internal/shotdetect"
 	"github.com/videodb/hmmm/internal/store"
 )
+
+// fileExists reports whether path (or any member of its atomic-write
+// recovery chain) is present, deciding between "resume from snapshot"
+// and "first boot" for -ingest-snapshot.
+func fileExists(path string) bool {
+	for _, p := range []string{path, path + ".tmp", path + ".bak"} {
+		if _, err := os.Stat(p); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// orMemory renders an optional path flag for the startup banner.
+func orMemory(path string) string {
+	if path == "" {
+		return "(memory)"
+	}
+	return path
+}
 
 // processSeed returns a per-process seed for the coordinator's
 // retry/backoff jitter. A fleet of coordinators sharing the library's
@@ -142,6 +191,12 @@ func main() {
 		coordSpec = flag.String("coord", "", "remote shard servers to coordinate over (';' shards, ',' replicas; empty = local serving)")
 		coordWait = flag.Duration("coord-wait", 30*time.Second, "startup wait for every remote shard to report READY (0 skips)")
 
+		ingestOn     = flag.Bool("ingest", false, "accept new videos at runtime via POST /api/ingest")
+		ingestLog    = flag.String("ingest-log", "", "crash-safe ingest journal path (empty = memory only)")
+		ingestSnap   = flag.String("ingest-snapshot", "", "persist the merged corpus here at each compaction; resume from it at boot")
+		compactAfter = flag.Int("compact-after", 8, "fold the delta into a full rebuild once it holds this many videos (0 disables)")
+		compactAge   = flag.Duration("compact-age", 0, "fold once the oldest delta video is this old, checked at accept time (0 disables)")
+
 		queryTimeout = flag.Duration("query-timeout", 10*time.Second, "per-query deadline (0 disables)")
 		maxInflight  = flag.Int("max-inflight", 64, "max concurrently served requests (0 disables shedding)")
 		coalesceQ    = flag.Bool("coalesce", true, "deduplicate identical in-flight queries")
@@ -160,8 +215,28 @@ func main() {
 	reg := obs.NewRegistry()
 	store.SetMetrics(store.NewMetrics(reg))
 
+	buildOpts := hmmm.BuildOptions{LearnP12: true}
 	var model *hmmm.Model
-	if *modelPath != "" {
+	var corpus *dataset.Corpus
+	switch {
+	case *ingestOn && *ingestSnap != "" && fileExists(*ingestSnap):
+		// Resume from the last compaction's merged corpus: the journal
+		// replay then skips everything the snapshot already folded.
+		c, from, err := store.LoadCorpusRecover(*ingestSnap)
+		if err != nil {
+			log.Fatalf("loading ingest snapshot: %v", err)
+		}
+		if from != *ingestSnap {
+			log.Printf("WARNING: ingest snapshot %s unreadable; recovered from %s", *ingestSnap, from)
+		}
+		corpus = c
+		model, err = hmmm.Build(corpus.Archive, corpus.Features, buildOpts)
+		if err != nil {
+			log.Fatalf("rebuilding model from ingest snapshot: %v", err)
+		}
+		fmt.Printf("resumed compacted corpus from %s: %d states across %d videos\n",
+			from, model.NumStates(), model.NumVideos())
+	case *modelPath != "":
 		var err error
 		var from string
 		model, from, err = store.LoadModelRecover(*modelPath)
@@ -173,20 +248,52 @@ func main() {
 		}
 		fmt.Printf("loaded model from %s: %d states across %d videos\n",
 			from, model.NumStates(), model.NumVideos())
-	} else {
+	default:
 		start := time.Now()
-		corpus, err := dataset.Build(dataset.Config{
+		var err error
+		corpus, err = dataset.Build(dataset.Config{
 			Seed: *seed, Videos: *videos, Shots: *shots, Annotated: *annotated, Fast: true,
 		})
 		if err != nil {
 			log.Fatalf("building corpus: %v", err)
 		}
-		model, err = hmmm.Build(corpus.Archive, corpus.Features, hmmm.BuildOptions{LearnP12: true})
+		model, err = hmmm.Build(corpus.Archive, corpus.Features, buildOpts)
 		if err != nil {
 			log.Fatalf("building model: %v", err)
 		}
 		fmt.Printf("generated corpus and model in %.1fs: %d states across %d videos\n",
 			time.Since(start).Seconds(), model.NumStates(), model.NumVideos())
+	}
+
+	var liveCfg *live.Config
+	if *ingestOn {
+		if *coordSpec != "" {
+			log.Fatalf("-ingest and -coord are mutually exclusive: the coordinator owns no model to extend; ingest on the shard servers")
+		}
+		if corpus == nil {
+			log.Fatalf("live ingest needs the corpus the model was built from: run in generated-corpus mode (no -model) or point -ingest-snapshot at a compacted corpus snapshot")
+		}
+		start := time.Now()
+		tree, err := ingest.TrainClassifier(1, 12, mining.Config{})
+		if err != nil {
+			log.Fatalf("training ingest classifier: %v", err)
+		}
+		pipe, err := ingest.NewPipeline(shotdetect.DefaultConfig(), tree, 0.5)
+		if err != nil {
+			log.Fatalf("building ingest pipeline: %v", err)
+		}
+		liveCfg = &live.Config{
+			LogPath:      *ingestLog,
+			Archive:      corpus.Archive,
+			Features:     corpus.Features,
+			Pipeline:     pipe,
+			Build:        buildOpts,
+			CompactAfter: *compactAfter,
+			CompactAge:   *compactAge,
+			SnapshotPath: *ingestSnap,
+		}
+		fmt.Printf("live ingest on: classifier trained in %.1fs, journal=%s snapshot=%s compact-after=%d\n",
+			time.Since(start).Seconds(), orMemory(*ingestLog), orMemory(*ingestSnap), *compactAfter)
 	}
 
 	var coordinator *coord.Coordinator
@@ -223,6 +330,7 @@ func main() {
 		FeedbackLogPath:    *fbLog,
 		Shards:             *shards,
 		Coordinator:        coordinator,
+		Live:               liveCfg,
 		QueryTimeout:       *queryTimeout,
 		MaxInflight:        *maxInflight,
 		Coalesce:           *coalesceQ,

@@ -62,6 +62,19 @@
 //	                partials (200 + cost.degraded_shards), never errors
 //	-assert-degraded   require at least one degraded query (proves the
 //	                   fault window actually hit traffic)
+//
+// Live-ingest scenario (in-process only, DESIGN.md §5i):
+//
+//	-ingest-rate R  offer R videos/second to POST /api/ingest for
+//	                -duration while a background prober queries the
+//	                server continuously. Reports accept latency (ack =
+//	                journaled + queryable), freshness lag (submit to
+//	                first scoped-query hit), the prober's latency during
+//	                the run (compaction pauses would surface as its max),
+//	                and the compaction count
+//	-ingest-compact-after N  fold the delta every N accepted videos
+//	                         (default 4, so a few-second run compacts
+//	                         several times)
 package main
 
 import (
@@ -74,6 +87,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -83,12 +97,16 @@ import (
 	"github.com/videodb/hmmm/internal/coord"
 	"github.com/videodb/hmmm/internal/dataset"
 	"github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/ingest"
+	"github.com/videodb/hmmm/internal/live"
 	"github.com/videodb/hmmm/internal/matn"
+	"github.com/videodb/hmmm/internal/mining"
 	"github.com/videodb/hmmm/internal/obs"
 	"github.com/videodb/hmmm/internal/retrieval"
 	"github.com/videodb/hmmm/internal/rpc"
 	"github.com/videodb/hmmm/internal/server"
 	"github.com/videodb/hmmm/internal/shard"
+	"github.com/videodb/hmmm/internal/shotdetect"
 )
 
 // cheapPool is the repeated-query substrate: a handful of patterns so
@@ -122,6 +140,9 @@ type opts struct {
 	coord      int
 	coordFault bool
 
+	ingestRate         float64
+	ingestCompactAfter int
+
 	assertCoalesce bool
 	assertNoErrors bool
 	assertDegraded bool
@@ -153,6 +174,8 @@ func main() {
 	flag.IntVar(&o.fastLaneCost, "fast-lane-cost", 0, "in-process lane threshold (0 = auto)")
 	flag.IntVar(&o.coord, "coord", 0, "serve through a coordinator over this many TCP shard servers (0 = off)")
 	flag.BoolVar(&o.coordFault, "coord-fault", true, "with -coord: kill one shard at t/3, restart it at 2t/3")
+	flag.Float64Var(&o.ingestRate, "ingest-rate", 0, "offer this many videos/second to live ingest (0 = off)")
+	flag.IntVar(&o.ingestCompactAfter, "ingest-compact-after", 4, "with -ingest-rate: fold the delta every N accepted videos")
 	flag.BoolVar(&o.assertCoalesce, "assert-coalesce", false, "fail unless at least one coalesce hit occurred")
 	flag.BoolVar(&o.assertNoErrors, "assert-no-errors", false, "fail on any transport error or non-503 5xx")
 	flag.BoolVar(&o.assertDegraded, "assert-degraded", false, "fail unless at least one query degraded (with -coord-fault)")
@@ -165,11 +188,16 @@ func main() {
 	if o.coord > 0 && (o.addr != "" || o.compare) {
 		log.Fatal("-coord needs the in-process server and is incompatible with -compare")
 	}
+	if o.ingestRate > 0 && (o.addr != "" || o.compare || o.coord > 0) {
+		log.Fatal("-ingest-rate needs the in-process server and is incompatible with -compare and -coord")
+	}
 
 	var model *hmmm.Model
+	var corpus *dataset.Corpus
 	if o.addr == "" {
 		start := time.Now()
-		corpus, err := dataset.Build(dataset.Config{
+		var err error
+		corpus, err = dataset.Build(dataset.Config{
 			Seed: o.corpusSeed, Videos: o.videos, Shots: o.shots,
 			Annotated: o.annotated, Fast: true,
 		})
@@ -185,6 +213,18 @@ func main() {
 	}
 
 	failed := false
+	if o.ingestRate > 0 {
+		rep := runIngestLoad(model, corpus, o)
+		rep.report(os.Stderr)
+		if o.bench {
+			rep.benchLine(os.Stdout)
+		}
+		if o.assertNoErrors && (rep.errors > 0 || rep.freshMisses > 0) {
+			log.Printf("ASSERT FAILED (ingest): %d errors, %d freshness misses", rep.errors, rep.freshMisses)
+			os.Exit(3)
+		}
+		return
+	}
 	if o.coord > 0 {
 		rep := runCoord(model, o)
 		rep.report(os.Stderr)
@@ -413,6 +453,262 @@ func runCoord(model *hmmm.Model, o opts) *report {
 		s.Close()
 	}
 	return rep
+}
+
+// ingestReport aggregates one live-ingest run: the accept latency (ack
+// means journaled + already queryable), the freshness lag (submit until
+// a video-scoped query first returns the new video), and the background
+// prober's query latency — compaction runs off the query path, so a
+// serving pause during a fold would surface as the prober's max.
+type ingestReport struct {
+	rate        float64
+	elapsed     time.Duration
+	submitted   int
+	accepted    int
+	rejected    int
+	errors      int
+	freshMisses int
+
+	acceptLat []time.Duration
+	freshLat  []time.Duration
+	probeLat  []time.Duration
+
+	compactions     uint64
+	compactFailures uint64
+	freshAtEnd      int
+}
+
+// ingestEvents is the rendered shot timeline of every submitted video:
+// event-heavy so the classifier reliably auto-annotates (an all-"none"
+// video would be rejected with 422).
+var ingestEvents = []string{"goal", "goal_kick", "yellow_card"}
+
+// runIngestLoad boots an in-process server with live ingest on (journal
+// and compaction snapshot in a temp dir, so accept latency includes the
+// fsync), offers videos open-loop at o.ingestRate, and probes the query
+// path continuously while the delta folds every o.ingestCompactAfter
+// accepts.
+func runIngestLoad(model *hmmm.Model, corpus *dataset.Corpus, o opts) *ingestReport {
+	tree, err := ingest.TrainClassifier(1, 12, mining.Config{})
+	if err != nil {
+		log.Fatalf("training ingest classifier: %v", err)
+	}
+	pipe, err := ingest.NewPipeline(shotdetect.DefaultConfig(), tree, 0.5)
+	if err != nil {
+		log.Fatalf("building ingest pipeline: %v", err)
+	}
+	dir, err := os.MkdirTemp("", "hmmmload-ingest-*")
+	if err != nil {
+		log.Fatalf("temp dir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	srv, err := server.New(server.Config{
+		Model:        model,
+		Options:      retrieval.Options{Beam: 4, TopK: 10},
+		QueryTimeout: time.Duration(o.timeoutMS) * time.Millisecond,
+		Live: &live.Config{
+			LogPath:      filepath.Join(dir, "ingest.log"),
+			SnapshotPath: filepath.Join(dir, "corpus.snapshot"),
+			Archive:      corpus.Archive,
+			Features:     corpus.Features,
+			Pipeline:     pipe,
+			Build:        hmmm.BuildOptions{LearnP12: true},
+			CompactAfter: o.ingestCompactAfter,
+		},
+	})
+	if err != nil {
+		log.Fatalf("in-process server: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	url := "http://" + ln.Addr().String()
+	cl := &http.Client{Timeout: time.Duration(o.timeoutMS)*time.Millisecond + 5*time.Second}
+	fmt.Fprintf(os.Stderr, "hmmmload: live ingest at %.1f videos/s, compact every %d, journal in %s\n",
+		o.ingestRate, o.ingestCompactAfter, dir)
+
+	rep := &ingestReport{rate: o.ingestRate}
+	var mu sync.Mutex
+
+	query := func(req api.QueryRequest) (*api.QueryResponse, error) {
+		body, _ := json.Marshal(req)
+		resp, err := cl.Post(url+"/api/query", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("query: status %d", resp.StatusCode)
+		}
+		var out api.QueryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return nil, err
+		}
+		return &out, nil
+	}
+
+	// Background prober: a cheap repeated query at a steady cadence for
+	// the whole run. Its latency tail is the serving-pause measurement.
+	probeStop := make(chan struct{})
+	var probeWG sync.WaitGroup
+	probeWG.Add(1)
+	go func() {
+		defer probeWG.Done()
+		for {
+			select {
+			case <-probeStop:
+				return
+			default:
+			}
+			start := time.Now()
+			_, err := query(api.QueryRequest{Pattern: "goal", TopK: 10})
+			lat := time.Since(start)
+			mu.Lock()
+			if err == nil {
+				rep.probeLat = append(rep.probeLat, lat)
+			} else {
+				rep.errors++
+			}
+			mu.Unlock()
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	submit := func(i int) {
+		start := time.Now()
+		body, _ := json.Marshal(api.IngestRequest{
+			Name: fmt.Sprintf("load-%d", i), Seed: uint64(i + 1),
+			Events: ingestEvents, ShotMS: 3000,
+		})
+		resp, err := cl.Post(url+"/api/ingest", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			mu.Lock()
+			rep.errors++
+			mu.Unlock()
+			return
+		}
+		var ack api.IngestResponse
+		decodeErr := json.NewDecoder(resp.Body).Decode(&ack)
+		resp.Body.Close()
+		accept := time.Since(start)
+		mu.Lock()
+		switch {
+		case resp.StatusCode == http.StatusOK && decodeErr == nil:
+			rep.accepted++
+			rep.acceptLat = append(rep.acceptLat, accept)
+		case resp.StatusCode == http.StatusUnprocessableEntity:
+			rep.rejected++
+		default:
+			rep.errors++
+		}
+		mu.Unlock()
+		if resp.StatusCode != http.StatusOK || decodeErr != nil {
+			return
+		}
+		// Freshness lag: poll a query scoped to the acked video until the
+		// ranking contains it. The classifier chooses the labels, so cycle
+		// the rendered events until one hits.
+		pollDeadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(pollDeadline) {
+			for _, ev := range ingestEvents {
+				out, err := query(api.QueryRequest{Pattern: ev, ScopeVideo: ack.VideoID, TopK: 1})
+				if err == nil && len(out.Matches) > 0 {
+					mu.Lock()
+					rep.freshLat = append(rep.freshLat, time.Since(start))
+					mu.Unlock()
+					return
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		mu.Lock()
+		rep.freshMisses++
+		mu.Unlock()
+	}
+
+	interval := time.Duration(float64(time.Second) / o.ingestRate)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.After(o.duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	seq := 0
+loop:
+	for {
+		select {
+		case <-deadline:
+			break loop
+		case <-ticker.C:
+			wg.Add(1)
+			go func(i int) { defer wg.Done(); submit(i) }(seq)
+			seq++
+		}
+	}
+	wg.Wait()
+	close(probeStop)
+	probeWG.Wait()
+	rep.submitted = seq
+	rep.elapsed = time.Since(start)
+
+	if stats := fetchStats(cl, url); stats != nil && stats.Ingest != nil {
+		rep.compactions = stats.Ingest.Compactions
+		rep.compactFailures = stats.Ingest.CompactFailures
+		rep.freshAtEnd = stats.Ingest.FreshVideos
+	}
+
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	hs.Shutdown(sctx)
+	scancel()
+	return rep
+}
+
+func latSummary(lat []time.Duration) (p50, p95, max time.Duration) {
+	if len(lat) == 0 {
+		return 0, 0, 0
+	}
+	p50 = percentile(lat, 0.50)
+	p95 = percentile(lat, 0.95)
+	return p50, p95, lat[len(lat)-1]
+}
+
+func (r *ingestReport) report(w *os.File) {
+	fmt.Fprintf(w, "hmmmload: ingest rate=%.1f/s for %.1fs: submitted %d, accepted %d, rejected %d, errors %d\n",
+		r.rate, r.elapsed.Seconds(), r.submitted, r.accepted, r.rejected, r.errors)
+	ap50, ap95, amax := latSummary(r.acceptLat)
+	fmt.Fprintf(w, "hmmmload:   accept latency  p50 %s p95 %s max %s (ack = journaled + queryable)\n",
+		ap50.Round(time.Microsecond), ap95.Round(time.Microsecond), amax.Round(time.Microsecond))
+	fp50, fp95, fmax := latSummary(r.freshLat)
+	fmt.Fprintf(w, "hmmmload:   freshness lag   p50 %s p95 %s max %s (%d misses)\n",
+		fp50.Round(time.Microsecond), fp95.Round(time.Microsecond), fmax.Round(time.Microsecond), r.freshMisses)
+	qp50, qp95, qmax := latSummary(r.probeLat)
+	fmt.Fprintf(w, "hmmmload:   query prober    p50 %s p95 %s max %s over %d probes (compaction pause surfaces as max)\n",
+		qp50.Round(time.Microsecond), qp95.Round(time.Microsecond), qmax.Round(time.Microsecond), len(r.probeLat))
+	fmt.Fprintf(w, "hmmmload:   compactions %d (%d failed), %d fresh at end\n",
+		r.compactions, r.compactFailures, r.freshAtEnd)
+}
+
+func (r *ingestReport) benchLine(w *os.File) {
+	ap50, ap95, _ := latSummary(r.acceptLat)
+	fp50, fp95, _ := latSummary(r.freshLat)
+	_, _, qmax := latSummary(r.probeLat)
+	qp99 := time.Duration(0)
+	if len(r.probeLat) > 0 {
+		qp99 = percentile(r.probeLat, 0.99)
+	}
+	mean := time.Duration(0)
+	for _, l := range r.acceptLat {
+		mean += l
+	}
+	if len(r.acceptLat) > 0 {
+		mean /= time.Duration(len(r.acceptLat))
+	}
+	fmt.Fprintf(w, "BenchmarkIngest/rate=%g %d %.0f ns/op %d accept-p50-ns/op %d accept-p95-ns/op %d fresh-p50-ns/op %d fresh-p95-ns/op %d probe-p99-ns/op %d probe-max-ns/op %d compactions %d fresh-misses\n",
+		r.rate, r.accepted, float64(mean), ap50.Nanoseconds(), ap95.Nanoseconds(),
+		fp50.Nanoseconds(), fp95.Nanoseconds(), qp99.Nanoseconds(), qmax.Nanoseconds(),
+		r.compactions, r.freshMisses)
 }
 
 // autoFastLaneCost places the lane threshold halfway between the most

@@ -66,6 +66,67 @@ type QueryResponse struct {
 	Expanded int         `json:"expanded_patterns"`
 	Matches  []MatchJSON `json:"matches"`
 	Cost     CostJSON    `json:"cost"`
+	// FreshVideos counts videos accepted by live ingest that this query
+	// was served over before any compaction folded them into the main
+	// model (the delta sub-model's size at execution time). Absent when
+	// live ingest is off or the delta is empty.
+	FreshVideos int `json:"fresh_videos,omitempty"`
+}
+
+// IngestRequest submits one video to live ingest. The raw material is
+// synthesized server-side from the seed and per-shot event timeline
+// (standing in for a camera feed or file decoder), then segmented and
+// auto-annotated by the real pipeline — the classifier, not the request,
+// decides the final annotations.
+type IngestRequest struct {
+	Name string `json:"name"`
+	// Seed drives the synthetic renderer deterministically.
+	Seed uint64 `json:"seed"`
+	// Events is the shot timeline to render, one entry per shot; "none"
+	// renders an ordinary-play shot.
+	Events []string `json:"events"`
+	// ShotMS is the rendered duration of each shot (0 = 3000).
+	ShotMS int `json:"shot_ms,omitempty"`
+}
+
+// IngestResponse acknowledges a durably journaled, queryable video.
+type IngestResponse struct {
+	VideoID int `json:"video_id"`
+	Shots   int `json:"shots"`
+	// AutoAnnotated counts shots the classifier labeled with an event;
+	// these become the video's delta model states.
+	AutoAnnotated int `json:"auto_annotated"`
+	// FreshVideos is the delta size after this accept.
+	FreshVideos int `json:"fresh_videos"`
+	// DeltaGeneration increments on every delta publish;
+	// ModelGeneration is the main model generation served alongside.
+	DeltaGeneration uint64 `json:"delta_generation"`
+	ModelGeneration uint64 `json:"model_generation"`
+}
+
+// IngestStatsJSON is the /api/stats live-ingest section.
+type IngestStatsJSON struct {
+	Accepted        uint64 `json:"accepted"`
+	Rejected        uint64 `json:"rejected"`
+	PersistFailures uint64 `json:"persist_failures"`
+	Replayed        uint64 `json:"replayed"`
+	ReplaySkipped   uint64 `json:"replay_skipped"`
+	FreshVideos     int    `json:"fresh_videos"`
+	JournalRecords  int    `json:"journal_records"`
+	DeltaGeneration uint64 `json:"delta_generation"`
+	Compactions     uint64 `json:"compactions"`
+	CompactFailures uint64 `json:"compact_failures"`
+	// LastCompactUnixMS is the wall-clock time the last successful
+	// compaction published, 0 before the first one.
+	LastCompactUnixMS int64 `json:"last_compact_unix_ms,omitempty"`
+	CompactAfter      int   `json:"compact_after,omitempty"`
+}
+
+// IngestHealthJSON is the /api/health live-ingest section.
+type IngestHealthJSON struct {
+	FreshVideos    int  `json:"fresh_videos"`
+	JournalRecords int  `json:"journal_records"`
+	Compacting     bool `json:"compacting"`
 }
 
 // CostJSON counts the work a retrieval performed.
@@ -114,6 +175,9 @@ type StatsResponse struct {
 	// Coord is the distributed-serving roll-up when the server runs as
 	// a coordinator over remote shard servers; absent otherwise.
 	Coord *CoordStatsJSON `json:"coord,omitempty"`
+	// Ingest is the live-ingest roll-up (delta size, journal, compaction
+	// counters); absent when live ingest is off.
+	Ingest *IngestStatsJSON `json:"ingest,omitempty"`
 }
 
 // CoordStatsJSON summarizes the coordinator's view of its remote
@@ -272,6 +336,9 @@ type HealthResponse struct {
 	// Lanes reports the two-lane query admission controller when it is
 	// enabled; absent otherwise.
 	Lanes *LanesJSON `json:"lanes,omitempty"`
+	// Ingest reports live-ingest health (delta size, journal length,
+	// whether a compaction is running); absent when live ingest is off.
+	Ingest *IngestHealthJSON `json:"ingest,omitempty"`
 }
 
 // ErrorResponse is the JSON error envelope.

@@ -120,6 +120,17 @@ func (c *Client) Query(ctx context.Context, req api.QueryRequest) (*api.QueryRes
 	return &out, nil
 }
 
+// Ingest submits one video for live acceptance into the delta
+// sub-model. A nil error means the server journaled the video durably
+// and is already serving it.
+func (c *Client) Ingest(ctx context.Context, req api.IngestRequest) (*api.IngestResponse, error) {
+	var out api.IngestResponse
+	if err := c.do(ctx, http.MethodPost, "/api/ingest", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Feedback marks a retrieved pattern positive.
 func (c *Client) Feedback(ctx context.Context, states []int) (*api.FeedbackResponse, error) {
 	var out api.FeedbackResponse

@@ -80,17 +80,22 @@ func OptionsKey(o retrieval.Options) string {
 // the published model generation (results from different generations
 // must never be shared — a retrain between two arrivals means the later
 // request could otherwise read rankings from a model it has already
-// observed superseded), the canonical pattern text (matn.Format output,
-// so spelling variants of the same network coalesce), the identity
-// options, the query scope, and the effective deadline budget in
-// nanoseconds (requests with different budgets run with different
-// truncation behavior, so they do not share).
-func QueryKey(generation uint64, canonicalPattern string, opts retrieval.Options,
+// observed superseded), the delta generation (live ingest publishes a
+// new delta sub-model per accepted video, and a query over N fresh
+// videos must not share its ranking with one over N+1; zero when live
+// ingest is off), the canonical pattern text (matn.Format output, so
+// spelling variants of the same network coalesce), the identity options,
+// the query scope, and the effective deadline budget in nanoseconds
+// (requests with different budgets run with different truncation
+// behavior, so they do not share).
+func QueryKey(generation, deltaGeneration uint64, canonicalPattern string, opts retrieval.Options,
 	scope *retrieval.Scope, budgetNS int64) string {
 	var b strings.Builder
 	b.Grow(len(canonicalPattern) + 96)
 	b.WriteString("g=")
 	b.WriteString(strconv.FormatUint(generation, 10))
+	b.WriteString("|dg=")
+	b.WriteString(strconv.FormatUint(deltaGeneration, 10))
 	b.WriteString("|")
 	b.WriteString(OptionsKey(opts))
 	b.WriteString("|d=")

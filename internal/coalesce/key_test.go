@@ -88,21 +88,24 @@ func TestOptionsKeySeparatesIdentityFields(t *testing.T) {
 	}
 }
 
-// TestQueryKeySeparation: generation, scope, budget, and pattern all
-// partition the key space.
+// TestQueryKeySeparation: generation, delta generation, scope, budget,
+// and pattern all partition the key space.
 func TestQueryKeySeparation(t *testing.T) {
 	opts := retrieval.Options{TopK: 10, Beam: 4}
-	base := QueryKey(1, "goal -> free_kick", opts, nil, 0)
-	if QueryKey(2, "goal -> free_kick", opts, nil, 0) == base {
+	base := QueryKey(1, 0, "goal -> free_kick", opts, nil, 0)
+	if QueryKey(2, 0, "goal -> free_kick", opts, nil, 0) == base {
 		t.Error("model generation does not partition the key")
 	}
-	if QueryKey(1, "goal", opts, nil, 0) == base {
+	if QueryKey(1, 1, "goal -> free_kick", opts, nil, 0) == base {
+		t.Error("delta generation does not partition the key")
+	}
+	if QueryKey(1, 0, "goal", opts, nil, 0) == base {
 		t.Error("pattern does not partition the key")
 	}
-	if QueryKey(1, "goal -> free_kick", opts, &retrieval.Scope{Video: 3}, 0) == base {
+	if QueryKey(1, 0, "goal -> free_kick", opts, &retrieval.Scope{Video: 3}, 0) == base {
 		t.Error("scope does not partition the key")
 	}
-	if QueryKey(1, "goal -> free_kick", opts, nil, int64(5e9)) == base {
+	if QueryKey(1, 0, "goal -> free_kick", opts, nil, int64(5e9)) == base {
 		t.Error("deadline budget does not partition the key")
 	}
 }

@@ -433,6 +433,58 @@ func TestParentDeadlineTruncates(t *testing.T) {
 	}
 }
 
+// TestPickOtherRoundRobinDistribution pins the hedge-target selection
+// policy: pickOther rotates the replica cursor instead of always
+// returning the first healthy alternative, so hedge traffic spreads
+// across the replica set. With four replicas (primary = 0) the cursor
+// arithmetic is deterministic: start∈{1,2,3} lands on that replica,
+// start=0 skips the primary to replica 1 — so over 400 calls replica 1
+// gets 200 and replicas 2 and 3 get 100 each. The first-healthy policy
+// this replaces would have produced 400/0/0.
+func TestPickOtherRoundRobinDistribution(t *testing.T) {
+	eps := []*endpoint{newEndpoint(nil), newEndpoint(nil), newEndpoint(nil), newEndpoint(nil)}
+	set := &shardSet{endpoints: eps}
+	now := time.Now()
+	primary := eps[0]
+
+	counts := make(map[*endpoint]int)
+	for i := 0; i < 400; i++ {
+		other := set.pickOther(now, primary)
+		if other == nil {
+			t.Fatalf("call %d: no alternative found in a fully healthy set", i)
+		}
+		if other == primary {
+			t.Fatalf("call %d: pickOther returned the primary", i)
+		}
+		counts[other]++
+	}
+	want := map[*endpoint]int{eps[1]: 200, eps[2]: 100, eps[3]: 100}
+	for i, ep := range eps[1:] {
+		if counts[ep] != want[ep] {
+			t.Errorf("replica %d picked %d times, want %d", i+1, counts[ep], want[ep])
+		}
+	}
+
+	// Ejected replicas are skipped; with every alternative ejected the
+	// hedge has nowhere to go.
+	for _, ep := range eps[1:] {
+		for i := 0; i < 3; i++ {
+			ep.failure(now, 3, time.Hour, time.Hour)
+		}
+	}
+	if other := set.pickOther(now, primary); other != nil {
+		t.Errorf("pickOther returned an ejected replica")
+	}
+	if readmitted := eps[2].success(1); !readmitted {
+		t.Fatal("success did not readmit the ejected replica")
+	}
+	for i := 0; i < 8; i++ {
+		if other := set.pickOther(now, primary); other != eps[2] {
+			t.Fatalf("call %d: picked %v, want the only healthy alternative", i, other)
+		}
+	}
+}
+
 func TestParseShards(t *testing.T) {
 	got, err := ParseShards("a:1; b:1 , b:2;c:1")
 	if err != nil {

@@ -170,9 +170,18 @@ func (s *shardSet) pick(now time.Time) *endpoint {
 }
 
 // pickOther returns a usable endpoint different from ep for hedging, or
-// nil when the set has no healthy alternative.
+// nil when the set has no healthy alternative. It rotates through the
+// replicas on the same round-robin cursor as pick, so with three or more
+// replicas the hedge load spreads instead of always landing on the first
+// healthy alternative (which would double that one replica's traffic
+// exactly when the set is already slow).
 func (s *shardSet) pickOther(now time.Time, ep *endpoint) *endpoint {
-	for _, other := range s.endpoints {
+	s.mu.Lock()
+	start := s.next
+	s.next = (s.next + 1) % len(s.endpoints)
+	s.mu.Unlock()
+	for i := 0; i < len(s.endpoints); i++ {
+		other := s.endpoints[(start+i)%len(s.endpoints)]
 		if other != ep && other.usable(now) {
 			return other
 		}

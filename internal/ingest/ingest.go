@@ -20,6 +20,7 @@ import (
 	"github.com/videodb/hmmm/internal/features"
 	"github.com/videodb/hmmm/internal/hmmm"
 	"github.com/videodb/hmmm/internal/mining"
+	"github.com/videodb/hmmm/internal/par"
 	"github.com/videodb/hmmm/internal/shotdetect"
 	"github.com/videodb/hmmm/internal/synthaudio"
 	"github.com/videodb/hmmm/internal/synthvideo"
@@ -46,6 +47,12 @@ type Pipeline struct {
 	// MinConfidence is the classifier probability a shot must reach to be
 	// annotated with an event; below it the shot stays unannotated.
 	MinConfidence float64
+	// Workers bounds the per-shot fan-out (feature extraction +
+	// classification) inside Segment; <= 0 means GOMAXPROCS. The result
+	// is bit-identical for every worker count (par's disjoint-slot rule:
+	// shot boundaries are fixed serially first, and each shot's output
+	// lands in its own slot).
+	Workers int
 }
 
 // NewPipeline builds a pipeline from a shot detector configuration and a
@@ -92,44 +99,55 @@ func (p *Pipeline) Segment(raw *RawVideo, id videomodel.VideoID, firstShotID vid
 		return nil, errors.New("ingest: non-positive frame period")
 	}
 
+	// Boundary detection is serial (each boundary depends on the running
+	// frame history), and so is the prefix sum fixing every shot's frame
+	// window. The per-shot work — feature extraction and classification,
+	// where the time goes — then fans out over disjoint slots.
 	segments := p.detector.Segment(raw.Frames)
-	v := &videomodel.Video{ID: id, Name: raw.Name}
-	feats := make(map[videomodel.ShotID][]float64)
-	auto := 0
-	frameCursor := 0
+	n := len(segments)
+	firstFrame := make([]int, n+1)
 	for si, segFrames := range segments {
-		startMS := frameCursor * raw.FramePeriodMS
-		endMS := (frameCursor + len(segFrames)) * raw.FramePeriodMS
-		frameCursor += len(segFrames)
-
+		firstFrame[si+1] = firstFrame[si] + len(segFrames)
+	}
+	shots := make([]*videomodel.Shot, n)
+	shotFeats := make([][]float64, n)
+	par.For(p.Workers, n, func(si int) {
+		startMS := firstFrame[si] * raw.FramePeriodMS
+		endMS := firstFrame[si+1] * raw.FramePeriodMS
 		shot := &videomodel.Shot{
 			ID:      firstShotID + videomodel.ShotID(si),
 			Video:   id,
 			Index:   si,
 			StartMS: startMS,
 			EndMS:   endMS,
-			Frames:  segFrames,
+			Frames:  segments[si],
 			Audio:   sliceAudio(raw.Audio, startMS, endMS),
 		}
-		f, err := features.Extract(shot)
-		if err != nil {
-			// Degenerate segment (single frame or no audio window):
-			// keep the shot unannotated rather than failing the video.
-			shot.Frames, shot.Audio = nil, nil
-			v.Shots = append(v.Shots, shot)
-			continue
-		}
-		label, probs := p.classifier.PredictProb(f)
-		if label != 0 && probs[label] >= p.MinConfidence {
-			ev := videomodel.Event(label)
-			if ev.Valid() {
-				shot.Events = []videomodel.Event{ev}
-				feats[shot.ID] = f
-				auto++
+		// A degenerate segment (single frame or no audio window) fails
+		// extraction: keep the shot unannotated rather than failing the
+		// whole video.
+		if f, err := features.Extract(shot); err == nil {
+			label, probs := p.classifier.PredictProb(f)
+			if label != 0 && probs[label] >= p.MinConfidence {
+				ev := videomodel.Event(label)
+				if ev.Valid() {
+					shot.Events = []videomodel.Event{ev}
+					shotFeats[si] = f
+				}
 			}
 		}
 		shot.Frames, shot.Audio = nil, nil
-		v.Shots = append(v.Shots, shot)
+		shots[si] = shot
+	})
+
+	v := &videomodel.Video{ID: id, Name: raw.Name, Shots: shots}
+	feats := make(map[videomodel.ShotID][]float64)
+	auto := 0
+	for si, shot := range shots {
+		if f := shotFeats[si]; f != nil {
+			feats[shot.ID] = f
+			auto++
+		}
 	}
 	return &Result{Video: v, Features: feats, AutoAnnotated: auto}, nil
 }

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"reflect"
 	"testing"
 
 	"github.com/videodb/hmmm/internal/dataset"
@@ -126,6 +127,40 @@ func TestSegmentProducesContiguousShots(t *testing.T) {
 	}
 	if res.Video.Shots[0].ID != 100 {
 		t.Errorf("first shot ID = %d, want 100", res.Video.Shots[0].ID)
+	}
+}
+
+// TestSegmentParallelBitIdentical pins the par disjoint-slot contract on
+// the ingest pipeline: the segmented video, the per-shot features, and
+// the annotation count are bit-identical for every worker count,
+// including the serial degenerate case.
+func TestSegmentParallelBitIdentical(t *testing.T) {
+	classes := []videomodel.Event{
+		videomodel.EventGoal, videomodel.EventNone, videomodel.EventGoalKick,
+		videomodel.EventYellowCard, videomodel.EventCornerKick, videomodel.EventNone,
+		videomodel.EventFreeKick, videomodel.EventGoal, videomodel.EventPlayerChange,
+	}
+	raw := SynthesizeRaw(63, "parallel-match", classes, 3000)
+
+	serial := pipeline(t)
+	serial.Workers = 1
+	want, err := serial.Segment(raw, 7, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.AutoAnnotated == 0 {
+		t.Fatal("serial baseline annotated nothing; the comparison would be vacuous")
+	}
+	for _, workers := range []int{0, 2, 3, 4} {
+		p := pipeline(t)
+		p.Workers = workers
+		got, err := p.Segment(raw, 7, 42)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: segmentation differs from serial result", workers)
+		}
 	}
 }
 

@@ -1,0 +1,204 @@
+// Package live implements runtime ingest: the crash-safe ingest log, the
+// delta sub-model served alongside the main model, and the helpers the
+// server's background compactor uses to fold the delta into a full
+// rebuild (DESIGN.md §5i).
+//
+// The paper frames the HMMM as the model layer of an MMDBMS whose
+// archive accumulates over time. This package supplies the accumulation
+// axis for the *serving* system: a video accepted at runtime is recorded
+// durably before it is acknowledged, becomes queryable through a Partial
+// delta model within one snapshot swap, and is eventually merged into
+// the main model by an offline-equivalent rebuild.
+package live
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"github.com/videodb/hmmm/internal/atomicwrite"
+	"github.com/videodb/hmmm/internal/ingest"
+	"github.com/videodb/hmmm/internal/videomodel"
+)
+
+// Journal file format: a gob-encoded journalHeader carrying a CRC-32 of
+// the gob-encoded record list that follows it — the same header + chain
+// discipline as the feedback log (HMMMFLOG). The journal is logically
+// append-only (records are only ever appended, or the whole file
+// truncated after a durable compaction); physically every change is a
+// full checksummed snapshot replaced through atomicwrite, so a torn
+// write is detectable and the path → .tmp → .bak recovery chain always
+// holds the last acknowledged state.
+const (
+	journalMagic   = "HMMMILOG"
+	journalVersion = 1
+)
+
+// ErrCorrupt is returned when an ingest journal fails integrity
+// verification: wrong magic, unsupported version, checksum mismatch, or
+// an undecodable payload.
+var ErrCorrupt = errors.New("live: corrupt ingest log")
+
+// journalHeader prefixes every persisted journal.
+type journalHeader struct {
+	Magic    string
+	Version  int
+	Checksum uint32 // IEEE CRC-32 of the gob-encoded record list
+}
+
+// ShotRecord is the persisted form of one segmented shot: everything the
+// model layer needs (timing, annotations, Table-1 features), with the
+// raw media already dropped by the ingest pipeline.
+type ShotRecord struct {
+	ID       videomodel.ShotID
+	Index    int
+	StartMS  int
+	EndMS    int
+	Events   []videomodel.Event
+	Features []float64 // nil when the shot is unannotated
+}
+
+// Record is one accepted video: the unit of the ingest journal. A video
+// is acknowledged to the client only after its Record is durably in the
+// journal, so replaying the journal after a crash reconstructs every
+// acked video exactly.
+type Record struct {
+	Video          videomodel.VideoID
+	Name           string
+	AcceptedUnixMS int64
+	Shots          []ShotRecord
+}
+
+// NewRecord converts an ingest pipeline result into its journal form.
+func NewRecord(res *ingest.Result, acceptedUnixMS int64) Record {
+	rec := Record{Video: res.Video.ID, Name: res.Video.Name, AcceptedUnixMS: acceptedUnixMS}
+	for _, s := range res.Video.Shots {
+		rec.Shots = append(rec.Shots, ShotRecord{
+			ID:      s.ID,
+			Index:   s.Index,
+			StartMS: s.StartMS,
+			EndMS:   s.EndMS,
+			Events:  s.Events,
+			// Features are keyed by shot ID in the result; unannotated
+			// shots have no entry and persist as nil.
+			Features: res.Features[s.ID],
+		})
+	}
+	return rec
+}
+
+// VideoAndFeatures reconstructs the archive entry and feature map of a
+// journaled video: the inverse of NewRecord.
+func (r Record) VideoAndFeatures() (*videomodel.Video, map[videomodel.ShotID][]float64) {
+	v := &videomodel.Video{ID: r.Video, Name: r.Name}
+	feats := make(map[videomodel.ShotID][]float64)
+	for _, s := range r.Shots {
+		v.Shots = append(v.Shots, &videomodel.Shot{
+			ID:      s.ID,
+			Video:   r.Video,
+			Index:   s.Index,
+			StartMS: s.StartMS,
+			EndMS:   s.EndMS,
+			Events:  s.Events,
+		})
+		if s.Features != nil {
+			feats[s.ID] = s.Features
+		}
+	}
+	return v, feats
+}
+
+// Save writes the record list to w as a checksummed snapshot.
+func Save(w io.Writer, records []Record) error {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(records); err != nil {
+		return fmt.Errorf("live: encoding ingest log: %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(journalHeader{
+		Magic: journalMagic, Version: journalVersion, Checksum: crc32.ChecksumIEEE(body.Bytes()),
+	}); err != nil {
+		return fmt.Errorf("live: encoding ingest log header: %w", err)
+	}
+	_, err := w.Write(body.Bytes())
+	return err
+}
+
+// Load reads a journal written by Save, verifying the header and payload
+// checksum. Integrity failures are reported as ErrCorrupt so callers can
+// fall back along the recovery chain instead of replaying garbage.
+func Load(r io.Reader) ([]Record, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("live: reading ingest log: %w", err)
+	}
+	// Decoding from a bytes.Reader (an io.ByteReader) makes gob consume
+	// exactly the header message, leaving precisely the payload bytes.
+	br := bytes.NewReader(data)
+	var h journalHeader
+	if err := gob.NewDecoder(br).Decode(&h); err != nil {
+		return nil, fmt.Errorf("%w: bad header: %v", ErrCorrupt, err)
+	}
+	if h.Magic != journalMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, h.Magic)
+	}
+	if h.Version != journalVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrCorrupt, h.Version, journalVersion)
+	}
+	body := data[len(data)-br.Len():]
+	if crc32.ChecksumIEEE(body) != h.Checksum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	var records []Record
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&records); err != nil {
+		return nil, fmt.Errorf("%w: decoding payload: %v", ErrCorrupt, err)
+	}
+	return records, nil
+}
+
+// Persist durably replaces the journal at path with the record list
+// through the atomicwrite protocol (tmp + fsync → .bak → rename → dir
+// fsync). A nil fs uses the real filesystem.
+func Persist(fs atomicwrite.FS, path string, records []Record) error {
+	return atomicwrite.Write(fs, path, func(w io.Writer) error {
+		return Save(w, records)
+	})
+}
+
+// LoadRecover loads the journal at path, walking the atomicwrite
+// recovery chain (path, path.tmp, path.bak) past corrupt or missing
+// candidates. It returns the records and the path they actually loaded
+// from, plus how many candidates were corrupt. When no candidate exists
+// at all it returns (nil, "", 0, nil): a fresh journal. When candidates
+// exist but every one is corrupt it returns an error — an ingest log
+// that acknowledged videos must not be silently discarded.
+func LoadRecover(path string) (records []Record, from string, corrupt int, err error) {
+	found := false
+	for _, cand := range atomicwrite.RecoveryCandidates(path) {
+		f, err := os.Open(cand)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, "", corrupt, fmt.Errorf("live: opening ingest log %s: %w", cand, err)
+		}
+		found = true
+		records, lerr := Load(f)
+		f.Close()
+		if lerr == nil {
+			return records, cand, corrupt, nil
+		}
+		if errors.Is(lerr, ErrCorrupt) {
+			corrupt++
+			continue
+		}
+		return nil, "", corrupt, lerr
+	}
+	if found {
+		return nil, "", corrupt, fmt.Errorf("%w: no recoverable candidate for %s (move the file aside to start fresh)", ErrCorrupt, path)
+	}
+	return nil, "", 0, nil
+}

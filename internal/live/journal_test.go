@@ -1,0 +1,219 @@
+package live
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/videodb/hmmm/internal/atomicwrite"
+	"github.com/videodb/hmmm/internal/videomodel"
+)
+
+// sampleRecords builds a small deterministic journal: n videos of three
+// shots each, middle shot annotated and carrying a feature vector.
+func sampleRecords(n int) []Record {
+	evs := videomodel.AllEvents()
+	var out []Record
+	shotID := videomodel.ShotID(1000)
+	for i := 0; i < n; i++ {
+		rec := Record{
+			Video:          videomodel.VideoID(100 + i),
+			Name:           "live-" + string(rune('a'+i)),
+			AcceptedUnixMS: int64(1700000000000 + i),
+		}
+		for si := 0; si < 3; si++ {
+			sr := ShotRecord{
+				ID:      shotID,
+				Index:   si,
+				StartMS: si * 3000,
+				EndMS:   (si + 1) * 3000,
+			}
+			if si == 1 {
+				sr.Events = []videomodel.Event{evs[i%len(evs)]}
+				sr.Features = []float64{float64(i), 0.5, 2, float64(si)}
+			}
+			shotID++
+			rec.Shots = append(rec.Shots, sr)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func journalBytes(tb testing.TB, records []Record) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := Save(&buf, records); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	records := sampleRecords(3)
+	got, err := Load(bytes.NewReader(journalBytes(t, records)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, records) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, records)
+	}
+	// An empty journal (post-truncation state) must round-trip too.
+	empty, err := Load(bytes.NewReader(journalBytes(t, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 0 {
+		t.Fatalf("empty journal loaded %d records", len(empty))
+	}
+}
+
+func TestJournalRecordInvertsResult(t *testing.T) {
+	records := sampleRecords(2)
+	v, feats := records[1].VideoAndFeatures()
+	if v.ID != records[1].Video || v.Name != records[1].Name {
+		t.Fatalf("video identity lost: %+v", v)
+	}
+	if len(v.Shots) != 3 {
+		t.Fatalf("got %d shots, want 3", len(v.Shots))
+	}
+	for i, s := range v.Shots {
+		if s.Video != v.ID || s.Index != i {
+			t.Fatalf("shot %d has video %d index %d", s.ID, s.Video, s.Index)
+		}
+	}
+	if len(feats) != 1 {
+		t.Fatalf("got %d feature vectors, want 1", len(feats))
+	}
+	if _, ok := feats[v.Shots[1].ID]; !ok {
+		t.Fatalf("annotated shot %d has no features", v.Shots[1].ID)
+	}
+	// The reconstructed video must be archive-admissible.
+	if _, err := videomodel.NewArchive([]*videomodel.Video{v}); err != nil {
+		t.Fatalf("reconstructed video rejected by archive: %v", err)
+	}
+}
+
+func TestJournalLoadClassifiesCorruption(t *testing.T) {
+	valid := journalBytes(t, sampleRecords(2))
+	cases := map[string][]byte{
+		"empty":     {},
+		"bareMagic": []byte(journalMagic),
+		"torn":      valid[:len(valid)/2],
+		"garbage":   []byte("not a journal at all"),
+	}
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)-3] ^= 0x10
+	cases["bitrot"] = flip
+	for name, data := range cases {
+		if _, err := Load(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: got %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestLoadRecoverFreshAndChain(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ingest.log")
+
+	// No file at all: a fresh journal, not an error.
+	recs, from, corrupt, err := LoadRecover(path)
+	if err != nil || recs != nil || from != "" || corrupt != 0 {
+		t.Fatalf("fresh: got (%v, %q, %d, %v)", recs, from, corrupt, err)
+	}
+
+	v1 := sampleRecords(1)
+	v2 := sampleRecords(2)
+	if err := Persist(nil, path, v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Persist(nil, path, v2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy: loads path itself.
+	recs, from, _, err = LoadRecover(path)
+	if err != nil || from != path || !reflect.DeepEqual(recs, v2) {
+		t.Fatalf("healthy: got (%d recs, %q, %v)", len(recs), from, err)
+	}
+
+	// Corrupt path: falls back to .bak (the previous acked state).
+	if err := os.WriteFile(path, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, from, corrupt, err = LoadRecover(path)
+	if err != nil || from != atomicwrite.BakPath(path) || corrupt != 1 || !reflect.DeepEqual(recs, v1) {
+		t.Fatalf("bak fallback: got (%d recs, %q, corrupt=%d, %v)", len(recs), from, corrupt, err)
+	}
+
+	// .tmp outranks .bak: a fsynced-but-unrenamed write is newer.
+	if err := os.WriteFile(atomicwrite.TmpPath(path), journalBytes(t, v2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, from, _, err = LoadRecover(path)
+	if err != nil || from != atomicwrite.TmpPath(path) || !reflect.DeepEqual(recs, v2) {
+		t.Fatalf("tmp fallback: got (%d recs, %q, %v)", len(recs), from, err)
+	}
+	if err := os.Remove(atomicwrite.TmpPath(path)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every candidate corrupt: hard error, never silent data loss.
+	if err := os.WriteFile(atomicwrite.BakPath(path), []byte("also torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := LoadRecover(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("all-corrupt: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestLoadRecoverEveryByteFlip corrupts every byte of the current
+// journal (both a low and a high bit) and proves the recovery chain
+// lands on acknowledged state for every single flip: either the flip is
+// harmless gob slack (the file still decodes to exactly what was saved)
+// or the loader falls back to .bak and returns the previous acked
+// records. No flip may surface garbage or a non-ErrCorrupt failure.
+func TestLoadRecoverEveryByteFlip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ingest.log")
+	v1 := sampleRecords(2)
+	v2 := sampleRecords(3)
+	if err := Persist(nil, path, v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Persist(nil, path, v2); err != nil {
+		t.Fatal(err)
+	}
+	valid := journalBytes(t, v2)
+
+	for i := range valid {
+		for _, bit := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), valid...)
+			mut[i] ^= bit
+			if err := os.WriteFile(path, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			recs, from, _, err := LoadRecover(path)
+			if err != nil {
+				t.Fatalf("flip byte %d bit %#x: recovery failed: %v", i, bit, err)
+			}
+			switch {
+			case reflect.DeepEqual(recs, v2):
+				// Harmless flip (gob self-description slack) — must have
+				// come from the flipped file itself.
+				if from != path {
+					t.Fatalf("flip byte %d bit %#x: v2 records from %q", i, bit, from)
+				}
+			case reflect.DeepEqual(recs, v1):
+				if from != atomicwrite.BakPath(path) {
+					t.Fatalf("flip byte %d bit %#x: v1 records from %q, want .bak", i, bit, from)
+				}
+			default:
+				t.Fatalf("flip byte %d bit %#x: recovered %d records matching neither acked state", i, bit, len(recs))
+			}
+		}
+	}
+}

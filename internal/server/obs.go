@@ -51,6 +51,21 @@ type serverMetrics struct {
 	retrains        *obs.Counter
 	retrainFailures *obs.Counter
 	retrainSeconds  *obs.Histogram
+
+	// Live ingest and compaction (see server/live.go). Always registered
+	// — they simply stay zero when live ingest is off — so dashboards
+	// need no conditional scrape config.
+	ingestAccepted        *obs.Counter   // videos accepted into the delta
+	ingestRejected        *obs.Counter   // ingest requests rejected (bad input, no annotations)
+	ingestPersistFailures *obs.Counter   // journal persist errors (accept refused or truncation kept)
+	ingestReplayed        *obs.Counter   // journal records replayed into the delta at boot
+	ingestReplaySkipped   *obs.Counter   // journal records skipped at boot (already compacted)
+	ingestLogRecoveries   *obs.Counter   // boots that loaded the journal from a recovery candidate
+	ingestLogCorrupt      *obs.Counter   // corrupt journal candidates skipped during recovery
+	ingestSeconds         *obs.Histogram // accept latency (segment + delta build + journal fsync)
+	compactions           *obs.Counter   // deltas folded into full rebuilds
+	compactFailures       *obs.Counter   // compaction attempts that failed (delta kept serving)
+	compactSeconds        *obs.Histogram // compaction duration (union build + persist + publish)
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -98,6 +113,28 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Retrain cycles that failed at any stage (model unchanged)."),
 		retrainSeconds: reg.Histogram("hmmm_retrain_seconds",
 			"Offline retraining duration in seconds.", nil),
+		ingestAccepted: reg.Counter("hmmm_ingest_accepted_total",
+			"Videos accepted by live ingest into the delta sub-model."),
+		ingestRejected: reg.Counter("hmmm_ingest_rejected_total",
+			"Live-ingest requests rejected (bad input or no annotated shots)."),
+		ingestPersistFailures: reg.Counter("hmmm_ingest_persist_failures_total",
+			"Ingest-journal persist attempts that failed."),
+		ingestReplayed: reg.Counter("hmmm_ingest_replayed_total",
+			"Journal records replayed into the delta sub-model at boot."),
+		ingestReplaySkipped: reg.Counter("hmmm_ingest_replay_skipped_total",
+			"Journal records skipped at boot because the model already held them."),
+		ingestLogRecoveries: reg.Counter("hmmm_ingest_log_recoveries_total",
+			"Boots that loaded the ingest journal from a recovery candidate."),
+		ingestLogCorrupt: reg.Counter("hmmm_ingest_log_corrupt_candidates_total",
+			"Corrupt ingest-journal candidates skipped during recovery."),
+		ingestSeconds: reg.Histogram("hmmm_ingest_seconds",
+			"Live-ingest accept latency in seconds (segmentation through durable publish).", nil),
+		compactions: reg.Counter("hmmm_compact_total",
+			"Delta sub-models folded into full model rebuilds."),
+		compactFailures: reg.Counter("hmmm_compact_failures_total",
+			"Compaction attempts that failed at any stage (delta kept serving)."),
+		compactSeconds: reg.Histogram("hmmm_compact_seconds",
+			"Compaction duration in seconds (union rebuild through journal truncation).", nil),
 	}
 }
 
@@ -109,8 +146,8 @@ func routeLabel(r *http.Request) string {
 	p := r.URL.Path
 	switch p {
 	case "/api/health", "/api/stats", "/api/events", "/api/videos",
-		"/api/parse", "/api/query", "/api/feedback", "/api/retrain",
-		"/api/videos/rank", "/metrics":
+		"/api/parse", "/api/query", "/api/ingest", "/api/feedback",
+		"/api/retrain", "/api/videos/rank", "/metrics":
 		return p
 	}
 	if strings.HasPrefix(p, "/api/states/") {

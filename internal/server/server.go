@@ -28,6 +28,7 @@ import (
 	"github.com/videodb/hmmm/internal/features"
 	"github.com/videodb/hmmm/internal/feedback"
 	"github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/live"
 	"github.com/videodb/hmmm/internal/matn"
 	"github.com/videodb/hmmm/internal/obs"
 	"github.com/videodb/hmmm/internal/retrieval"
@@ -96,6 +97,11 @@ type Server struct {
 	// remote shard servers (see Config.Coordinator). The local snapshot
 	// engine still serves browse, Explain, and cost estimation.
 	coordinator *coord.Coordinator
+
+	// live, when non-nil, accepts new videos at runtime: journaled
+	// durably, served through the snapshot's delta sub-model, and folded
+	// into the main model by background compaction (see server/live.go).
+	live *liveState
 }
 
 // snapshot is one immutable published generation: a trained model, the
@@ -112,6 +118,38 @@ type snapshot struct {
 	// built with NoSimCache so the similarity table isn't held twice.
 	group *shard.Group
 	gen   uint64
+	// delta is the live-ingest sub-model served alongside the main model
+	// (nil when live ingest is off or the delta is empty). Queries
+	// scatter over (engine-or-group, delta.Engine) and merge; delta
+	// match states are remapped past model.NumStates(), so the combined
+	// state space stays disjoint. Swapped through the same pointer as
+	// everything else: one Load observes one consistent (model, delta)
+	// pair.
+	delta *live.Delta
+}
+
+// withDelta derives a snapshot serving the same published generation
+// with a different delta sub-model: engine, group, and gen are shared
+// (they are immutable), so an ingest publish never pays a shard
+// re-split or engine rebuild.
+func (sn *snapshot) withDelta(d *live.Delta) *snapshot {
+	next := *sn
+	next.delta = d
+	return &next
+}
+
+// stateEvents resolves a (possibly delta-remapped) global state index to
+// its event annotations, or nil when the index is outside both models.
+func (sn *snapshot) stateEvents(st int) []videomodel.Event {
+	if st >= 0 && st < sn.model.NumStates() {
+		return sn.model.States[st].Events
+	}
+	if d := sn.delta; d != nil {
+		if ds := st - d.Offset; ds >= 0 && ds < d.Model.NumStates() {
+			return d.Model.States[ds].Events
+		}
+	}
+	return nil
 }
 
 // retriever is the query-path contract both serving shapes satisfy:
@@ -199,6 +237,14 @@ type Config struct {
 	// split from: browse endpoints, Explain, and lane cost estimation
 	// read it directly. Mutually exclusive with Shards.
 	Coordinator *coord.Coordinator
+	// Live, when non-nil, enables runtime ingest: POST /api/ingest
+	// accepts videos into a crash-safe journal and a delta sub-model
+	// served alongside the main model, with background compaction
+	// folding the delta into full rebuilds (DESIGN.md §5i). The config's
+	// Archive/Features must be the corpus Model was built from. Mutually
+	// exclusive with Coordinator (a coordinator owns no model to extend;
+	// ingest on the shard owners instead).
+	Live *live.Config
 }
 
 // DefaultMaxRequestBytes caps request bodies when Config.MaxRequestBytes
@@ -305,6 +351,11 @@ func New(cfg Config) (*Server, error) {
 			s.log = loaded
 		}
 	}
+	if cfg.Live != nil {
+		if err := s.initLive(cfg.Live); err != nil {
+			return nil, err
+		}
+	}
 	// Scrape-time gauges read their source directly, so they can never
 	// drift from the values /api/health reports.
 	reg.GaugeFunc("hmmm_model_generation",
@@ -313,6 +364,14 @@ func New(cfg Config) (*Server, error) {
 	reg.GaugeFunc("hmmm_feedback_pending",
 		"Feedback marks accumulated toward the next retrain.",
 		func() float64 { return float64(s.log.Pending()) })
+	if s.live != nil {
+		reg.GaugeFunc("hmmm_ingest_fresh_videos",
+			"Videos accepted by live ingest and served from the delta sub-model.",
+			func() float64 { return float64(s.current.Load().delta.Len()) })
+		reg.GaugeFunc("hmmm_ingest_delta_generation",
+			"Delta sub-model generation (increments per accepted video).",
+			func() float64 { return float64(s.current.Load().delta.Generation()) })
+	}
 	return s, nil
 }
 
@@ -439,6 +498,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/videos/{id}/similar", s.handleSimilarVideos)
 	mux.HandleFunc("POST /api/parse", s.handleParse)
 	mux.HandleFunc("POST /api/query", s.handleQuery)
+	mux.HandleFunc("POST /api/ingest", s.handleIngest)
 	mux.HandleFunc("POST /api/feedback", s.handleFeedback)
 	mux.HandleFunc("POST /api/retrain", s.handleRetrain)
 	mux.Handle("GET /metrics", s.metrics.reg.Handler())
@@ -467,14 +527,16 @@ type (
 // is what a load balancer keys off to stop routing new traffic during
 // graceful shutdown while in-flight requests finish.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	snap := s.current.Load()
 	resp := api.HealthResponse{
 		Status:          "ok",
 		Ready:           true,
-		ModelGeneration: s.current.Load().gen,
+		ModelGeneration: snap.gen,
 		PendingFeedback: s.log.Pending(),
 		Inflight:        int(s.metrics.inflight.Value()),
 		MaxInflight:     s.maxInflight,
 		Lanes:           s.lanes.lanes(),
+		Ingest:          s.ingestHealth(snap),
 	}
 	status := http.StatusOK
 	if s.draining.Load() {
@@ -517,6 +579,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Runtime:          s.runtimeStats(),
 		Shards:           shardStats,
 		Coord:            coordStats,
+		Ingest:           s.ingestStats(snap),
 	})
 }
 
@@ -673,18 +736,29 @@ func (s *Server) handleSimilarVideos(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleState returns the detail of one level-1 state by global index.
+// Indices at/past the main model's range address the live-ingest delta
+// sub-model (the space query responses remap delta states into), so a
+// state id returned by /api/query is always resolvable here.
 func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad state id: %w", err))
 		return
 	}
-	m := s.current.Load().model
-	if id < 0 || id >= m.NumStates() {
-		writeError(w, http.StatusNotFound, fmt.Errorf("state %d out of range (%d states)", id, m.NumStates()))
+	snap := s.current.Load()
+	m, local := snap.model, id
+	if d := snap.delta; d != nil && id >= d.Offset && id-d.Offset < d.Model.NumStates() {
+		m, local = d.Model, id-d.Offset
+	}
+	if local < 0 || local >= m.NumStates() {
+		total := snap.model.NumStates()
+		if snap.delta != nil {
+			total += snap.delta.Model.NumStates()
+		}
+		writeError(w, http.StatusNotFound, fmt.Errorf("state %d out of range (%d states)", id, total))
 		return
 	}
-	st := &m.States[id]
+	st := &m.States[local]
 	names := make([]string, len(st.Events))
 	for i, e := range st.Events {
 		names[i] = e.String()
@@ -695,8 +769,8 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 		Video:   int(m.VideoIDs[st.VideoIdx]),
 		StartMS: st.StartMS,
 		Events:  names,
-		Pi:      m.Pi1[id],
-		B1:      append([]float64(nil), m.B1.Row(id)...),
+		Pi:      m.Pi1[local],
+		B1:      append([]float64(nil), m.B1.Row(local)...),
 	})
 }
 
@@ -747,6 +821,9 @@ type queryOutcome struct {
 	engine  *retrieval.Engine
 	matches []retrieval.Match
 	cost    retrieval.Cost
+	// fresh is the delta sub-model's video count at execution time: the
+	// response's fresh_videos stamp.
+	fresh int
 }
 
 // executeQuery runs one query through the coalescer (or directly when
@@ -758,7 +835,7 @@ func (s *Server) executeQuery(ctx context.Context, req QueryRequest, canonical s
 	queries []retrieval.Query, scope *retrieval.Scope, opts retrieval.Options,
 	budget time.Duration) (*queryOutcome, error) {
 	snap := s.current.Load()
-	key := coalesce.QueryKey(snap.gen, canonical, opts, scope, int64(budget))
+	key := coalesce.QueryKey(snap.gen, snap.delta.Generation(), canonical, opts, scope, int64(budget))
 	out, _, err := s.coalescer.Do(ctx, key, func(execCtx context.Context) (*queryOutcome, error) {
 		return s.runQuery(execCtx, req, snap, queries, scope, opts, budget)
 	})
@@ -851,11 +928,41 @@ func (s *Server) runQuery(ctx context.Context, req QueryRequest, snap *snapshot,
 			break
 		}
 	}
+	// Live-ingest delta: the same patterns also search the delta
+	// sub-model, whose matches are remapped past the main model's state
+	// range and merged below — one more (small) shard of the scatter.
+	// Its work is counted in the same cost, and a spent deadline skips it
+	// exactly like a later alternation branch.
+	if snap.delta != nil && !cost.Truncated {
+		// Delta engines are built with NoSimCache (small, short-lived
+		// models); keep the flag so WithOptions reuses the caches instead
+		// of building a sim table per request. Results are pinned
+		// bit-identical across the flag by the engine's differential suite.
+		dopts := eopts
+		dopts.NoSimCache = true
+		dengine := snap.delta.Engine.WithOptions(dopts)
+		for _, q := range queries {
+			q.Scope = scope
+			res, err := dengine.RetrieveContext(ctx, q)
+			if err != nil {
+				return nil, err
+			}
+			live.RemapMatches(res.Matches, snap.delta.Offset)
+			all = append(all, res.Matches...)
+			cost.SimEvals += res.Cost.SimEvals
+			cost.EdgeEvals += res.Cost.EdgeEvals
+			cost.VideosSeen += res.Cost.VideosSeen
+			cost.Truncated = cost.Truncated || res.Cost.Truncated
+			if cost.Truncated {
+				break
+			}
+		}
+	}
 	merged := retrieval.MergeRanked(all, opts.TopK)
 	if qtrace != nil {
 		s.recordSlowQuery(req, qtrace, time.Since(qstart), len(merged), len(queries), cost, opts)
 	}
-	return &queryOutcome{snap: snap, engine: engine, matches: merged, cost: cost}, nil
+	return &queryOutcome{snap: snap, engine: engine, matches: merged, cost: cost, fresh: snap.delta.Len()}, nil
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -935,13 +1042,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var explain func(match retrieval.Match) []api.StepExplanationJSON
 	if req.Explain {
 		explain = func(match retrieval.Match) []api.StepExplanationJSON {
+			// A delta match (states at/past the main model's range) is
+			// explained by the delta engine in its local state space; the
+			// factors are the delta model's own, which is what scored it.
+			exEngine := engine
+			if d := snap.delta; d != nil && len(match.States) > 0 && match.States[0] >= d.Offset {
+				exEngine = d.Engine
+				local := make([]int, len(match.States))
+				for i, st := range match.States {
+					local[i] = st - d.Offset
+				}
+				match.States = local
+			}
 			// Explain against the first compiled pattern of matching
 			// length; alternation branches share factor structure.
 			for _, q := range queries {
 				if q.Len() != len(match.States) {
 					continue
 				}
-				exps, err := engine.Explain(match, q)
+				exps, err := exEngine.Explain(match, q)
 				if err != nil {
 					continue
 				}
@@ -974,6 +1093,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			VideosSeen: cost.VideosSeen, Truncated: cost.Truncated,
 			DegradedShards: cost.DegradedShards,
 		},
+		FreshVideos: out.fresh,
 	}
 	for i, match := range merged {
 		mj := MatchJSON{
@@ -988,7 +1108,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		for _, st := range match.States {
 			var names []string
-			for _, e := range snap.model.States[st].Events {
+			for _, e := range snap.stateEvents(st) {
 				names = append(names, e.String())
 			}
 			mj.Events = append(mj.Events, names)
@@ -1086,6 +1206,10 @@ func (s *Server) retrainLocked() error {
 		s.log.AddPending(taken)
 		return fmt.Errorf("persisting feedback log: %w", err)
 	}
+	// A retrain adjusts matrices without changing the state set, so the
+	// live-ingest delta (whose remap offset is the state count) carries
+	// forward unchanged.
+	fresh.delta = snap.delta
 	s.current.Store(fresh)
 	return nil
 }

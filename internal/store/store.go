@@ -91,7 +91,16 @@ type corpusPayload struct {
 // SaveCorpus writes the corpus to path atomically (write to temp file,
 // then rename) with a payload checksum.
 func SaveCorpus(path string, c *dataset.Corpus) error {
-	return saveSnapshot(path, "corpus", corpusPayload{
+	return SaveCorpusFS(nil, path, c)
+}
+
+// SaveCorpusFS is SaveCorpus writing through an injectable filesystem
+// (nil = the real one): the server's live-ingest compactor persists the
+// merged corpus through it so the fault-injection suites can crash the
+// write at every step and prove the journal is only truncated after a
+// durable snapshot exists.
+func SaveCorpusFS(fs atomicwrite.FS, path string, c *dataset.Corpus) error {
+	return saveSnapshotFS(fs, path, "corpus", corpusPayload{
 		Videos:   c.Archive.Videos,
 		Features: c.Features,
 		Config:   c.Config,
@@ -101,12 +110,17 @@ func SaveCorpus(path string, c *dataset.Corpus) error {
 // saveSnapshot gob-encodes the payload, checksums it, and writes header +
 // payload atomically.
 func saveSnapshot(path, kind string, payload any) error {
+	return saveSnapshotFS(nil, path, kind, payload)
+}
+
+// saveSnapshotFS is saveSnapshot through an injectable filesystem.
+func saveSnapshotFS(fs atomicwrite.FS, path, kind string, payload any) error {
 	var body bytes.Buffer
 	if err := gob.NewEncoder(&body).Encode(payload); err != nil {
 		return fmt.Errorf("store: encoding %s: %w", kind, err)
 	}
 	sum := crc32.ChecksumIEEE(body.Bytes())
-	return atomically(path, func(w io.Writer) error {
+	return atomicwrite.Write(fs, path, func(w io.Writer) error {
 		if err := gob.NewEncoder(w).Encode(header{
 			Magic: Magic, Version: Version, Kind: kind, Checksum: sum,
 		}); err != nil {
@@ -247,12 +261,29 @@ func LoadModelRecover(path string) (*hmmm.Model, string, error) {
 	return nil, "", firstErr
 }
 
-// atomically writes through the shared durable-replacement helper: temp
-// file + fsync + backup + rename + directory fsync, so readers never
-// observe a torn snapshot and a crash at any point leaves a recoverable
-// file (see atomicwrite and LoadModelRecover).
-func atomically(path string, write func(io.Writer) error) error {
-	return atomicwrite.Write(atomicwrite.OS, path, write)
+// LoadCorpusRecover loads a corpus snapshot, falling back along the
+// atomicwrite recovery chain exactly like LoadModelRecover: the file
+// itself, then the fsynced-but-unrenamed .tmp, then the .bak previous
+// version. It returns the corpus and the path it actually loaded from.
+func LoadCorpusRecover(path string) (*dataset.Corpus, string, error) {
+	mm := metrics.Load()
+	var firstErr error
+	for _, p := range atomicwrite.RecoveryCandidates(path) {
+		c, err := LoadCorpus(p)
+		if err == nil {
+			if mm != nil && p != path {
+				mm.ModelRecoveries.Inc()
+			}
+			return c, p, nil
+		}
+		if mm != nil && !os.IsNotExist(err) {
+			mm.CorruptCandidates.Inc()
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, "", firstErr
 }
 
 // modelJSON is the JSON export shape: a human-inspectable summary plus the
