@@ -8,10 +8,10 @@ BENCH_PATTERN := BenchmarkF2RetrievalGreedy$$|BenchmarkF5PaperQuery$$|BenchmarkP
 # Offline-pipeline benchmarks captured into BENCH_build.json.
 BENCH_BUILD_PATTERN := BenchmarkBuildPaperScale|BenchmarkRetrainPaperScale
 
-.PHONY: build vet test race race-server race-obs race-shard race-live race-all verify e2e bench bench-build bench-scale bench-million bench-serving bench-serving-smoke bench-ingest cover fuzz clean
+.PHONY: build vet test race race-server race-obs race-shard race-live race-fed race-all verify e2e bench bench-build bench-scale bench-million bench-serving bench-serving-smoke bench-ingest bench-federated cover fuzz clean
 
 # Packages whose per-package coverage `make cover` gates at 80%.
-COVER_GATED := internal/shard internal/retrieval internal/matn internal/index internal/coord internal/rpc internal/live
+COVER_GATED := internal/shard internal/retrieval internal/matn internal/index internal/coord internal/rpc internal/live internal/videomodel internal/fed
 COVER_MIN := 80.0
 
 build:
@@ -43,12 +43,17 @@ race-shard:
 race-live:
 	$(GO) test -race ./internal/live/...
 
+# The federation scatter/merge layer under the race detector (members
+# fan out via par.For; the suite pins worker-count determinism).
+race-fed:
+	$(GO) test -race ./internal/fed/...
+
 # Full-repo race sweep; slower than the targeted race targets, meant
 # for CI and pre-release checks.
 race-all:
 	$(GO) test -race ./...
 
-verify: vet build test race race-server race-obs race-shard race-live
+verify: vet build test race race-server race-obs race-shard race-live race-fed
 
 # End-to-end distributed serving: builds cmd/hmmm-shardd, boots 3 real
 # shard processes plus an in-process coordinator, and proves the
@@ -84,6 +89,18 @@ bench-ingest:
 		-bench -assert-no-errors \
 		| $(GO) run ./cmd/benchjson -out BENCH_serving.json \
 			-note "live ingest at 4 videos/s: accept latency, freshness lag, prober tail through background compaction"
+
+# Federated-retrieval smoke: one generated model per built-in domain
+# behind a single server, POST /api/query/federated driven closed-loop
+# with per-domain patterns (every query exercises the vocabulary-skip
+# path on the other two members); the merged-query latency lands in
+# BENCH_serving.json.
+bench-federated:
+	$(GO) run ./cmd/hmmmload -federated soccer,basketball,news \
+		-duration 3s -videos 6 -shots 600 -annotated 300 \
+		-bench -assert-no-errors \
+		| $(GO) run ./cmd/benchjson -out BENCH_serving.json \
+			-note "federated query over 3 domain models: merged-ranking latency, member skips via vocabulary gating"
 
 # CI smoke for the serving path: a short single run that must produce
 # coalesce hits and zero errors (admission 503s are not errors).

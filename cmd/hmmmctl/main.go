@@ -15,6 +15,9 @@
 //	videos                     list archive videos and their events
 //	query  <pattern> [flags]   run an MATN temporal pattern query, e.g.
 //	                           hmmmctl query "goal -> free_kick" -k 5
+//	                           add -domains all (or basketball,news) to
+//	                           fan the pattern over the server's
+//	                           federation of per-domain archives
 //	parse <pattern>            validate an MATN pattern and show its network
 //	state <index>              inspect one model state (annotated shot)
 //	rank <pattern>             rank videos for a pattern
@@ -262,12 +265,16 @@ func runQuery(ctx context.Context, cl *client.Client, args []string) error {
 	scopeVideo := fs.Int("video", 0, "restrict to one video ID")
 	scopeFrom := fs.Int("from-ms", 0, "restrict to shots starting at/after this time")
 	scopeTo := fs.Int("to-ms", 0, "restrict to shots starting before this time (0 = end)")
+	domains := fs.String("domains", "", "federated query: comma-separated federation members to ask ('all' = every member; server must run with -domains)")
 	if len(args) == 0 {
 		return fmt.Errorf("query: missing pattern argument")
 	}
 	pattern := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
+	}
+	if *domains != "" {
+		return runFederatedQuery(ctx, cl, pattern, *domains, *topK)
 	}
 
 	start := time.Now()
@@ -297,6 +304,40 @@ func runQuery(ctx context.Context, cl *client.Client, args []string) error {
 	if len(resp.Matches) > 0 {
 		fmt.Printf("\nmark a result positive with: hmmmctl feedback %s\n",
 			strings.Trim(strings.Join(strings.Fields(fmt.Sprint(resp.Matches[0].States)), " "), "[]"))
+	}
+	return nil
+}
+
+// runFederatedQuery executes one pattern across the server's federation
+// of per-domain archives and prints the merged cross-domain ranking.
+func runFederatedQuery(ctx context.Context, cl *client.Client, pattern, domains string, topK int) error {
+	req := api.FederatedQueryRequest{Pattern: pattern, TopK: topK}
+	if domains != "all" {
+		req.Domains = strings.Split(domains, ",")
+	}
+	start := time.Now()
+	resp, err := cl.QueryFederated(ctx, req)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pattern %q across %d member(s); %d merged matches in %v\n",
+		resp.Pattern, len(resp.Members), len(resp.Matches), time.Since(start).Round(time.Millisecond))
+	for _, m := range resp.Members {
+		switch {
+		case m.Skipped:
+			fmt.Printf("  %-12s skipped: %s\n", m.Name, m.Reason)
+		default:
+			fmt.Printf("  %-12s %d match(es), best raw score %.4f (%d sim evals)\n",
+				m.Name, m.Matches, m.MaxScore, m.Cost.SimEvals)
+		}
+	}
+	if resp.Normalized {
+		fmt.Println("scores normalized to each member's best (cross-model scores are not directly comparable)")
+	}
+	fmt.Println()
+	for _, m := range resp.Matches {
+		fmt.Printf("#%-2d [%s] score=%.4f videos=%v shots=%v\n",
+			m.Rank, m.Domain, m.Score, m.Videos, m.Shots)
 	}
 	return nil
 }

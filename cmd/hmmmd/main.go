@@ -26,6 +26,20 @@
 //	                   exact-only, bit-identical to prior releases; with
 //	                   -shards the budget applies per shard
 //
+// Domain and federation flags (DESIGN.md §5j):
+//
+//	-domain  string   event vocabulary of the served archive (soccer,
+//	                  basketball, news). In generated-corpus mode the
+//	                  corpus is sampled from the domain's timeline
+//	                  grammar; with -model the loaded snapshot must be
+//	                  stamped with this domain. Empty = soccer / accept
+//	                  the model's own stamp
+//	-domains string   additionally serve POST /api/query/federated: a
+//	                  comma-separated list of domains, each backed by its
+//	                  own generated archive and model, queried together
+//	                  and merged into one cross-domain ranking
+//	                  (hmmmctl query "..." -domains all)
+//
 // Distributed serving flags (DESIGN.md §5h):
 //
 //	-coord      string    serve /api/query by scatter-gather over remote
@@ -122,11 +136,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/videodb/hmmm/internal/coord"
 	"github.com/videodb/hmmm/internal/dataset"
+	"github.com/videodb/hmmm/internal/fed"
 	"github.com/videodb/hmmm/internal/hmmm"
 	"github.com/videodb/hmmm/internal/ingest"
 	"github.com/videodb/hmmm/internal/live"
@@ -136,6 +152,8 @@ import (
 	"github.com/videodb/hmmm/internal/server"
 	"github.com/videodb/hmmm/internal/shotdetect"
 	"github.com/videodb/hmmm/internal/store"
+	"github.com/videodb/hmmm/internal/synthvideo"
+	"github.com/videodb/hmmm/internal/videomodel"
 )
 
 // fileExists reports whether path (or any member of its atomic-write
@@ -188,6 +206,9 @@ func main() {
 		shards    = flag.Int("shards", 0, "scatter-gather shard count (0 = unsharded)")
 		coarse    = flag.Int("coarse-candidates", 0, "coarse prefilter budget per query step (0 = exact-only)")
 
+		domainName  = flag.String("domain", "", "event vocabulary of the served archive: generate the corpus from it, or require a loaded -model to be stamped with it (empty = soccer / accept the model's own stamp)")
+		domainsSpec = flag.String("domains", "", "additionally serve POST /api/query/federated over a federation of per-domain generated archives (comma-separated domain names, e.g. soccer,basketball,news)")
+
 		coordSpec = flag.String("coord", "", "remote shard servers to coordinate over (';' shards, ',' replicas; empty = local serving)")
 		coordWait = flag.Duration("coord-wait", 30*time.Second, "startup wait for every remote shard to report READY (0 skips)")
 
@@ -215,7 +236,12 @@ func main() {
 	reg := obs.NewRegistry()
 	store.SetMetrics(store.NewMetrics(reg))
 
-	buildOpts := hmmm.BuildOptions{LearnP12: true}
+	domain, ok := videomodel.DomainByName(*domainName)
+	if !ok {
+		log.Fatalf("unknown -domain %q (have %s)", *domainName, strings.Join(videomodel.DomainNames(), ", "))
+	}
+
+	buildOpts := hmmm.BuildOptions{LearnP12: true, Domain: domain}
 	var model *hmmm.Model
 	var corpus *dataset.Corpus
 	switch {
@@ -246,8 +272,28 @@ func main() {
 		if from != *modelPath {
 			log.Printf("WARNING: model %s unreadable; recovered from %s", *modelPath, from)
 		}
-		fmt.Printf("loaded model from %s: %d states across %d videos\n",
-			from, model.NumStates(), model.NumVideos())
+		if *domainName != "" && model.DomainName() != domain.Name {
+			log.Fatalf("model %s: %v: stamped %q, want %q", from, store.ErrDomainMismatch, model.DomainName(), domain.Name)
+		}
+		fmt.Printf("loaded model from %s (%s domain): %d states across %d videos\n",
+			from, model.DomainName(), model.NumStates(), model.NumVideos())
+	case domain.Name != "soccer":
+		// Non-soccer domains have no media render/classification pipeline;
+		// the corpus is sampled directly from the domain's timeline grammar
+		// and per-event feature statistics.
+		start := time.Now()
+		archive, feats, err := synthvideo.GenerateArchive(synthvideo.ArchiveConfig{
+			Seed: *seed, Videos: *videos, Shots: *shots, Annotated: *annotated, Domain: domain,
+		})
+		if err != nil {
+			log.Fatalf("generating %s corpus: %v", domain.Name, err)
+		}
+		model, err = hmmm.Build(archive, feats, buildOpts)
+		if err != nil {
+			log.Fatalf("building %s model: %v", domain.Name, err)
+		}
+		fmt.Printf("generated %s corpus and model in %.1fs: %d states across %d videos\n",
+			domain.Name, time.Since(start).Seconds(), model.NumStates(), model.NumVideos())
 	default:
 		start := time.Now()
 		var err error
@@ -269,6 +315,9 @@ func main() {
 	if *ingestOn {
 		if *coordSpec != "" {
 			log.Fatalf("-ingest and -coord are mutually exclusive: the coordinator owns no model to extend; ingest on the shard servers")
+		}
+		if model.DomainName() != "soccer" {
+			log.Fatalf("-ingest requires the soccer domain: the ingest classifier is trained on the soccer media pipeline (model domain is %s)", model.DomainName())
 		}
 		if corpus == nil {
 			log.Fatalf("live ingest needs the corpus the model was built from: run in generated-corpus mode (no -model) or point -ingest-snapshot at a compacted corpus snapshot")
@@ -319,6 +368,43 @@ func main() {
 		fmt.Printf("coordinating %d remote shards (%s)\n", coordinator.NumShards(), *coordSpec)
 	}
 
+	var federation *fed.Federation
+	if *domainsSpec != "" {
+		start := time.Now()
+		var members []fed.Member
+		for i, name := range strings.Split(*domainsSpec, ",") {
+			name = strings.TrimSpace(name)
+			d, ok := videomodel.DomainByName(name)
+			if !ok {
+				log.Fatalf("-domains: unknown domain %q (have %s)", name, strings.Join(videomodel.DomainNames(), ", "))
+			}
+			archive, feats, err := synthvideo.GenerateArchive(synthvideo.ArchiveConfig{
+				Seed: *seed + uint64(i), Videos: *videos, Shots: *shots, Annotated: *annotated, Domain: d,
+			})
+			if err != nil {
+				log.Fatalf("-domains: generating %s corpus: %v", d.Name, err)
+			}
+			m, err := hmmm.Build(archive, feats, hmmm.BuildOptions{LearnP12: true, Domain: d})
+			if err != nil {
+				log.Fatalf("-domains: building %s model: %v", d.Name, err)
+			}
+			engine, err := retrieval.NewEngine(m, retrieval.Options{Beam: 4, TopK: 10, CoarseCandidates: *coarse})
+			if err != nil {
+				log.Fatalf("-domains: building %s engine: %v", d.Name, err)
+			}
+			members = append(members, fed.Member{
+				Name: d.Name, Domain: d, States: m.NumStates(), Retriever: engine,
+			})
+		}
+		var err error
+		federation, err = fed.New(members, fed.Options{TopK: 10})
+		if err != nil {
+			log.Fatalf("-domains: %v", err)
+		}
+		fmt.Printf("federation ready in %.1fs: %s\n",
+			time.Since(start).Seconds(), strings.Join(federation.Names(), ", "))
+	}
+
 	var slowWriter io.Writer
 	if *slowQuery > 0 {
 		slowWriter = os.Stderr
@@ -331,6 +417,7 @@ func main() {
 		Shards:             *shards,
 		Coordinator:        coordinator,
 		Live:               liveCfg,
+		Federation:         federation,
 		QueryTimeout:       *queryTimeout,
 		MaxInflight:        *maxInflight,
 		Coalesce:           *coalesceQ,

@@ -75,6 +75,13 @@
 //	-ingest-compact-after N  fold the delta every N accepted videos
 //	                         (default 4, so a few-second run compacts
 //	                         several times)
+//
+// Federated scenario (in-process only, DESIGN.md §5j):
+//
+//	-federated a,b,c  boot one generated model per listed domain and
+//	                  drive POST /api/query/federated with per-domain
+//	                  patterns for -duration, reporting the merged-query
+//	                  latency distribution and per-member skip counts
 package main
 
 import (
@@ -96,6 +103,7 @@ import (
 	"github.com/videodb/hmmm/internal/api"
 	"github.com/videodb/hmmm/internal/coord"
 	"github.com/videodb/hmmm/internal/dataset"
+	"github.com/videodb/hmmm/internal/fed"
 	"github.com/videodb/hmmm/internal/hmmm"
 	"github.com/videodb/hmmm/internal/ingest"
 	"github.com/videodb/hmmm/internal/live"
@@ -107,6 +115,8 @@ import (
 	"github.com/videodb/hmmm/internal/server"
 	"github.com/videodb/hmmm/internal/shard"
 	"github.com/videodb/hmmm/internal/shotdetect"
+	"github.com/videodb/hmmm/internal/synthvideo"
+	"github.com/videodb/hmmm/internal/videomodel"
 )
 
 // cheapPool is the repeated-query substrate: a handful of patterns so
@@ -143,6 +153,8 @@ type opts struct {
 	ingestRate         float64
 	ingestCompactAfter int
 
+	federated string
+
 	assertCoalesce bool
 	assertNoErrors bool
 	assertDegraded bool
@@ -176,6 +188,7 @@ func main() {
 	flag.BoolVar(&o.coordFault, "coord-fault", true, "with -coord: kill one shard at t/3, restart it at 2t/3")
 	flag.Float64Var(&o.ingestRate, "ingest-rate", 0, "offer this many videos/second to live ingest (0 = off)")
 	flag.IntVar(&o.ingestCompactAfter, "ingest-compact-after", 4, "with -ingest-rate: fold the delta every N accepted videos")
+	flag.StringVar(&o.federated, "federated", "", "comma-separated domains: drive federated queries over one generated model per domain")
 	flag.BoolVar(&o.assertCoalesce, "assert-coalesce", false, "fail unless at least one coalesce hit occurred")
 	flag.BoolVar(&o.assertNoErrors, "assert-no-errors", false, "fail on any transport error or non-503 5xx")
 	flag.BoolVar(&o.assertDegraded, "assert-degraded", false, "fail unless at least one query degraded (with -coord-fault)")
@@ -190,6 +203,22 @@ func main() {
 	}
 	if o.ingestRate > 0 && (o.addr != "" || o.compare || o.coord > 0) {
 		log.Fatal("-ingest-rate needs the in-process server and is incompatible with -compare and -coord")
+	}
+	if o.federated != "" && (o.addr != "" || o.compare || o.coord > 0 || o.ingestRate > 0) {
+		log.Fatal("-federated needs the in-process server and is incompatible with -compare, -coord, and -ingest-rate")
+	}
+
+	if o.federated != "" {
+		rep := runFederated(o)
+		rep.report(os.Stderr)
+		if o.bench {
+			rep.benchLine(os.Stdout)
+		}
+		if o.assertNoErrors && rep.errors > 0 {
+			log.Printf("ASSERT FAILED (federated): %d errors", rep.errors)
+			os.Exit(3)
+		}
+		return
 	}
 
 	var model *hmmm.Model
@@ -488,6 +517,142 @@ var ingestEvents = []string{"goal", "goal_kick", "yellow_card"}
 // fsync), offers videos open-loop at o.ingestRate, and probes the query
 // path continuously while the delta folds every o.ingestCompactAfter
 // accepts.
+// fedReport summarizes one federated-query run.
+type fedReport struct {
+	domains []string
+	elapsed time.Duration
+	queries int
+	errors  int
+	matches int
+	skips   int
+	lat     []time.Duration // sorted by report time
+}
+
+func (r *fedReport) report(w *os.File) {
+	sort.Slice(r.lat, func(i, j int) bool { return r.lat[i] < r.lat[j] })
+	p50, p95, max := latSummary(r.lat)
+	fmt.Fprintf(w, "hmmmload: federated over %s for %.1fs: %d queries, %d errors, %d merged matches, %d member skips\n",
+		strings.Join(r.domains, ","), r.elapsed.Seconds(), r.queries, r.errors, r.matches, r.skips)
+	fmt.Fprintf(w, "hmmmload:   merged-query latency p50 %s p95 %s max %s\n",
+		p50.Round(time.Microsecond), p95.Round(time.Microsecond), max.Round(time.Microsecond))
+}
+
+func (r *fedReport) benchLine(w *os.File) {
+	sort.Slice(r.lat, func(i, j int) bool { return r.lat[i] < r.lat[j] })
+	p50, p95, max := latSummary(r.lat)
+	mean := time.Duration(0)
+	for _, l := range r.lat {
+		mean += l
+	}
+	if len(r.lat) > 0 {
+		mean /= time.Duration(len(r.lat))
+	}
+	fmt.Fprintf(w, "BenchmarkFederatedQuery/domains=%d %d %.0f ns/op %d p50-ns/op %d p95-ns/op %d max-ns/op %d matches %d member-skips %d errors\n",
+		len(r.domains), r.queries, float64(mean), p50.Nanoseconds(), p95.Nanoseconds(), max.Nanoseconds(),
+		r.matches, r.skips, r.errors)
+}
+
+// runFederated boots one generated model per requested domain behind a
+// single in-process server (exactly how `hmmmd -domains` boots) and
+// drives POST /api/query/federated closed-loop for the duration,
+// rotating through per-domain two-step patterns so every query
+// exercises the vocabulary-skip path on the other members.
+func runFederated(o opts) *fedReport {
+	names := strings.Split(o.federated, ",")
+	var members []fed.Member
+	var patterns []string
+	var firstModel *hmmm.Model
+	start := time.Now()
+	for i, name := range names {
+		name = strings.TrimSpace(name)
+		d, ok := videomodel.DomainByName(name)
+		if !ok {
+			log.Fatalf("-federated: unknown domain %q (have %s)", name, strings.Join(videomodel.DomainNames(), ", "))
+		}
+		names[i] = d.Name
+		archive, feats, err := synthvideo.GenerateArchive(synthvideo.ArchiveConfig{
+			Seed: o.corpusSeed + uint64(i), Videos: o.videos, Shots: o.shots,
+			Annotated: o.annotated, Domain: d,
+		})
+		if err != nil {
+			log.Fatalf("-federated: generating %s corpus: %v", d.Name, err)
+		}
+		m, err := hmmm.Build(archive, feats, hmmm.BuildOptions{LearnP12: true, Domain: d})
+		if err != nil {
+			log.Fatalf("-federated: building %s model: %v", d.Name, err)
+		}
+		if firstModel == nil {
+			firstModel = m
+		}
+		engine, err := retrieval.NewEngine(m, retrieval.Options{Beam: 4, TopK: 10})
+		if err != nil {
+			log.Fatalf("-federated: building %s engine: %v", d.Name, err)
+		}
+		members = append(members, fed.Member{
+			Name: d.Name, Domain: d, States: m.NumStates(), Retriever: engine,
+		})
+		evs := d.AllEvents()
+		patterns = append(patterns, fmt.Sprintf("%s -> %s", d.EventName(evs[0]), d.EventName(evs[1])))
+	}
+	federation, err := fed.New(members, fed.Options{TopK: 10})
+	if err != nil {
+		log.Fatalf("-federated: %v", err)
+	}
+	srv, err := server.New(server.Config{
+		Model:        firstModel,
+		Options:      retrieval.Options{Beam: 4, TopK: 10},
+		QueryTimeout: time.Duration(o.timeoutMS) * time.Millisecond,
+		Federation:   federation,
+	})
+	if err != nil {
+		log.Fatalf("-federated: in-process server: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	url := "http://" + ln.Addr().String()
+	cl := &http.Client{Timeout: time.Duration(o.timeoutMS)*time.Millisecond + 5*time.Second}
+	fmt.Fprintf(os.Stderr, "hmmmload: federation %s ready in %.1fs\n",
+		strings.Join(names, ","), time.Since(start).Seconds())
+
+	rep := &fedReport{domains: names}
+	deadline := time.Now().Add(o.duration)
+	runStart := time.Now()
+	for i := 0; time.Now().Before(deadline); i++ {
+		body, _ := json.Marshal(api.FederatedQueryRequest{Pattern: patterns[i%len(patterns)], TopK: 10})
+		qStart := time.Now()
+		resp, err := cl.Post(url+"/api/query/federated", "application/json", strings.NewReader(string(body)))
+		rep.queries++
+		if err != nil {
+			rep.errors++
+			continue
+		}
+		var out api.FederatedQueryResponse
+		decErr := json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || decErr != nil {
+			rep.errors++
+			continue
+		}
+		rep.lat = append(rep.lat, time.Since(qStart))
+		rep.matches += len(out.Matches)
+		for _, mr := range out.Members {
+			if mr.Skipped {
+				rep.skips++
+			}
+		}
+	}
+	rep.elapsed = time.Since(runStart)
+
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	hs.Shutdown(sctx)
+	scancel()
+	return rep
+}
+
 func runIngestLoad(model *hmmm.Model, corpus *dataset.Corpus, o opts) *ingestReport {
 	tree, err := ingest.TrainClassifier(1, 12, mining.Config{})
 	if err != nil {

@@ -73,6 +73,57 @@ type QueryResponse struct {
 	FreshVideos int `json:"fresh_videos,omitempty"`
 }
 
+// FederatedQueryRequest asks for one MATN pattern to be executed across
+// the server's federation of per-domain archives.
+type FederatedQueryRequest struct {
+	// Pattern is the MATN query text, parsed per member against that
+	// member's own event vocabulary.
+	Pattern string `json:"pattern"`
+	// Domains optionally restricts the query to the named federation
+	// members (member names are conventionally domain names); empty
+	// means all members.
+	Domains []string `json:"domains,omitempty"`
+	// TopK bounds the merged ranking (0 = server default).
+	TopK int `json:"top_k,omitempty"`
+}
+
+// FederatedMatchJSON is one merged cross-archive match. States are
+// federation-global indices; Score is normalized to the owning member's
+// best score when the response says so.
+type FederatedMatchJSON struct {
+	Rank   int     `json:"rank"`
+	Member string  `json:"member"`
+	Domain string  `json:"domain"`
+	Score  float64 `json:"score"`
+	States []int   `json:"states"`
+	Shots  []int   `json:"shots"`
+	Videos []int   `json:"videos"`
+}
+
+// FederatedMemberJSON reports one member's part in a federated query.
+type FederatedMemberJSON struct {
+	Name    string `json:"name"`
+	Domain  string `json:"domain"`
+	Skipped bool   `json:"skipped,omitempty"`
+	// Reason says why the member was skipped — typically a queried
+	// event outside its vocabulary.
+	Reason   string   `json:"reason,omitempty"`
+	Matches  int      `json:"matches"`
+	MaxScore float64  `json:"max_score,omitempty"`
+	Cost     CostJSON `json:"cost"`
+}
+
+// FederatedQueryResponse is the merged cross-archive ranking.
+type FederatedQueryResponse struct {
+	Pattern string                `json:"pattern"`
+	Matches []FederatedMatchJSON  `json:"matches"`
+	Members []FederatedMemberJSON `json:"members"`
+	Cost    CostJSON              `json:"cost"`
+	// Normalized reports that scores were rescaled per member (set when
+	// two or more members executed the pattern).
+	Normalized bool `json:"normalized,omitempty"`
+}
+
 // IngestRequest submits one video to live ingest. The raw material is
 // synthesized server-side from the seed and per-shot event timeline
 // (standing in for a camera feed or file decoder), then segmented and

@@ -57,13 +57,23 @@ func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
 	return &out, nil
 }
 
-// Events lists the event taxonomy.
+// Events lists the serving model's event taxonomy.
 func (c *Client) Events(ctx context.Context) ([]string, error) {
-	var out map[string][]string
-	if err := c.do(ctx, http.MethodGet, "/api/events", nil, &out); err != nil {
-		return nil, err
+	_, events, err := c.EventsDomain(ctx)
+	return events, err
+}
+
+// EventsDomain lists the event taxonomy along with the name of the
+// domain it belongs to.
+func (c *Client) EventsDomain(ctx context.Context) (string, []string, error) {
+	var out struct {
+		Domain string   `json:"domain"`
+		Events []string `json:"events"`
 	}
-	return out["events"], nil
+	if err := c.do(ctx, http.MethodGet, "/api/events", nil, &out); err != nil {
+		return "", nil, err
+	}
+	return out.Domain, out.Events, nil
 }
 
 // Videos lists the archive's videos.
@@ -115,6 +125,16 @@ func (c *Client) SimilarVideos(ctx context.Context, videoID int) (*api.RankRespo
 func (c *Client) Query(ctx context.Context, req api.QueryRequest) (*api.QueryResponse, error) {
 	var out api.QueryResponse
 	if err := c.do(ctx, http.MethodPost, "/api/query", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// QueryFederated executes one MATN pattern across the server's
+// federation of per-domain archives and returns the merged ranking.
+func (c *Client) QueryFederated(ctx context.Context, req api.FederatedQueryRequest) (*api.FederatedQueryResponse, error) {
+	var out api.FederatedQueryResponse
+	if err := c.do(ctx, http.MethodPost, "/api/query/federated", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -41,7 +41,8 @@ type CompactSnapshot struct {
 	ShotIDs     []int64
 	StartMS     []int32
 	// EventMask[s] has bit c set iff state s is annotated with the
-	// concept of index c. videomodel.NumEvents must stay <= 16.
+	// concept of index c. This is what pins videomodel.MaxEvents at 16:
+	// every domain vocabulary must fit the mask.
 	EventMask []uint16
 
 	B1      *matrix.Float32
@@ -56,6 +57,8 @@ type CompactSnapshot struct {
 	ScalerMin []float64
 	ScalerMax []float64
 	Partial   bool
+	// Domain mirrors Model.Domain ("" = soccer, as in Snapshot).
+	Domain string
 }
 
 // CompactSnapshot captures the model in the compact layout.
@@ -78,6 +81,7 @@ func (m *Model) CompactSnapshot() *CompactSnapshot {
 		ScalerMin:   min,
 		ScalerMax:   max,
 		Partial:     m.Partial,
+		Domain:      m.Domain,
 	}
 	for i := range m.States {
 		st := &m.States[i]
@@ -130,6 +134,7 @@ func FromCompactSnapshot(cs *CompactSnapshot) (*Model, error) {
 		ScalerMin: cs.ScalerMin,
 		ScalerMax: cs.ScalerMax,
 		Partial:   cs.Partial,
+		Domain:    cs.Domain,
 	}
 	gi := 0
 	for vi, cnt := range cs.StateCounts {
@@ -143,7 +148,7 @@ func FromCompactSnapshot(cs *CompactSnapshot) (*Model, error) {
 			st.VideoIdx = vi
 			st.LocalIdx = li
 			st.StartMS = int(cs.StartMS[gi])
-			for c := 0; c < videomodel.NumEvents; c++ {
+			for c := 0; c < cs.B2.Cols(); c++ {
 				if cs.EventMask[gi]&(1<<c) != 0 {
 					st.Events = append(st.Events, videomodel.EventFromIndex(c))
 				}

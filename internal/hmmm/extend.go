@@ -33,6 +33,14 @@ func (m *Model) AddVideo(v *videomodel.Video, feats map[videomodel.ShotID][]floa
 	if len(annotated) == 0 {
 		return fmt.Errorf("hmmm: video %d has no annotated shots to model", v.ID)
 	}
+	for _, s := range v.Shots {
+		for _, e := range s.Events {
+			if !e.Valid() || e.Index() >= m.NumConcepts() {
+				return fmt.Errorf("hmmm: shot %d annotated with event %d outside the model's %d-concept %s vocabulary",
+					s.ID, e, m.NumConcepts(), m.DomainName())
+			}
+		}
+	}
 	m.noteMutation()
 	k := m.K()
 	newRows := make([][]float64, 0, len(annotated))
@@ -111,7 +119,7 @@ func (m *Model) AddVideo(v *videomodel.Video, feats map[videomodel.ShotID][]floa
 	for i := 0; i < oldM; i++ {
 		copy(b2.Row(i), m.B2.Row(i))
 	}
-	for ci, cnt := range v.EventCounts() {
+	for ci, cnt := range v.EventCountsN(m.NumConcepts()) {
 		b2.Set(oldM, ci, float64(cnt))
 	}
 	m.B2 = b2

@@ -76,6 +76,12 @@ type Model struct {
 	// (query examples, ingested shots) can be mapped into B1 space.
 	Scaler matrix.MinMaxScaler
 
+	// Domain names the event vocabulary the model's concept axis was
+	// built over ("soccer", "basketball", ...). The empty string means
+	// soccer: every model predating domain stamping was. The store
+	// persists it and refuses to serve a model into the wrong domain.
+	Domain string
+
 	// Partial marks the model as a by-video restriction of a larger
 	// archive (a shard). A shard keeps the parent's parameter values
 	// verbatim — renormalizing would perturb the Eq. 12 products and
@@ -127,6 +133,15 @@ func (m *Model) NumConcepts() int {
 	return m.B2.Cols()
 }
 
+// DomainName returns the model's domain, normalizing the legacy empty
+// stamp to "soccer".
+func (m *Model) DomainName() string {
+	if m.Domain == "" {
+		return videomodel.Soccer().Name
+	}
+	return m.Domain
+}
+
 // GlobalIndex maps a (video, local state) pair to the global state index.
 func (m *Model) GlobalIndex(videoIdx, localIdx int) int {
 	return m.offsets[videoIdx] + localIdx
@@ -168,6 +183,11 @@ type BuildOptions struct {
 	// writes only disjoint, preassigned rows/slots and no reduction
 	// crosses a worker boundary.
 	Workers int
+	// Domain sets the event vocabulary the concept axis is built over.
+	// Nil means the default soccer domain. Build rejects annotations
+	// outside the vocabulary — they would silently vanish from B2 and
+	// the cross-level matrices otherwise.
+	Domain *videomodel.Domain
 }
 
 // Build constructs a two-level HMMM from an archive and the raw (pre-
@@ -181,7 +201,11 @@ func Build(archive *videomodel.Archive, feats map[videomodel.ShotID][]float64, o
 	if archive == nil || len(archive.Videos) == 0 {
 		return nil, errors.New("hmmm: empty archive")
 	}
-	m := &Model{}
+	domain := opts.Domain
+	if domain == nil {
+		domain = videomodel.Soccer()
+	}
+	m := &Model{Domain: domain.Name}
 
 	// Pass 1 (serial): fix the state layout. Collect each video's
 	// annotated shots in temporal order, assign global offsets, and
@@ -218,7 +242,7 @@ func Build(archive *videomodel.Archive, feats map[videomodel.ShotID][]float64, o
 	// blocks, and B2 rows. Every video writes only its own state range,
 	// matrix rows, and error slot, so the fill is order-independent.
 	mVideos := len(m.VideoIDs)
-	c := videomodel.NumEvents
+	c := domain.NumEvents()
 	m.States = make([]State, total)
 	m.LocalA = make([]*matrix.Dense, mVideos)
 	m.B2 = matrix.NewDense(mVideos, c)
@@ -226,7 +250,15 @@ func Build(archive *videomodel.Archive, feats map[videomodel.ShotID][]float64, o
 	errs := make([]error, mVideos)
 	par.For(opts.Workers, mVideos, func(vi int) {
 		v := archive.Videos[vi]
-		for ci, cnt := range v.EventCounts() {
+		for _, s := range v.Shots {
+			for _, e := range s.Events {
+				if !e.Valid() || e.Index() >= c {
+					errs[vi] = fmt.Errorf("hmmm: shot %d annotated with event %d outside the %d-concept %s vocabulary", s.ID, e, c, domain.Name)
+					return
+				}
+			}
+		}
+		for ci, cnt := range v.EventCountsN(c) {
 			m.B2.Set(vi, ci, float64(cnt))
 		}
 		shots := perVideo[vi]
@@ -305,10 +337,10 @@ func Build(archive *videomodel.Archive, feats map[videomodel.ShotID][]float64, o
 // indices annotated with that concept — the shared input of the
 // per-concept P1,2 and B1' fills, computed in one pass over the states.
 func (m *Model) eventPostings() [][]int {
-	posts := make([][]int, videomodel.NumEvents)
+	posts := make([][]int, m.NumConcepts())
 	for i := range m.States {
 		for _, e := range m.States[i].Events {
-			if !e.Valid() {
+			if !e.Valid() || e.Index() >= len(posts) {
 				continue
 			}
 			ci := e.Index()
@@ -338,13 +370,12 @@ func (m *Model) learnP12(workers int, posts [][]int) {
 	m.noteMutation()
 	k := m.K()
 	const minStd = 1e-6 // a zero std would make one weight infinite
-	events := videomodel.AllEvents()
-	par.For(workers, len(events), func(ei int) {
-		idx := posts[events[ei].Index()]
+	par.For(workers, len(posts), func(ci int) {
+		idx := posts[ci]
 		if len(idx) < 2 {
 			return
 		}
-		row := m.P12.Row(events[ei].Index())
+		row := m.P12.Row(ci)
 		var sum float64
 		for f := 0; f < k; f++ {
 			var mean float64
@@ -374,16 +405,15 @@ func (m *Model) learnP12(workers int, posts [][]int) {
 // normalized B1 rows, one concept (row) per work item. Concepts with no
 // annotated shots get a zero row.
 func (m *Model) computeB1Prime(workers int, posts [][]int) *matrix.Dense {
-	c := videomodel.NumEvents
+	c := m.NumConcepts()
 	k := m.K()
 	bp := matrix.NewDense(c, k)
-	events := videomodel.AllEvents()
-	par.For(workers, len(events), func(ei int) {
-		idx := posts[events[ei].Index()]
+	par.For(workers, len(posts), func(ci int) {
+		idx := posts[ci]
 		if len(idx) == 0 {
 			return
 		}
-		row := bp.Row(events[ei].Index())
+		row := bp.Row(ci)
 		for _, si := range idx {
 			for f := 0; f < k; f++ {
 				row[f] += m.B1.At(si, f)

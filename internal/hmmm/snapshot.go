@@ -28,6 +28,9 @@ type Snapshot struct {
 	// Snapshots written before sharding existed decode with the zero
 	// value (a full model), keeping the gob format backward compatible.
 	Partial bool
+	// Domain mirrors Model.Domain. Snapshots written before domain
+	// stamping decode to "" — interpreted everywhere as soccer.
+	Domain string
 }
 
 // Snapshot captures the model's full state.
@@ -47,6 +50,7 @@ func (m *Model) Snapshot() *Snapshot {
 		ScalerMin: min,
 		ScalerMax: max,
 		Partial:   m.Partial,
+		Domain:    m.Domain,
 	}
 }
 
@@ -68,6 +72,7 @@ func FromSnapshot(s *Snapshot) (*Model, error) {
 		P12:      s.P12,
 		B1Prime:  s.B1Prime,
 		Partial:  s.Partial,
+		Domain:   s.Domain,
 	}
 	m.Scaler.SetBounds(s.ScalerMin, s.ScalerMax)
 	// Rebuild offsets: states are stored grouped by video in order.

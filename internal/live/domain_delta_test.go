@@ -1,0 +1,78 @@
+// Delta sub-models over non-soccer vocabularies: the live path must
+// stamp the delta with the build domain and keep the bit-identical
+// rebuild property the coalescer's generation key relies on.
+package live
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/videodb/hmmm/internal/hmmm"
+	"github.com/videodb/hmmm/internal/retrieval"
+	"github.com/videodb/hmmm/internal/retrieval/retrievaltest"
+	"github.com/videodb/hmmm/internal/videomodel"
+)
+
+// domainRecords mirrors sampleRecords but annotates with the given
+// domain's vocabulary.
+func domainRecords(d *videomodel.Domain, n int) []Record {
+	evs := d.AllEvents()
+	var out []Record
+	shotID := videomodel.ShotID(2000)
+	for i := 0; i < n; i++ {
+		rec := Record{
+			Video:          videomodel.VideoID(200 + i),
+			Name:           "live-" + d.Name + "-" + string(rune('a'+i)),
+			AcceptedUnixMS: int64(1700000000000 + i),
+		}
+		for si := 0; si < 3; si++ {
+			sr := ShotRecord{
+				ID:      shotID,
+				Index:   si,
+				StartMS: si * 3000,
+				EndMS:   (si + 1) * 3000,
+			}
+			if si == 1 {
+				sr.Events = []videomodel.Event{evs[i%len(evs)]}
+				sr.Features = []float64{float64(i), 0.5, 2, float64(si)}
+			}
+			shotID++
+			rec.Shots = append(rec.Shots, sr)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func TestNewDeltaDomainStampAndDeterminism(t *testing.T) {
+	for _, dom := range retrievaltest.Domains() {
+		records := domainRecords(dom, 3)
+		q := retrieval.NewQuery(records[0].Shots[1].Events[0])
+		var first []retrieval.Match
+		for i := 0; i < 2; i++ {
+			d, err := NewDelta(records, 10, 1,
+				hmmm.BuildOptions{LearnP12: true, Domain: dom}, deltaOptions())
+			if err != nil {
+				t.Fatalf("%s: %v", dom.Name, err)
+			}
+			if d.Model.DomainName() != dom.Name {
+				t.Fatalf("%s: delta stamped %q", dom.Name, d.Model.DomainName())
+			}
+			if err := d.Model.Validate(1e-9); err != nil {
+				t.Fatalf("%s: delta model invalid: %v", dom.Name, err)
+			}
+			res, err := d.Engine.Retrieve(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Matches) == 0 {
+				t.Fatalf("%s: delta retrieval found nothing", dom.Name)
+			}
+			if i == 0 {
+				first = res.Matches
+			} else if !reflect.DeepEqual(res.Matches, first) {
+				t.Fatalf("%s: two delta builds retrieve differently", dom.Name)
+			}
+		}
+	}
+}

@@ -3,10 +3,13 @@ package matn
 import (
 	"reflect"
 	"testing"
+
+	"github.com/videodb/hmmm/internal/videomodel"
 )
 
 // fuzzSeeds covers every grammar production: plain events, arrows with
 // each gap form, conjunction, alternation, grouping, optional steps,
+// negated atoms in every position they interact with (?, |, &, gaps),
 // and a few malformed inputs so the fuzzer starts near the error paths
 // too.
 var fuzzSeeds = []string{
@@ -19,6 +22,14 @@ var fuzzSeeds = []string{
 	"(goal | foul) & free_kick -> goal_kick?",
 	"goal -> (foul | yellow_card)? -> goal",
 	"goal ->[<1500ms] goal ->[>2m] foul",
+	"goal & !foul",
+	"!foul & goal",
+	"goal & !foul & !yellow_card -> corner_kick",
+	"(goal & !foul | corner_kick) -> free_kick?",
+	"corner_kick ->[<30s] goal & !player_change",
+	"goal & !foul? | free_kick",
+	"foul -> !yellow_card & free_kick ->[>5s] goal",
+	"(!foul & goal | !goal & foul) ->[1s..2m] player_change?",
 	"",
 	"goal ->",
 	"-> goal",
@@ -27,35 +38,45 @@ var fuzzSeeds = []string{
 	"((goal)",
 	"unknown_event",
 	"goal?|foul",
+	"!foul",
+	"goal & !goal",
+	"! goal",
+	"!!goal",
+	"!(goal | foul)",
 }
 
 // FuzzMATNParse asserts the parser never panics on arbitrary input and
 // that, for every accepted query, Format is a faithful inverse: the
 // canonical text re-parses to a structurally identical network, and
-// formatting is a fixpoint.
+// formatting is a fixpoint. The invariant is checked against every
+// built-in domain vocabulary, since negated atoms and event names
+// resolve per domain.
 func FuzzMATNParse(f *testing.F) {
 	for _, s := range fuzzSeeds {
 		f.Add(s)
 	}
+	domains := []*videomodel.Domain{videomodel.Soccer(), videomodel.Basketball(), videomodel.News()}
 	f.Fuzz(func(t *testing.T, src string) {
-		n, err := Parse(src)
-		if err != nil {
-			return // rejected input; only panics are failures here
-		}
-		text, err := n.Format()
-		if err != nil {
-			t.Fatalf("Parse(%q) accepted but Format failed: %v", src, err)
-		}
-		n2, err := Parse(text)
-		if err != nil {
-			t.Fatalf("canonical form %q of %q does not re-parse: %v", text, src, err)
-		}
-		if n2.States != n.States || n2.Final != n.Final || !reflect.DeepEqual(n2.Arcs, n.Arcs) {
-			t.Fatalf("round trip of %q changed the network:\n was: %v\n now: %v", src, n, n2)
-		}
-		text2, err := n2.Format()
-		if err != nil || text2 != text {
-			t.Fatalf("Format not a fixpoint for %q: %q -> %q (err %v)", src, text, text2, err)
+		for _, d := range domains {
+			n, err := ParseDomain(src, d)
+			if err != nil {
+				continue // rejected input; only panics are failures here
+			}
+			text, err := n.Format()
+			if err != nil {
+				t.Fatalf("[%s] Parse(%q) accepted but Format failed: %v", d.Name, src, err)
+			}
+			n2, err := ParseDomain(text, d)
+			if err != nil {
+				t.Fatalf("[%s] canonical form %q of %q does not re-parse: %v", d.Name, text, src, err)
+			}
+			if n2.States != n.States || n2.Final != n.Final || !reflect.DeepEqual(n2.Arcs, n.Arcs) {
+				t.Fatalf("[%s] round trip of %q changed the network:\n was: %v\n now: %v", d.Name, src, n, n2)
+			}
+			text2, err := n2.Format()
+			if err != nil || text2 != text {
+				t.Fatalf("[%s] Format not a fixpoint for %q: %q -> %q (err %v)", d.Name, src, text, text2, err)
+			}
 		}
 	})
 }

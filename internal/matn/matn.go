@@ -18,13 +18,19 @@
 //	step    := alt ( "?" )?           # "?" marks the step optional
 //	alt     := conj ( "|" conj )*     # alternation of conjunctions
 //	conj    := atom ( "&" atom )*     # events one shot must all carry
-//	atom    := EVENT | "(" alt ")"
+//	atom    := "!" EVENT | EVENT | "(" alt ")"
 //
 // DUR is an integer with a unit: "ms", "s", or "m" — so
 // "corner_kick ->[<30s] goal" asks for a goal within thirty seconds of
-// the corner kick. Alternation and optional steps expand multiplicatively
-// at compile time; Compile caps the expansion to guard against
-// pathological queries.
+// the corner kick. A "!" atom negates one event: "goal & !foul" matches
+// shots annotated with a goal but not a foul. Negation only excludes —
+// every step alternative still needs at least one positive event, so a
+// step's score keeps its Eq. 14 meaning. Alternation and optional steps
+// expand multiplicatively at compile time; Compile caps the expansion to
+// guard against pathological queries.
+//
+// Event names resolve against a domain vocabulary (videomodel.Domain);
+// Parse uses the default soccer domain and ParseDomain selects another.
 package matn
 
 import (
@@ -50,13 +56,27 @@ type Network struct {
 	States int    // number of states; arcs connect consecutive layers
 	Arcs   []Arc
 	Final  int // accepting state index
+
+	// domain is the vocabulary the network was parsed against; nil means
+	// the default soccer domain. Format/String/DOT render event names
+	// through it.
+	domain *videomodel.Domain
 }
 
-// Arc is one transition of the network. An arc with no events is an
-// ε-transition (produced by optional steps).
+// dom returns the network's vocabulary, defaulting to soccer.
+func (n *Network) dom() *videomodel.Domain {
+	if n.domain != nil {
+		return n.domain
+	}
+	return videomodel.Soccer()
+}
+
+// Arc is one transition of the network. An arc with no positive events
+// and no negated ones is an ε-transition (produced by optional steps).
 type Arc struct {
 	From, To int
 	Events   []videomodel.Event // conjunction the consumed shot must carry
+	Not      []videomodel.Event // events the consumed shot must NOT carry
 	MinGapMS int                // minimum start-time gap to the previous shot (0 = none)
 	MaxGapMS int                // maximum start-time gap to the previous shot (0 = none)
 }
@@ -71,6 +91,7 @@ const (
 	tokAnd             // &
 	tokOr              // |
 	tokOpt             // ?
+	tokNot             // !
 	tokLParen
 	tokRParen
 	tokEOF
@@ -118,6 +139,9 @@ func lex(src string) ([]token, error) {
 		case c == '?':
 			toks = append(toks, token{tokOpt, "?", i})
 			i++
+		case c == '!':
+			toks = append(toks, token{tokNot, "!", i})
+			i++
 		case c == '(':
 			toks = append(toks, token{tokLParen, "(", i})
 			i++
@@ -143,19 +167,27 @@ func isIdent(c byte) bool {
 	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
 }
 
+// conjExpr is one parsed conjunction: the positive events the shot must
+// carry and the negated ones it must not.
+type conjExpr struct {
+	pos []videomodel.Event
+	neg []videomodel.Event
+}
+
 // stepExpr is a parsed step: the alternatives (each a conjunction), an
 // optional flag, and the gap constraint carried by the arrow leading into
 // the step.
 type stepExpr struct {
-	alts               [][]videomodel.Event
+	alts               []conjExpr
 	optional           bool
 	minGapMS, maxGapMS int
 }
 
 // parser consumes the token stream.
 type parser struct {
-	toks []token
-	pos  int
+	toks   []token
+	pos    int
+	domain *videomodel.Domain
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -164,16 +196,26 @@ func (p *parser) errf(t token, format string, args ...any) error {
 	return fmt.Errorf("matn: position %d: %s", t.pos, fmt.Sprintf(format, args...))
 }
 
-// Parse parses a query text into an MATN.
+// Parse parses a query text into an MATN against the default soccer
+// vocabulary.
 func Parse(src string) (*Network, error) {
+	return ParseDomain(src, nil)
+}
+
+// ParseDomain parses a query text into an MATN, resolving event names in
+// the given domain's vocabulary (nil means soccer).
+func ParseDomain(src string, d *videomodel.Domain) (*Network, error) {
 	if strings.TrimSpace(src) == "" {
 		return nil, errors.New("matn: empty query")
+	}
+	if d == nil {
+		d = videomodel.Soccer()
 	}
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	p := &parser{toks: toks, domain: d}
 	steps, err := p.pattern()
 	if err != nil {
 		return nil, err
@@ -181,7 +223,7 @@ func Parse(src string) (*Network, error) {
 	if t := p.peek(); t.kind != tokEOF {
 		return nil, p.errf(t, "unexpected %q", t.text)
 	}
-	return buildNetwork(src, steps), nil
+	return buildNetwork(src, steps, d), nil
 }
 
 // pattern := step ( arrow step )*
@@ -262,11 +304,27 @@ func parseDuration(text string) (int, error) {
 	return n * unit, nil
 }
 
-// step := alt ( "?" )?
+// step := alt ( "?" )?. Every alternative of a step must keep at least
+// one positive event — a purely negative step would select by exclusion
+// alone and have no Eq. 14 score — and may not both require and negate
+// the same event.
 func (p *parser) step() (stepExpr, error) {
+	start := p.peek()
 	alts, err := p.alt()
 	if err != nil {
 		return stepExpr{}, err
+	}
+	for _, c := range alts {
+		if len(c.pos) == 0 {
+			return stepExpr{}, p.errf(start, "step alternative has only negated events; each needs at least one positive event")
+		}
+		for _, ne := range c.neg {
+			for _, pe := range c.pos {
+				if ne == pe {
+					return stepExpr{}, p.errf(start, "event %q both required and negated in one alternative", p.domain.EventName(ne))
+				}
+			}
+		}
 	}
 	s := stepExpr{alts: alts}
 	if p.peek().kind == tokOpt {
@@ -277,8 +335,8 @@ func (p *parser) step() (stepExpr, error) {
 }
 
 // alt := conj ( "|" conj )*
-func (p *parser) alt() ([][]videomodel.Event, error) {
-	var alts [][]videomodel.Event
+func (p *parser) alt() ([]conjExpr, error) {
+	var alts []conjExpr
 	for {
 		c, err := p.conj()
 		if err != nil {
@@ -295,7 +353,7 @@ func (p *parser) alt() ([][]videomodel.Event, error) {
 // conj := atom ( "&" atom )*. An atom may itself be a parenthesized
 // alternation, so a conjunction of alternations distributes into several
 // plain conjunctions.
-func (p *parser) conj() ([][]videomodel.Event, error) {
+func (p *parser) conj() ([]conjExpr, error) {
 	acc, err := p.atom()
 	if err != nil {
 		return nil, err
@@ -306,11 +364,13 @@ func (p *parser) conj() ([][]videomodel.Event, error) {
 		if err != nil {
 			return nil, err
 		}
-		var combined [][]videomodel.Event
+		var combined []conjExpr
 		for _, a := range acc {
 			for _, b := range rhs {
-				merged := append(append([]videomodel.Event(nil), a...), b...)
-				combined = append(combined, merged)
+				combined = append(combined, conjExpr{
+					pos: append(append([]videomodel.Event(nil), a.pos...), b.pos...),
+					neg: append(append([]videomodel.Event(nil), a.neg...), b.neg...),
+				})
 			}
 		}
 		if len(combined) > MaxPatterns {
@@ -321,17 +381,27 @@ func (p *parser) conj() ([][]videomodel.Event, error) {
 	return acc, nil
 }
 
-// atom := EVENT | "(" alt ")". The result is a set of alternative
-// conjunctions.
-func (p *parser) atom() ([][]videomodel.Event, error) {
+// atom := "!" EVENT | EVENT | "(" alt ")". The result is a set of
+// alternative conjunctions.
+func (p *parser) atom() ([]conjExpr, error) {
 	t := p.next()
 	switch t.kind {
+	case tokNot:
+		ev := p.next()
+		if ev.kind != tokEvent {
+			return nil, p.errf(ev, "expected event name after '!'")
+		}
+		e, err := p.domain.ParseEvent(ev.text)
+		if err != nil || !e.Valid() {
+			return nil, p.errf(ev, "unknown event %q", ev.text)
+		}
+		return []conjExpr{{neg: []videomodel.Event{e}}}, nil
 	case tokEvent:
-		ev, err := videomodel.ParseEvent(t.text)
+		ev, err := p.domain.ParseEvent(t.text)
 		if err != nil || !ev.Valid() {
 			return nil, p.errf(t, "unknown event %q", t.text)
 		}
-		return [][]videomodel.Event{{ev}}, nil
+		return []conjExpr{{pos: []videomodel.Event{ev}}}, nil
 	case tokLParen:
 		alts, err := p.alt()
 		if err != nil {
@@ -342,18 +412,18 @@ func (p *parser) atom() ([][]videomodel.Event, error) {
 		}
 		return alts, nil
 	default:
-		return nil, p.errf(t, "expected event name or '('")
+		return nil, p.errf(t, "expected event name, '!', or '('")
 	}
 }
 
 // buildNetwork lays the parsed steps out as a chain of states with one arc
 // per alternative and an ε-arc skipping each optional step.
-func buildNetwork(src string, steps []stepExpr) *Network {
-	n := &Network{Source: src, States: len(steps) + 1, Final: len(steps)}
+func buildNetwork(src string, steps []stepExpr, d *videomodel.Domain) *Network {
+	n := &Network{Source: src, States: len(steps) + 1, Final: len(steps), domain: d}
 	for i, s := range steps {
 		for _, alt := range s.alts {
 			n.Arcs = append(n.Arcs, Arc{
-				From: i, To: i + 1, Events: dedup(alt),
+				From: i, To: i + 1, Events: dedup(alt.pos), Not: dedup(alt.neg),
 				MinGapMS: s.minGapMS, MaxGapMS: s.maxGapMS,
 			})
 		}
@@ -403,8 +473,13 @@ func (n *Network) Compile() ([]retrieval.Query, error) {
 		}
 		for _, a := range bySrc[state] {
 			next := acc
+			if len(a.Events) == 0 && len(a.Not) > 0 {
+				// Parse never produces this (every alternative keeps a
+				// positive event); guard hand-built networks.
+				return fmt.Errorf("matn: arc %d->%d has only negated events", a.From, a.To)
+			}
 			if len(a.Events) > 0 {
-				step := retrieval.Step{Events: a.Events, MinGapMS: a.MinGapMS, MaxGapMS: a.MaxGapMS}
+				step := retrieval.Step{Events: a.Events, Not: a.Not, MinGapMS: a.MinGapMS, MaxGapMS: a.MaxGapMS}
 				if len(acc) == 0 {
 					// A gap constraint is relative to the previous step;
 					// with an optional first step elided there is none.
@@ -426,14 +501,16 @@ func (n *Network) Compile() ([]retrieval.Query, error) {
 
 // Format renders the network back into canonical query text that Parse
 // accepts and that reproduces the network exactly (up to Source):
-// alternatives in arc order joined by " | ", conjunctions by " & ", an
-// optional step's trailing "?", and gap constraints normalized to
-// milliseconds (">5000ms", "<30000ms", "5000ms..30000ms"). Formatting a
-// re-parse of Format's own output is a fixpoint, which is what the
-// round-trip fuzz target pins. It errors on networks that are not the
-// step chain Parse produces (arcs skipping states, a step with only
-// ε-arcs).
+// alternatives in arc order joined by " | ", conjunctions by " & " with
+// positive events first and negated ones ("!event") after, an optional
+// step's trailing "?", and gap constraints normalized to milliseconds
+// (">5000ms", "<30000ms", "5000ms..30000ms"). Formatting a re-parse of
+// Format's own output is a fixpoint, which is what the round-trip fuzz
+// target pins. It errors on networks that are not the step chain Parse
+// produces (arcs skipping states, a step with only ε-arcs, an arc with
+// only negated events).
 func (n *Network) Format() (string, error) {
+	d := n.dom()
 	bySrc := make(map[int][]Arc)
 	for _, a := range n.Arcs {
 		if a.To != a.From+1 || a.From < 0 || a.To > n.Final {
@@ -448,12 +525,18 @@ func (n *Network) Format() (string, error) {
 		minGap, maxGap := 0, 0
 		for _, a := range bySrc[i] {
 			if len(a.Events) == 0 {
+				if len(a.Not) > 0 {
+					return "", fmt.Errorf("matn: arc %d->%d has only negated events", a.From, a.To)
+				}
 				optional = true
 				continue
 			}
-			names := make([]string, len(a.Events))
-			for j, e := range a.Events {
-				names[j] = e.String()
+			names := make([]string, 0, len(a.Events)+len(a.Not))
+			for _, e := range a.Events {
+				names = append(names, d.EventName(e))
+			}
+			for _, e := range a.Not {
+				names = append(names, "!"+d.EventName(e))
 			}
 			alts = append(alts, strings.Join(names, " & "))
 			minGap, maxGap = a.MinGapMS, a.MaxGapMS
@@ -481,9 +564,16 @@ func (n *Network) Format() (string, error) {
 	return b.String(), nil
 }
 
-// CompileString parses and compiles a query text in one call.
+// CompileString parses and compiles a query text in one call, against
+// the default soccer vocabulary.
 func CompileString(src string) ([]retrieval.Query, error) {
-	n, err := Parse(src)
+	return CompileStringDomain(src, nil)
+}
+
+// CompileStringDomain parses and compiles a query text against a domain
+// vocabulary (nil means soccer).
+func CompileStringDomain(src string, d *videomodel.Domain) ([]retrieval.Query, error) {
+	n, err := ParseDomain(src, d)
 	if err != nil {
 		return nil, err
 	}
@@ -492,16 +582,20 @@ func CompileString(src string) ([]retrieval.Query, error) {
 
 // String renders the network arcs for debugging and the experiment report.
 func (n *Network) String() string {
+	d := n.dom()
 	var b strings.Builder
 	fmt.Fprintf(&b, "MATN(%d states)", n.States)
 	for _, a := range n.Arcs {
-		if len(a.Events) == 0 {
+		if len(a.Events) == 0 && len(a.Not) == 0 {
 			fmt.Fprintf(&b, " [%d-ε->%d]", a.From, a.To)
 			continue
 		}
-		names := make([]string, len(a.Events))
-		for i, e := range a.Events {
-			names[i] = e.String()
+		names := make([]string, 0, len(a.Events)+len(a.Not))
+		for _, e := range a.Events {
+			names = append(names, d.EventName(e))
+		}
+		for _, e := range a.Not {
+			names = append(names, "!"+d.EventName(e))
 		}
 		gap := ""
 		if a.MinGapMS > 0 || a.MaxGapMS > 0 {
@@ -520,12 +614,16 @@ func (n *Network) DOT(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "  s%d [shape=doublecircle];\n", n.Final); err != nil {
 		return err
 	}
+	d := n.dom()
 	for _, a := range n.Arcs {
 		label := "ε"
-		if len(a.Events) > 0 {
-			names := make([]string, len(a.Events))
-			for i, e := range a.Events {
-				names[i] = e.String()
+		if len(a.Events) > 0 || len(a.Not) > 0 {
+			names := make([]string, 0, len(a.Events)+len(a.Not))
+			for _, e := range a.Events {
+				names = append(names, d.EventName(e))
+			}
+			for _, e := range a.Not {
+				names = append(names, "!"+d.EventName(e))
 			}
 			label = strings.Join(names, " & ")
 		}

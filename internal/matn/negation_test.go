@@ -1,0 +1,124 @@
+package matn
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/videodb/hmmm/internal/videomodel"
+)
+
+func TestNegationParseAndCompile(t *testing.T) {
+	qs, err := CompileString("goal & !foul -> corner_kick & !yellow_card & !red_card")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 1 {
+		t.Fatalf("compiled to %d patterns, want 1", len(qs))
+	}
+	steps := qs[0].Steps
+	if len(steps) != 2 {
+		t.Fatalf("pattern has %d steps, want 2", len(steps))
+	}
+	want0 := []videomodel.Event{videomodel.EventFoul}
+	if !reflect.DeepEqual(steps[0].Not, want0) {
+		t.Errorf("step 0 Not = %v, want %v", steps[0].Not, want0)
+	}
+	want1 := []videomodel.Event{videomodel.EventYellowCard, videomodel.EventRedCard}
+	if !reflect.DeepEqual(steps[1].Not, want1) {
+		t.Errorf("step 1 Not = %v, want %v", steps[1].Not, want1)
+	}
+	for i, q := range qs {
+		if err := q.Validate(); err != nil {
+			t.Errorf("pattern %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestNegationRejectsPurelyNegativeStep(t *testing.T) {
+	for _, src := range []string{
+		"!foul",
+		"goal -> !foul",
+		"goal -> !foul & !yellow_card",
+		"goal | !foul", // one alternative purely negative
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted a purely negative step", src)
+		}
+	}
+}
+
+func TestNegationRejectsContradiction(t *testing.T) {
+	if _, err := Parse("goal & !goal"); err == nil {
+		t.Error("contradictory step accepted")
+	}
+	if _, err := Parse("(goal | foul) & !goal"); err == nil {
+		t.Error("distributed contradiction accepted")
+	}
+}
+
+func TestNegationRejectsNonEventOperand(t *testing.T) {
+	for _, src := range []string{"!(goal | foul)", "!!goal", "! -> goal", "goal & !"} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestNegationFormatCanonicalOrder(t *testing.T) {
+	// Negated atoms render after positives regardless of source order.
+	n, err := Parse("!foul & goal & !yellow_card")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := n.Format()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text != "goal & !foul & !yellow_card" {
+		t.Errorf("canonical form = %q", text)
+	}
+}
+
+func TestCompileRejectsHandBuiltNegativeOnlyArc(t *testing.T) {
+	n := &Network{States: 2, Final: 1, Arcs: []Arc{{From: 0, To: 1, Not: []videomodel.Event{videomodel.EventFoul}}}}
+	if _, err := n.Compile(); err == nil {
+		t.Error("Compile accepted an arc with only negated events")
+	}
+	if _, err := n.Format(); err == nil {
+		t.Error("Format accepted an arc with only negated events")
+	}
+}
+
+func TestParseDomainVocabularies(t *testing.T) {
+	bb := videomodel.Basketball()
+	n, err := ParseDomain("dunk & !turnover -> fast_break", bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := n.Format()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text != "dunk & !turnover -> fast_break" {
+		t.Errorf("basketball canonical form = %q", text)
+	}
+	if !strings.Contains(n.String(), "dunk") {
+		t.Errorf("String() lost domain names: %s", n.String())
+	}
+	// Soccer names are out of vocabulary for basketball and vice versa.
+	if _, err := ParseDomain("goal", bb); err == nil {
+		t.Error("basketball vocabulary accepted soccer event")
+	}
+	if _, err := Parse("dunk"); err == nil {
+		t.Error("soccer vocabulary accepted basketball event")
+	}
+	// Events compile to per-domain indices: "dunk" is concept 1.
+	qs, err := n.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := qs[0].Steps[0].Events[0]; got != videomodel.Event(2) {
+		t.Errorf("dunk compiled to event %d, want 2", got)
+	}
+}

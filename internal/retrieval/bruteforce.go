@@ -52,7 +52,7 @@ func (p *bfPath) match(m *hmmm.Model) Match {
 // product of per-event candidate counts, while the engine expands only the
 // stochastically promising paths.
 func BruteForce(m *hmmm.Model, q Query, topK int) (*Result, error) {
-	if err := q.Validate(); err != nil {
+	if err := q.validateFor(m.NumConcepts()); err != nil {
 		return nil, err
 	}
 	if topK <= 0 {
@@ -123,7 +123,7 @@ func BruteForce(m *hmmm.Model, q Query, topK int) (*Result, error) {
 // gap-constrained queries fall back to explicit enumeration (their
 // candidate spaces are small by construction).
 func GroundTruthCount(m *hmmm.Model, q Query) int {
-	if q.Validate() != nil {
+	if q.validateFor(m.NumConcepts()) != nil {
 		return 0
 	}
 	steps := q.steps()

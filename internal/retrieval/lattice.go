@@ -448,7 +448,7 @@ func (e *Engine) stepCandidates(buf []int, vi, after int, step Step, scope *Scop
 			if prevMS >= 0 && !step.gapOK(prevMS, e.m.States[s].StartMS) {
 				continue
 			}
-			if len(step.Events) > 1 && !stateHasStep(&e.m.States[s], step) {
+			if (len(step.Events) > 1 || len(step.Not) > 0) && !stateHasStep(&e.m.States[s], step) {
 				continue
 			}
 			buf = append(buf, s)
@@ -459,11 +459,18 @@ func (e *Engine) stepCandidates(buf []int, vi, after int, step Step, scope *Scop
 	}
 	// Similarity fallback: every remaining state that is NOT a full
 	// annotation match (those were exhausted above) competes by features.
+	// Negated events still exclude here — "!" means the shot must not
+	// carry the annotation, in the fallback set as much as the annotated
+	// one — so the two sets stay disjoint and together cover exactly the
+	// non-excluded states.
 	for s := start; s < hi; s++ {
 		if !scope.contains(e.m.States[s].StartMS) {
 			continue
 		}
 		if prevMS >= 0 && !step.gapOK(prevMS, e.m.States[s].StartMS) {
+			continue
+		}
+		if stateExcluded(&e.m.States[s], step) {
 			continue
 		}
 		if !stateHasStep(&e.m.States[s], step) {

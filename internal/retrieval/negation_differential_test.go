@@ -1,0 +1,147 @@
+// Cross-domain differential tests: the negation grammar and every
+// domain vocabulary run through the same engine-vs-oracle gates as the
+// positive soccer-only suite in differential_test.go. Both the lattice
+// and the brute-force oracle share one step predicate, so equality here
+// pins the negation compile rule end to end.
+package retrieval_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/videodb/hmmm/internal/retrieval"
+	"github.com/videodb/hmmm/internal/retrieval/retrievaltest"
+)
+
+func TestNegationSingleStepMatchesOracleExactly(t *testing.T) {
+	for _, d := range retrievaltest.Domains() {
+		for seed := uint64(1); seed <= 4; seed++ {
+			m := retrievaltest.RandomModel(t, retrievaltest.Config{
+				Seed: seed, Videos: int(seed) + 2, MaxShots: 10,
+				Events: d.NumEvents(), Domain: d,
+			})
+			topK := 10
+			eng, err := retrieval.NewEngine(m, retrieval.Options{
+				AnnotatedOnly: true, TopK: topK, Beam: topK,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi, q := range retrievaltest.NegationQueries(m) {
+				if !retrievaltest.SingleStep(q) {
+					continue
+				}
+				want := retrievaltest.Oracle(t, m, q, topK)
+				got, err := eng.Retrieve(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				retrievaltest.RequireSameMatches(t,
+					fmt.Sprintf("domain=%s seed=%d q=%d", d.Name, seed, qi),
+					want.Matches, got.Matches)
+			}
+		}
+	}
+}
+
+func TestNegationMultiStepOracleConsistent(t *testing.T) {
+	for _, d := range retrievaltest.Domains() {
+		for seed := uint64(1); seed <= 4; seed++ {
+			m := retrievaltest.RandomModel(t, retrievaltest.Config{
+				Seed: seed, Videos: int(seed) + 2, MaxShots: 10,
+				Events: d.NumEvents(), Domain: d, LearnP12: seed%2 == 0,
+			})
+			eng, err := retrieval.NewEngine(m, retrieval.Options{AnnotatedOnly: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi, q := range retrievaltest.NegationQueries(m) {
+				if retrievaltest.SingleStep(q) {
+					continue
+				}
+				full := retrievaltest.Oracle(t, m, q, retrievaltest.OracleLimit)
+				got, err := eng.Retrieve(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				retrievaltest.RequireOracleConsistent(t,
+					fmt.Sprintf("domain=%s seed=%d q=%d", d.Name, seed, qi),
+					full, got.Matches)
+			}
+		}
+	}
+}
+
+// TestDomainPositiveSuiteUnchanged re-runs the positive single-step
+// bit-identity gate over every non-soccer domain: the vocabulary swap
+// must not perturb the engine-vs-oracle contract that differential_test
+// pins for soccer.
+func TestDomainPositiveSuiteUnchanged(t *testing.T) {
+	for _, d := range retrievaltest.Domains() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			t.Parallel() // exercises the suite under -race in make verify
+			for seed := uint64(1); seed <= 3; seed++ {
+				m := retrievaltest.RandomModel(t, retrievaltest.Config{
+					Seed: seed, Videos: int(seed) + 2, MaxShots: 10,
+					Events: d.NumEvents(), Domain: d,
+				})
+				topK := 10
+				eng, err := retrieval.NewEngine(m, retrieval.Options{
+					AnnotatedOnly: true, TopK: topK, Beam: topK,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for qi, q := range retrievaltest.Queries(m) {
+					if !retrievaltest.SingleStep(q) {
+						continue
+					}
+					want := retrievaltest.Oracle(t, m, q, topK)
+					got, err := eng.Retrieve(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					retrievaltest.RequireSameMatches(t,
+						fmt.Sprintf("domain=%s seed=%d q=%d", d.Name, seed, qi),
+						want.Matches, got.Matches)
+				}
+			}
+		})
+	}
+}
+
+// TestDomainCoarseCoveringBitIdentical re-runs the coarse-gate covering
+// limit per domain: with CoarseCandidates spanning the whole archive
+// the two-stage search must equal the exact engine bit for bit.
+func TestDomainCoarseCoveringBitIdentical(t *testing.T) {
+	for _, d := range retrievaltest.Domains() {
+		m := retrievaltest.RandomModel(t, retrievaltest.Config{
+			Seed: 9, Videos: 8, MaxShots: 10, Events: d.NumEvents(),
+			Domain: d, LearnP12: true,
+		})
+		exact, err := retrieval.NewEngine(m, retrieval.Options{AnnotatedOnly: true, TopK: 10, Beam: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coarse, err := retrieval.NewEngine(m, retrieval.Options{
+			AnnotatedOnly: true, TopK: 10, Beam: 10, CoarseCandidates: m.NumVideos(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs := append(retrievaltest.Queries(m), retrievaltest.NegationQueries(m)...)
+		for qi, q := range qs {
+			want, err := exact.Retrieve(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := coarse.Retrieve(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			retrievaltest.RequireSameMatches(t,
+				fmt.Sprintf("domain=%s q=%d", d.Name, qi), want.Matches, got.Matches)
+		}
+	}
+}

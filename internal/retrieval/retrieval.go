@@ -42,6 +42,12 @@ import (
 // authors' companion query model (ref. [8]).
 type Step struct {
 	Events []videomodel.Event
+	// Not lists negated events (MATN "!event" atoms): a shot carrying
+	// any of them cannot satisfy the step. Negation only filters the
+	// candidate set — scoring (Eq. 14 similarity, Eq. 15 product) is
+	// computed from the positive events alone — so a step must also
+	// carry at least one positive event.
+	Not []videomodel.Event
 	// MinGapMS / MaxGapMS bound the start-time distance (milliseconds)
 	// from the previous step's shot, within the same video. Zero means
 	// unconstrained. A step with MaxGapMS > 0 cannot be satisfied by a
@@ -140,6 +146,16 @@ func (q Query) Validate() error {
 				return fmt.Errorf("retrieval: query step %d has invalid event %v", i, e)
 			}
 		}
+		for _, e := range st.Not {
+			if !e.Valid() {
+				return fmt.Errorf("retrieval: query step %d has invalid negated event %v", i, e)
+			}
+			for _, p := range st.Events {
+				if p == e {
+					return fmt.Errorf("retrieval: query step %d both requires and negates event %v", i, e)
+				}
+			}
+		}
 		if st.MinGapMS < 0 || st.MaxGapMS < 0 {
 			return fmt.Errorf("retrieval: query step %d has negative gap constraint", i)
 		}
@@ -161,9 +177,50 @@ func (q Query) Validate() error {
 	return nil
 }
 
-// stateHasStep reports whether a model state is annotated with every event
-// of the step.
+// validateFor extends Validate with the model-relative bound: every
+// positive or negated event must address one of the model's c concepts.
+// Valid() alone only checks the MaxEvents envelope — a basketball event
+// is a valid Event but out of vocabulary for an 8-concept soccer model,
+// and letting it through would index past B2's columns.
+func (q Query) validateFor(c int) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	for i, st := range q.steps() {
+		for _, e := range st.Events {
+			if e.Index() >= c {
+				return fmt.Errorf("retrieval: query step %d event %v outside the model's %d-concept vocabulary", i, e, c)
+			}
+		}
+		for _, e := range st.Not {
+			if e.Index() >= c {
+				return fmt.Errorf("retrieval: query step %d negated event %v outside the model's %d-concept vocabulary", i, e, c)
+			}
+		}
+	}
+	return nil
+}
+
+// stateExcluded reports whether a model state carries any of the step's
+// negated events.
+func stateExcluded(st *hmmm.State, step Step) bool {
+	for _, e := range step.Not {
+		if st.HasEvent(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// stateHasStep reports whether a model state is annotated with every
+// positive event of the step and none of the negated ones. This single
+// predicate is the negation compile rule's whole surface: the lattice,
+// the brute-force oracle, and GroundTruthCount all gate on it, which is
+// what keeps them exactly equal under negation.
 func stateHasStep(st *hmmm.State, step Step) bool {
+	if stateExcluded(st, step) {
+		return false
+	}
 	for _, e := range step.Events {
 		if !st.HasEvent(e) {
 			return false
@@ -197,6 +254,10 @@ type Cost struct {
 	// DegradedShards > 0 implies Truncated.
 	DegradedShards int
 }
+
+// Add accumulates another cost counter into c (scatter-gather layers
+// sum per-member work into one aggregate).
+func (c *Cost) Add(o Cost) { c.add(o) }
 
 // add accumulates another cost counter into c.
 func (c *Cost) add(o Cost) {
@@ -582,7 +643,7 @@ func (e *Engine) Retrieve(q Query) (*Result, error) {
 // work. With a background (never-cancelled) context the result is
 // bit-identical to Retrieve.
 func (e *Engine) RetrieveContext(ctx context.Context, q Query) (*Result, error) {
-	if err := q.Validate(); err != nil {
+	if err := q.validateFor(e.m.NumConcepts()); err != nil {
 		return nil, err
 	}
 	// Stage timing backs both Options.Metrics and Options.Trace; with

@@ -48,9 +48,17 @@ type Config struct {
 	FeatureDim int     // feature vector length (default 4)
 	Annotate   float64 // per-shot annotation probability (default 0.7)
 	LearnP12   bool    // apply the Eqs. 8-10 feature-importance learning
+	// Domain selects the event vocabulary the model is built over (nil =
+	// soccer). Events is clamped to the domain's vocabulary size, and the
+	// built model carries the domain's stamp — so every differential gate
+	// in the tree can be re-run per domain by varying only this field.
+	Domain *videomodel.Domain
 }
 
 func (c Config) withDefaults() Config {
+	if c.Domain == nil {
+		c.Domain = videomodel.Soccer()
+	}
 	if c.Videos <= 0 {
 		c.Videos = 4
 	}
@@ -60,8 +68,8 @@ func (c Config) withDefaults() Config {
 	if c.Events <= 0 {
 		c.Events = 3
 	}
-	if c.Events > videomodel.NumEvents {
-		c.Events = videomodel.NumEvents
+	if c.Events > c.Domain.NumEvents() {
+		c.Events = c.Domain.NumEvents()
 	}
 	if c.FeatureDim <= 0 {
 		c.FeatureDim = 4
@@ -83,7 +91,7 @@ func RandomModel(tb testing.TB, cfg Config) *hmmm.Model {
 	tb.Helper()
 	cfg = cfg.withDefaults()
 	rng := xrand.New(cfg.Seed*2654435761 + 1)
-	events := videomodel.AllEvents()[:cfg.Events]
+	events := cfg.Domain.AllEvents()[:cfg.Events]
 
 	feats := make(map[videomodel.ShotID][]float64)
 	videos := make([]*videomodel.Video, cfg.Videos)
@@ -135,11 +143,19 @@ func RandomModel(tb testing.TB, cfg Config) *hmmm.Model {
 	if err != nil {
 		tb.Fatalf("retrievaltest: archive: %v", err)
 	}
-	m, err := hmmm.Build(a, feats, hmmm.BuildOptions{LearnP12: cfg.LearnP12})
+	m, err := hmmm.Build(a, feats, hmmm.BuildOptions{LearnP12: cfg.LearnP12, Domain: cfg.Domain})
 	if err != nil {
 		tb.Fatalf("retrievaltest: build: %v", err)
 	}
 	return m
+}
+
+// Domains returns the built-in domain specs in deterministic order: the
+// axis the cross-domain differential suites iterate over. Soccer comes
+// first so a suite's first subtest reproduces the historical
+// single-domain behavior exactly.
+func Domains() []*videomodel.Domain {
+	return []*videomodel.Domain{videomodel.Soccer(), videomodel.Basketball(), videomodel.News()}
 }
 
 // Queries returns a deterministic query corpus for m covering the
@@ -148,15 +164,7 @@ func RandomModel(tb testing.TB, cfg Config) *hmmm.Model {
 // query. Only events that actually annotate a state appear, so every
 // query has a non-empty candidate space somewhere.
 func Queries(m *hmmm.Model) []retrieval.Query {
-	var present []videomodel.Event
-	for _, e := range videomodel.AllEvents() {
-		for i := range m.States {
-			if m.States[i].HasEvent(e) {
-				present = append(present, e)
-				break
-			}
-		}
-	}
+	present := PresentEvents(m)
 	if len(present) == 0 {
 		return nil
 	}
@@ -175,6 +183,68 @@ func Queries(m *hmmm.Model) []retrieval.Query {
 			Events: []videomodel.Event{e0},
 			Scope:  &retrieval.Scope{Video: m.VideoIDs[0]},
 		},
+	}
+	return qs
+}
+
+// PresentEvents lists the events of m's domain that annotate at least
+// one state, in vocabulary order.
+func PresentEvents(m *hmmm.Model) []videomodel.Event {
+	d, ok := videomodel.DomainByName(m.Domain)
+	if !ok {
+		d = videomodel.Soccer()
+	}
+	var present []videomodel.Event
+	for _, e := range d.AllEvents() {
+		for i := range m.States {
+			if m.States[i].HasEvent(e) {
+				present = append(present, e)
+				break
+			}
+		}
+	}
+	return present
+}
+
+// NegationQueries returns a deterministic corpus of negated-step
+// queries over m's present events: single-step pure exclusion, a
+// negated conjunction, negation on the first and on a later step of a
+// multi-step pattern, and a gap-constrained negated step. Every query
+// keeps at least one positive event per step (the grammar's rule), so
+// the corpus is valid for every pipeline and for the brute-force
+// oracle.
+func NegationQueries(m *hmmm.Model) []retrieval.Query {
+	present := PresentEvents(m)
+	if len(present) < 2 {
+		return nil
+	}
+	e0 := present[0]
+	e1 := present[1]
+	e2 := present[len(present)-1] // may equal e1 on 2-event models; still valid
+	qs := []retrieval.Query{
+		{Steps: []retrieval.Step{
+			{Events: []videomodel.Event{e0}, Not: []videomodel.Event{e1}},
+		}},
+		{Steps: []retrieval.Step{
+			{Events: []videomodel.Event{e1}, Not: []videomodel.Event{e0}},
+		}},
+		{Steps: []retrieval.Step{
+			{Events: []videomodel.Event{e0}, Not: []videomodel.Event{e1}},
+			{Events: []videomodel.Event{e1}},
+		}},
+		{Steps: []retrieval.Step{
+			{Events: []videomodel.Event{e0}},
+			{Events: []videomodel.Event{e1}, Not: []videomodel.Event{e0}},
+		}},
+		{Steps: []retrieval.Step{
+			{Events: []videomodel.Event{e0}, Not: []videomodel.Event{e1}},
+			{Events: []videomodel.Event{e2}, Not: []videomodel.Event{e0}, MaxGapMS: 30000},
+		}},
+	}
+	if e2 != e0 && e2 != e1 {
+		qs = append(qs, retrieval.Query{Steps: []retrieval.Step{
+			{Events: []videomodel.Event{e0}, Not: []videomodel.Event{e1, e2}},
+		}})
 	}
 	return qs
 }

@@ -21,7 +21,7 @@ type VideoRank struct {
 // pattern?"). The score multiplies Π2 with each queried concept's
 // normalized presence in B2.
 func (e *Engine) RankVideos(q Query) ([]VideoRank, error) {
-	if err := q.Validate(); err != nil {
+	if err := q.validateFor(e.m.NumConcepts()); err != nil {
 		return nil, err
 	}
 	// Per-concept column totals of B2 normalize the presence terms.

@@ -26,6 +26,7 @@ import (
 	"github.com/videodb/hmmm/internal/coalesce"
 	"github.com/videodb/hmmm/internal/coord"
 	"github.com/videodb/hmmm/internal/features"
+	"github.com/videodb/hmmm/internal/fed"
 	"github.com/videodb/hmmm/internal/feedback"
 	"github.com/videodb/hmmm/internal/hmmm"
 	"github.com/videodb/hmmm/internal/live"
@@ -102,6 +103,12 @@ type Server struct {
 	// durably, served through the snapshot's delta sub-model, and folded
 	// into the main model by background compaction (see server/live.go).
 	live *liveState
+
+	// federation, when non-nil, serves POST /api/query/federated by
+	// fanning one pattern over several per-domain archives (see
+	// internal/fed). The main model remains one ordinary member-shaped
+	// archive; federation members carry their own models.
+	federation *fed.Federation
 }
 
 // snapshot is one immutable published generation: a trained model, the
@@ -126,6 +133,11 @@ type snapshot struct {
 	// everything else: one Load observes one consistent (model, delta)
 	// pair.
 	delta *live.Delta
+	// domain is the model's event vocabulary, resolved once from the
+	// model's domain stamp at snapshot build: pattern parsing and every
+	// event-name rendering in responses go through it. The delta
+	// sub-model shares it (live ingest extends the same archive).
+	domain *videomodel.Domain
 }
 
 // withDelta derives a snapshot serving the same published generation
@@ -245,6 +257,12 @@ type Config struct {
 	// exclusive with Coordinator (a coordinator owns no model to extend;
 	// ingest on the shard owners instead).
 	Live *live.Config
+	// Federation, when non-nil, additionally serves POST
+	// /api/query/federated: one MATN pattern fanned over several
+	// per-domain archives and merged into a cross-domain ranking (see
+	// internal/fed). Independent of the main Model, which keeps serving
+	// every single-archive endpoint.
+	Federation *fed.Federation
 }
 
 // DefaultMaxRequestBytes caps request bodies when Config.MaxRequestBytes
@@ -291,6 +309,7 @@ func New(cfg Config) (*Server, error) {
 		queryTimeout: cfg.QueryTimeout,
 		metrics:      metrics,
 		slowLog:      obs.NewSlowLog(cfg.SlowQueryWriter, cfg.SlowQueryThreshold),
+		federation:   cfg.Federation,
 	}
 	s.trainer.Metrics = &feedback.TrainerMetrics{
 		Retrains: metrics.retrains,
@@ -386,11 +405,16 @@ func (s *Server) newSnapshot(model *hmmm.Model, gen uint64) (*snapshot, error) {
 	if s.shards > 0 {
 		eopts.NoSimCache = true
 	}
+	domain, ok := videomodel.DomainByName(model.Domain)
+	if !ok {
+		return nil, fmt.Errorf("model stamped with unknown domain %q (have %s)",
+			model.Domain, strings.Join(videomodel.DomainNames(), ", "))
+	}
 	engine, err := retrieval.NewEngine(model, eopts)
 	if err != nil {
 		return nil, fmt.Errorf("building engine: %w", err)
 	}
-	snap := &snapshot{model: model, engine: engine, gen: gen}
+	snap := &snapshot{model: model, engine: engine, gen: gen, domain: domain}
 	if s.shards > 0 {
 		group, err := shard.NewGroup(model, s.shards, s.opts, shard.GroupOptions{
 			ShardTimeout: s.shardTimeout,
@@ -498,6 +522,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/videos/{id}/similar", s.handleSimilarVideos)
 	mux.HandleFunc("POST /api/parse", s.handleParse)
 	mux.HandleFunc("POST /api/query", s.handleQuery)
+	mux.HandleFunc("POST /api/query/federated", s.handleFederatedQuery)
 	mux.HandleFunc("POST /api/ingest", s.handleIngest)
 	mux.HandleFunc("POST /api/feedback", s.handleFeedback)
 	mux.HandleFunc("POST /api/retrain", s.handleRetrain)
@@ -553,7 +578,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	counts := make(map[string]int)
 	for _, st := range m.States {
 		for _, e := range st.Events {
-			counts[e.String()]++
+			counts[snap.domain.EventName(e)]++
 		}
 	}
 	var shardStats []api.ShardStatsJSON
@@ -633,22 +658,27 @@ func (s *Server) runtimeStats() *api.RuntimeStatsJSON {
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	names := make([]string, videomodel.NumEvents)
+	snap := s.current.Load()
+	names := make([]string, snap.model.NumConcepts())
 	for i := range names {
-		names[i] = videomodel.EventFromIndex(i).String()
+		names[i] = snap.domain.EventName(videomodel.EventFromIndex(i))
 	}
-	writeJSON(w, http.StatusOK, map[string][]string{"events": names})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"domain": snap.domain.Name,
+		"events": names,
+	})
 }
 
 func (s *Server) handleVideos(w http.ResponseWriter, r *http.Request) {
-	m := s.current.Load().model
+	snap := s.current.Load()
+	m := snap.model
 	out := make([]VideoJSON, m.NumVideos())
 	for vi := range out {
 		lo, hi := m.VideoStates(vi)
 		counts := make(map[string]int)
 		for ci := 0; ci < m.NumConcepts(); ci++ {
 			if n := int(m.B2.At(vi, ci)); n > 0 {
-				counts[videomodel.EventFromIndex(ci).String()] = n
+				counts[snap.domain.EventName(videomodel.EventFromIndex(ci))] = n
 			}
 		}
 		out[vi] = VideoJSON{ID: int(m.VideoIDs[vi]), States: hi - lo, EventCounts: counts}
@@ -663,12 +693,13 @@ func (s *Server) handleRankVideos(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	queries, err := matn.CompileString(req.Pattern)
+	snap := s.current.Load()
+	queries, err := matn.CompileStringDomain(req.Pattern, snap.domain)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	engine := s.current.Load().engine
+	engine := snap.engine
 	// Merge alternation branches by max score per video.
 	best := make(map[int]float64)
 	for _, q := range queries {
@@ -761,7 +792,7 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	st := &m.States[local]
 	names := make([]string, len(st.Events))
 	for i, e := range st.Events {
-		names[i] = e.String()
+		names[i] = snap.domain.EventName(e)
 	}
 	writeJSON(w, http.StatusOK, ShotResponse{
 		State:   id,
@@ -780,7 +811,8 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	network, err := matn.Parse(req.Pattern)
+	snap := s.current.Load()
+	network, err := matn.ParseDomain(req.Pattern, snap.domain)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -801,7 +833,10 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 		for _, step := range q.Steps {
 			var names []string
 			for _, e := range step.Events {
-				names = append(names, e.String())
+				names = append(names, snap.domain.EventName(e))
+			}
+			for _, e := range step.Not {
+				names = append(names, "!"+snap.domain.EventName(e))
 			}
 			parts = append(parts, strings.Join(names, "&"))
 		}
@@ -970,7 +1005,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	network, err := matn.Parse(req.Pattern)
+	network, err := matn.ParseDomain(req.Pattern, s.current.Load().domain)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -1073,7 +1108,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 					for _, fc := range ex.Features {
 						ej.Features = append(ej.Features, api.FeatureContributionJSON{
 							Feature: features.Names[fc.Feature],
-							Event:   fc.Event.String(),
+							Event:   snap.domain.EventName(fc.Event),
 							Term:    fc.Term,
 						})
 					}
@@ -1109,7 +1144,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		for _, st := range match.States {
 			var names []string
 			for _, e := range snap.stateEvents(st) {
-				names = append(names, e.String())
+				names = append(names, snap.domain.EventName(e))
 			}
 			mj.Events = append(mj.Events, names)
 		}
@@ -1119,6 +1154,69 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Matches = append(resp.Matches, mj)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleFederatedQuery fans one MATN pattern over the configured
+// federation of per-domain archives and returns the merged cross-domain
+// ranking (see internal/fed for the skip and normalization semantics).
+func (s *Server) handleFederatedQuery(w http.ResponseWriter, r *http.Request) {
+	if s.federation == nil {
+		writeError(w, http.StatusNotFound, errors.New("federation not configured (start hmmmd with -domains)"))
+		return
+	}
+	var req api.FederatedQueryRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	ctx := r.Context()
+	if s.queryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.queryTimeout)
+		defer cancel()
+	}
+	resp, err := s.federation.Query(ctx, fed.Request{
+		Pattern: req.Pattern,
+		Members: req.Domains,
+		TopK:    req.TopK,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := api.FederatedQueryResponse{
+		Pattern:    req.Pattern,
+		Normalized: resp.Normalized,
+		Cost:       costJSON(resp.Cost),
+	}
+	for _, mr := range resp.Members {
+		out.Members = append(out.Members, api.FederatedMemberJSON{
+			Name: mr.Name, Domain: mr.Domain,
+			Skipped: mr.Skipped, Reason: mr.Reason,
+			Matches: mr.Matches, MaxScore: mr.MaxScore,
+			Cost: costJSON(mr.Cost),
+		})
+	}
+	for i, m := range resp.Matches {
+		fm := api.FederatedMatchJSON{
+			Rank: i + 1, Member: m.Member, Domain: m.Domain,
+			Score: m.Score, States: m.States,
+		}
+		for j, shot := range m.Shots {
+			fm.Shots = append(fm.Shots, int(shot))
+			fm.Videos = append(fm.Videos, int(m.Videos[j]))
+		}
+		out.Matches = append(out.Matches, fm)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// costJSON renders a retrieval cost for the wire.
+func costJSON(c retrieval.Cost) api.CostJSON {
+	return api.CostJSON{
+		SimEvals: c.SimEvals, EdgeEvals: c.EdgeEvals,
+		VideosSeen: c.VideosSeen, Truncated: c.Truncated,
+		DegradedShards: c.DegradedShards,
+	}
 }
 
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {

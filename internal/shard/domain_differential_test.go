@@ -1,0 +1,41 @@
+// Cross-domain sharded gates: every domain vocabulary (and the negated
+// query corpus) runs through the same group-vs-engine bit-identity and
+// group-vs-oracle comparisons that differential_test.go pins for the
+// soccer default. Sharding partitions videos, not vocabulary, so the
+// domain must be invisible to the scatter-gather path.
+package shard
+
+import (
+	"testing"
+
+	"github.com/videodb/hmmm/internal/retrieval"
+	"github.com/videodb/hmmm/internal/retrieval/retrievaltest"
+)
+
+func TestDomainShardedBitIdentical(t *testing.T) {
+	for _, d := range retrievaltest.Domains() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			t.Parallel() // exercises the scatter path under -race in make verify
+			for seed := uint64(1); seed <= 3; seed++ {
+				m := retrievaltest.RandomModel(t, retrievaltest.Config{
+					Seed: seed, Videos: int(seed) + 4, MaxShots: 10,
+					Events: d.NumEvents(), Domain: d, LearnP12: seed%2 == 0,
+				})
+				qs := append(retrievaltest.Queries(m), retrievaltest.NegationQueries(m)...)
+				requireGroupEqualsEngine(t, m,
+					retrieval.Options{AnnotatedOnly: true, TopK: 10, Beam: 10}, qs)
+			}
+		})
+	}
+}
+
+func TestDomainShardedMatchesOracle(t *testing.T) {
+	for _, d := range retrievaltest.Domains() {
+		m := retrievaltest.RandomModel(t, retrievaltest.Config{
+			Seed: 5, Videos: 7, MaxShots: 10, Events: d.NumEvents(), Domain: d,
+		})
+		qs := append(retrievaltest.Queries(m), retrievaltest.NegationQueries(m)...)
+		requireGroupMatchesOracle(t, m, qs)
+	}
+}

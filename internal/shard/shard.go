@@ -132,6 +132,7 @@ func build(m *hmmm.Model, videos []int) (*Shard, error) {
 		P12:     snap.P12,     // shared with the parent
 		B1Prime: snap.B1Prime, // shared with the parent
 		Partial: true,
+		Domain:  snap.Domain,
 	}
 	min, max := m.Scaler.Bounds()
 	sub.ScalerMin, sub.ScalerMax = min, max

@@ -230,6 +230,33 @@ func LoadModel(path string) (*hmmm.Model, error) {
 	}
 }
 
+// ErrDomainMismatch is returned by LoadModelExpect when a snapshot's
+// domain stamp disagrees with the vocabulary the caller will serve it
+// into.
+var ErrDomainMismatch = errors.New("store: model domain mismatch")
+
+// LoadModelExpect loads a model like LoadModel and refuses it when its
+// domain stamp does not match want. Both sides normalize the legacy
+// empty stamp to "soccer", so pre-domain snapshots keep loading into
+// soccer deployments. Serving a model into the wrong vocabulary would
+// silently relabel every concept — basketball's concept 0 rendered with
+// another domain's first event name — so the mismatch is an error, not a
+// warning.
+func LoadModelExpect(path, want string) (*hmmm.Model, error) {
+	m, err := LoadModel(path)
+	if err != nil {
+		return nil, err
+	}
+	wantDomain, ok := videomodel.DomainByName(want)
+	if !ok {
+		return nil, fmt.Errorf("store: unknown domain %q (have %v)", want, videomodel.DomainNames())
+	}
+	if m.DomainName() != wantDomain.Name {
+		return nil, fmt.Errorf("%w: snapshot %s is a %q model, want %q", ErrDomainMismatch, path, m.DomainName(), wantDomain.Name)
+	}
+	return m, nil
+}
+
 // LoadModelRecover loads a model snapshot, falling back along the
 // atomicwrite recovery chain when the primary file is missing, torn, or
 // fails its checksum: path itself, then path.tmp (a fully written
@@ -294,6 +321,7 @@ type modelJSON struct {
 	NumVideos   int                    `json:"num_videos"`
 	NumConcepts int                    `json:"num_concepts"`
 	K           int                    `json:"num_features"`
+	Domain      string                 `json:"domain"`
 	Events      []string               `json:"events"`
 	Pi1         []float64              `json:"pi1"`
 	Pi2         []float64              `json:"pi2"`
@@ -304,17 +332,23 @@ type modelJSON struct {
 	LocalA      map[string][][]float64 `json:"local_a1"`
 }
 
-// ExportModelJSON writes a JSON rendering of the model.
+// ExportModelJSON writes a JSON rendering of the model. Event names
+// render in the model's own domain vocabulary.
 func ExportModelJSON(w io.Writer, m *hmmm.Model) error {
-	names := make([]string, videomodel.NumEvents)
+	domain, ok := videomodel.DomainByName(m.Domain)
+	if !ok {
+		return fmt.Errorf("store: model stamped with unknown domain %q", m.Domain)
+	}
+	names := make([]string, m.NumConcepts())
 	for i := range names {
-		names[i] = videomodel.EventFromIndex(i).String()
+		names[i] = domain.EventName(videomodel.EventFromIndex(i))
 	}
 	out := modelJSON{
 		NumStates:   m.NumStates(),
 		NumVideos:   m.NumVideos(),
 		NumConcepts: m.NumConcepts(),
 		K:           m.K(),
+		Domain:      domain.Name,
 		Events:      names,
 		Pi1:         m.Pi1,
 		Pi2:         m.Pi2,

@@ -29,6 +29,12 @@ type ArchiveConfig struct {
 	// FeatureDim is the length of the per-shot feature vectors (the
 	// model's K). 0 means DefaultFeatureDim.
 	FeatureDim int
+	// Domain selects the event vocabulary and timeline grammar. Nil
+	// keeps the legacy soccer generation path bit-for-bit (the scale
+	// benchmarks and recall gates pin its exact output); a non-nil
+	// domain sequences annotations through the domain's Start/Follow
+	// grammar and scales feature jitter by each event's Emphasis.
+	Domain *videomodel.Domain
 }
 
 // DefaultFeatureDim matches the dimensionality of the Table-1 visual +
@@ -77,6 +83,9 @@ func GenerateArchive(cfg ArchiveConfig) (*videomodel.Archive, map[videomodel.Sho
 	}
 
 	root := xrand.New(cfg.Seed*6364136223846793005 + 1442695040888963407)
+	if cfg.Domain != nil {
+		return generateDomainArchive(cfg, cfg.Domain, k, root)
+	}
 
 	// Per-class feature centroids, away from the [0, 1] boundary so
 	// jitter rarely clamps (clamping would distort the class mean B1').
@@ -149,6 +158,121 @@ func GenerateArchive(cfg ArchiveConfig) (*videomodel.Archive, map[videomodel.Sho
 				c := centroids[e.Index()]
 				for fi := range f {
 					f[fi] = clamp01(c[fi] + rng.Norm(0, 0.06))
+				}
+				feats[s.ID] = f
+			}
+			v.Shots = append(v.Shots, s)
+		}
+		videos[vi] = v
+	}
+	a, err := videomodel.NewArchive(videos)
+	if err != nil {
+		return nil, nil, fmt.Errorf("synthvideo: %w", err)
+	}
+	return a, feats, nil
+}
+
+// generateDomainArchive is the domain-parameterized generation path: the
+// same corpus shape as the legacy soccer path (even shot/annotation
+// split, evenly spaced annotated shots, centroid-plus-jitter features)
+// but with the annotation sequence driven by the domain's timeline
+// grammar — each video's first annotation drawn from the Start weights
+// and every following one from Follow[prev] — and the jitter of each
+// event scaled by 1/Emphasis, so tight concepts (a news anchor desk)
+// cluster harder than loose ones (a commercial).
+func generateDomainArchive(cfg ArchiveConfig, d *videomodel.Domain, k int, root *xrand.RNG) (*videomodel.Archive, map[videomodel.ShotID][]float64, error) {
+	events := d.AllEvents()
+	centroids := make([][]float64, len(events))
+	crng := root.Fork(0)
+	for c := range centroids {
+		centroids[c] = make([]float64, k)
+		for f := range centroids[c] {
+			centroids[c][f] = crng.Range(0.15, 0.85)
+		}
+	}
+
+	videos := make([]*videomodel.Video, cfg.Videos)
+	feats := make(map[videomodel.ShotID][]float64, cfg.Annotated)
+	sid := videomodel.ShotID(0)
+	for vi := range videos {
+		nShots := cfg.Shots / cfg.Videos
+		if vi < cfg.Shots%cfg.Videos {
+			nShots++
+		}
+		nAnn := cfg.Annotated / cfg.Videos
+		if vi < cfg.Annotated%cfg.Videos {
+			nAnn++
+		}
+		if nAnn > nShots {
+			nAnn = nShots
+		}
+
+		rng := root.Fork(uint64(vi) + 1)
+		// Genre boost on top of the grammar: two preferred event classes
+		// per video, multiplying whatever the grammar proposes.
+		boost := make([]float64, len(events))
+		for i := range boost {
+			boost[i] = 1
+		}
+		perm := rng.Perm(len(events))
+		boost[perm[0]] = 4
+		if len(perm) > 1 {
+			boost[perm[1]] = 2.5
+		}
+
+		weights := make([]float64, len(events))
+		pick := func(base []float64) videomodel.Event {
+			total := 0.0
+			for i := range weights {
+				weights[i] = base[i] * boost[i]
+				total += weights[i]
+			}
+			if total == 0 {
+				// An all-zero Follow row falls back to the Start weights.
+				for i := range weights {
+					weights[i] = d.Start[i] * boost[i]
+				}
+			}
+			return events[rng.Choice(weights)]
+		}
+
+		v := &videomodel.Video{ID: videomodel.VideoID(vi + 1)}
+		annEvery := 0
+		if nAnn > 0 {
+			annEvery = nShots / nAnn
+		}
+		t := 0
+		annotated := 0
+		prev := videomodel.EventNone
+		for i := 0; i < nShots; i++ {
+			dur := 2000 + rng.Intn(6000)
+			s := &videomodel.Shot{
+				ID: sid, Video: v.ID, Index: i,
+				StartMS: t, EndMS: t + dur,
+			}
+			sid++
+			t += dur
+			if annEvery > 0 && i%annEvery == 0 && annotated < nAnn {
+				var e videomodel.Event
+				if prev == videomodel.EventNone {
+					e = pick(d.Start)
+				} else {
+					e = pick(d.Follow[prev.Index()])
+				}
+				prev = e
+				s.Events = append(s.Events, e)
+				if rng.Bool(0.2) {
+					alt := pick(d.Follow[e.Index()])
+					if alt != e {
+						s.Events = append(s.Events, alt)
+					}
+				}
+				annotated++
+				f := make([]float64, k)
+				c := centroids[e.Index()]
+				sigma := 0.06 / d.Spec(e).Emphasis
+				for fi := range f {
+					f[fi] = clamp01(c[fi] + rng.Norm(0, sigma))
 				}
 				feats[s.ID] = f
 			}

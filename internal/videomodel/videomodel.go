@@ -57,9 +57,11 @@ func (e Event) String() string {
 	return eventNames[e]
 }
 
-// Valid reports whether e is a real event concept (not EventNone and in
-// range).
-func (e Event) Valid() bool { return e > EventNone && int(e) < int(numEvents) }
+// Valid reports whether e is a real event concept (not EventNone and
+// addressable by some domain: 1..MaxEvents). Whether e is inside a
+// *particular* vocabulary is a per-domain question — compare Index()
+// against the domain's NumEvents or the model's NumConcepts.
+func (e Event) Valid() bool { return e > EventNone && int(e) <= MaxEvents }
 
 // Index returns the zero-based concept index used for matrix rows (B2
 // columns, P1,2 rows, B1' rows): EventGoal is 0, EventPlayerChange is
@@ -73,21 +75,18 @@ func (e Event) Index() int {
 
 // EventFromIndex is the inverse of Event.Index.
 func EventFromIndex(i int) Event {
-	if i < 0 || i >= NumEvents {
+	if i < 0 || i >= MaxEvents {
 		panic(fmt.Sprintf("videomodel: event index %d out of range", i))
 	}
 	return Event(i + 1)
 }
 
-// ParseEvent maps a snake_case event name to its Event. It returns an error
-// for unknown names; "none" is accepted and maps to EventNone.
+// ParseEvent maps a snake_case event name to its Event in the default
+// soccer vocabulary. It returns an error for unknown names; "none" is
+// accepted and maps to EventNone. Other vocabularies parse through
+// Domain.ParseEvent.
 func ParseEvent(name string) (Event, error) {
-	for i, n := range eventNames {
-		if n == name {
-			return Event(i), nil
-		}
-	}
-	return EventNone, fmt.Errorf("videomodel: unknown event %q", name)
+	return Soccer().ParseEvent(name)
 }
 
 // AllEvents returns the real event concepts in index order.
@@ -197,13 +196,21 @@ func (v *Video) AnnotatedShots() []*Shot {
 	return out
 }
 
-// EventCounts returns the per-concept annotation counts of the video: the
-// row of matrix B2 corresponding to this video.
+// EventCounts returns the per-concept annotation counts of the video
+// over the default soccer vocabulary: the row of matrix B2 corresponding
+// to this video. Out-of-vocabulary annotations are skipped.
 func (v *Video) EventCounts() []int {
-	counts := make([]int, NumEvents)
+	return v.EventCountsN(NumEvents)
+}
+
+// EventCountsN is EventCounts over a c-concept vocabulary (the video's
+// B2 row in a c-concept model). Annotations with Index() >= c are
+// skipped.
+func (v *Video) EventCountsN(c int) []int {
+	counts := make([]int, c)
 	for _, s := range v.Shots {
 		for _, e := range s.Events {
-			if e.Valid() {
+			if e.Valid() && e.Index() < c {
 				counts[e.Index()]++
 			}
 		}

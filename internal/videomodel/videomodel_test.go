@@ -54,10 +54,10 @@ func TestEventIndexPanicsOnNone(t *testing.T) {
 func TestEventFromIndexPanicsOutOfRange(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("EventFromIndex(NumEvents) did not panic")
+			t.Fatal("EventFromIndex(MaxEvents) did not panic")
 		}
 	}()
-	EventFromIndex(NumEvents)
+	EventFromIndex(MaxEvents)
 }
 
 func TestEventStringOutOfRange(t *testing.T) {
